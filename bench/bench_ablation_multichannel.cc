@@ -1,0 +1,54 @@
+// Ablation: protecting multiple ZigBee channels in one WiFi packet
+// (extension beyond the paper, which protects one channel at a time).
+// Reports the WiFi throughput cost and the measured in-band reduction on
+// every protected window.
+#include "bench_util.h"
+#include "coex/inband.h"
+#include "sledzig/encoder.h"
+
+using namespace sledzig;
+
+namespace {
+
+void report(const core::SledzigConfig& cfg, const char* label) {
+  const double loss = core::throughput_loss(cfg) * 100.0;
+  std::printf("  %-14s loss %5.2f%%  reductions:", label, loss);
+  std::vector<core::OverlapChannel> all{cfg.channel};
+  all.insert(all.end(), cfg.extra_channels.begin(), cfg.extra_channels.end());
+  for (auto ch : all) {
+    // Measure the window of `ch` while the full multi-channel config is on.
+    core::SledzigConfig probe = cfg;
+    probe.channel = ch;
+    probe.extra_channels.clear();
+    for (auto other : all) {
+      if (other != ch) probe.extra_channels.push_back(other);
+    }
+    const auto normal = coex::measure_inband_offsets(probe, false);
+    const auto sled = coex::measure_inband_offsets(probe, true);
+    std::printf(" %s %.1f dB", core::to_string(ch).c_str(),
+                normal.payload_offset_db - sled.payload_offset_db);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation: multi-channel protection (QAM-64 2/3)");
+  core::SledzigConfig one{wifi::Modulation::kQam64, wifi::CodingRate::kR23,
+                          core::OverlapChannel::kCh2};
+  report(one, "CH2 only");
+
+  core::SledzigConfig two = one;
+  two.extra_channels = {core::OverlapChannel::kCh4};
+  report(two, "CH2+CH4");
+
+  core::SledzigConfig three = one;
+  three.extra_channels = {core::OverlapChannel::kCh1,
+                          core::OverlapChannel::kCh4};
+  report(three, "CH1+CH2+CH4");
+
+  bench::note("Each protected window keeps its full reduction; WiFi loss");
+  bench::note("grows linearly with the union of forced subcarriers.");
+  return 0;
+}

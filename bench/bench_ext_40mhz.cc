@@ -1,0 +1,69 @@
+// Extension (paper footnote 1): SledZig on a 40 MHz WiFi channel.
+// A 40 MHz channel overlaps up to 8 ZigBee channels; this bench protects
+// one window at a time and reports the in-band reduction and the WiFi cost,
+// mirroring the Fig 12 / Table IV methodology on the wide channel.
+#include "bench_util.h"
+#include "common/dsp.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sledzig/encoder.h"
+#include "wifi/preamble.h"
+#include "wifi/transmitter.h"
+
+using namespace sledzig;
+
+namespace {
+
+struct Result {
+  double normal_db;
+  double sled_db;
+  double loss_pct;
+};
+
+Result measure(double window_offset_hz) {
+  common::Rng rng(808);
+  core::SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.width = wifi::ChannelWidth::k40MHz;
+  cfg.window_offsets_hz = {window_offset_hz};
+
+  wifi::WifiTxConfig tx;
+  tx.modulation = cfg.modulation;
+  tx.rate = cfg.rate;
+  tx.width = cfg.width;
+
+  const auto enc = core::sledzig_encode(rng.bytes(800), cfg);
+  const auto sled = wifi::wifi_transmit(enc.transmit_psdu, tx);
+  const auto normal =
+      wifi::wifi_transmit(rng.bytes(enc.transmit_psdu.size()), tx);
+
+  const auto& plan = cfg.plan();
+  const std::size_t start =
+      wifi::preamble_len(cfg.width) + plan.symbol_len();
+  auto band = [&](const common::CplxVec& s) {
+    return common::linear_to_db(common::band_power(
+        std::span<const common::Cplx>(s).subspan(start),
+        plan.sample_rate_hz, window_offset_hz - 1e6, window_offset_hz + 1e6));
+  };
+  return Result{band(normal.samples), band(sled.samples),
+                core::throughput_loss(cfg) * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Extension: SledZig on a 40 MHz channel (QAM-64 2/3)");
+  bench::note("Each row protects one 2 MHz window of the 8 a 40 MHz channel");
+  bench::note("overlaps.  In-band power is relative to total TX power.");
+  bench::row("  %-12s %-12s %-13s %-11s %-10s", "window(MHz)", "normal(dB)",
+             "sledzig(dB)", "drop(dB)", "WiFi loss");
+  for (double offset_mhz : {-17.0, -12.0, -7.0, -2.0, 3.0, 8.0, 13.0, 18.0}) {
+    const auto r = measure(offset_mhz * 1e6);
+    bench::row("  %-12.0f %-12.1f %-13.1f %-11.1f %.2f%%", offset_mhz,
+               r.normal_db, r.sled_db, r.normal_db - r.sled_db, r.loss_pct);
+  }
+  bench::note("The per-window WiFi cost on 40 MHz is roughly half the 20 MHz");
+  bench::note("cost: the same extra bits amortise over twice the subcarriers.");
+  return 0;
+}

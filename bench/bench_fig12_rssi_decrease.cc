@@ -1,0 +1,65 @@
+// Fig 12: RSSI at the ZigBee receiver for normal WiFi vs SledZig under
+// QAM-16/64/256 on all four overlapped channels (1 m, gain 15).
+//
+// Paper reference values: CH1-CH3 ~ -60 dBm normal, dropping to about
+// -64 / -66 / -68 dBm under QAM-16/64/256; CH4 ~ -64 dBm normal, dropping
+// to about -70 / -75 / -78 dBm.
+#include "bench_util.h"
+#include "coex/experiment.h"
+#include "common/stats.h"
+
+using namespace sledzig;
+using coex::Scheme;
+
+namespace {
+
+double avg_rssi(const core::SledzigConfig& cfg, Scheme scheme) {
+  std::vector<double> vals;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    vals.push_back(
+        coex::measure_wifi_rssi_at_zigbee(cfg, scheme, 15.0, 1.0, seed));
+  }
+  return common::mean(vals);
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig 12: RSSI decrease by SledZig (1 m, gain 15)");
+
+  struct PaperRef {
+    core::OverlapChannel ch;
+    double normal, q16, q64, q256;
+  };
+  const PaperRef refs[] = {
+      {core::OverlapChannel::kCh1, -60, -64, -66, -68},
+      {core::OverlapChannel::kCh2, -60, -64, -66, -68},
+      {core::OverlapChannel::kCh3, -60, -64, -66, -68},
+      {core::OverlapChannel::kCh4, -64, -70, -75, -78},
+  };
+  const std::pair<wifi::Modulation, wifi::CodingRate> modes[] = {
+      {wifi::Modulation::kQam16, wifi::CodingRate::kR12},
+      {wifi::Modulation::kQam64, wifi::CodingRate::kR23},
+      {wifi::Modulation::kQam256, wifi::CodingRate::kR34},
+  };
+
+  bench::row("  %-5s %-7s %-14s %-14s %-14s", "CH", "", "paper(dBm)",
+             "ours(dBm)", "");
+  for (const auto& ref : refs) {
+    double ours[4] = {};
+    core::SledzigConfig cfg{modes[1].first, modes[1].second, ref.ch};
+    ours[0] = avg_rssi(cfg, Scheme::kNormalWifi);
+    for (int i = 0; i < 3; ++i) {
+      core::SledzigConfig c{modes[i].first, modes[i].second, ref.ch};
+      ours[i + 1] = avg_rssi(c, Scheme::kSledzig);
+    }
+    const double paper[4] = {ref.normal, ref.q16, ref.q64, ref.q256};
+    const char* labels[4] = {"normal", "QAM-16", "QAM-64", "QAM-256"};
+    for (int i = 0; i < 4; ++i) {
+      bench::row("  %-5s %-7s %-14.0f %-14.1f %s",
+                 core::to_string(ref.ch).c_str(), labels[i], paper[i], ours[i],
+                 bench::bar(ours[i], -82.0, -58.0).c_str());
+    }
+  }
+  return 0;
+}

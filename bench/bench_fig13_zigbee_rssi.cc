@@ -1,0 +1,33 @@
+// Fig 13: ZigBee RSSI at the receiver vs link distance d_Z and CC2420 Tx
+// gain.  Paper: ~-75 dBm at 0.5 m / gain 31; submerged in the -91 dBm floor
+// at 1 m below gain ~15 and at >= 3 m even for gain 25.
+#include "bench_util.h"
+#include "coex/experiment.h"
+#include "common/stats.h"
+
+using namespace sledzig;
+
+int main() {
+  bench::title("Fig 13: ZigBee RSSI vs d_Z and Tx gain");
+  bench::note("Paper anchors: (0.5 m, gain 31) = -75 dBm; noise floor -91 dBm.");
+
+  const double distances[] = {0.5, 1.0, 3.0, 5.0};
+  const unsigned gains[] = {3, 7, 11, 15, 19, 23, 27, 31};
+
+  std::printf("  %-6s", "d(m)");
+  for (unsigned g : gains) std::printf(" g=%-5u", g);
+  std::printf("\n");
+  for (double d : distances) {
+    std::printf("  %-6.1f", d);
+    for (unsigned g : gains) {
+      std::vector<double> vals;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        vals.push_back(coex::measure_zigbee_rssi(g, d, seed));
+      }
+      std::printf(" %-7.1f", common::mean(vals));
+    }
+    std::printf("\n");
+  }
+  bench::note("Values clip at the -91 dBm noise floor, as in the paper.");
+  return 0;
+}

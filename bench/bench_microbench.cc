@@ -1,0 +1,195 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the PHY
+// blocks and the SledZig encoder itself.  Not a paper figure — this answers
+// "can a driver afford to run SledZig per packet?"
+#include <benchmark/benchmark.h>
+
+#include "common/fft.h"
+#include "common/rng.h"
+#include "sledzig/encoder.h"
+#include "wifi/convolutional.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+#include "zigbee/chips.h"
+#include "zigbee/oqpsk.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+using namespace sledzig;
+
+namespace {
+
+void BM_Fft64(benchmark::State& state) {
+  common::Rng rng(1);
+  common::CplxVec x(64);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto y = common::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ConvolutionalEncode(benchmark::State& state) {
+  common::Rng rng(2);
+  const auto bits = rng.bits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto coded = wifi::convolutional_encode(bits);
+    benchmark::DoNotOptimize(coded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConvolutionalEncode)->Arg(1024)->Arg(8192);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  common::Rng rng(3);
+  auto bits = rng.bits(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < wifi::kTailBits; ++i) bits.push_back(0);
+  const auto coded = wifi::convolutional_encode(bits);
+  const std::vector<std::int8_t> soft(coded.begin(), coded.end());
+  for (auto _ : state) {
+    auto decoded = wifi::viterbi_decode(soft);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(1024)->Arg(4096);
+
+void BM_WifiTransmit(benchmark::State& state) {
+  common::Rng rng(4);
+  const auto psdu = rng.bytes(1000);
+  wifi::WifiTxConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  for (auto _ : state) {
+    auto packet = wifi::wifi_transmit(psdu, cfg);
+    benchmark::DoNotOptimize(packet);
+  }
+  state.SetBytesProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WifiTransmit);
+
+void BM_WifiReceive(benchmark::State& state) {
+  common::Rng rng(5);
+  wifi::WifiTxConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  const auto packet = wifi::wifi_transmit(rng.bytes(1000), cfg);
+  for (auto _ : state) {
+    auto result = wifi::wifi_receive(packet.samples, wifi::WifiRxConfig{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WifiReceive);
+
+void BM_SledzigEncode(benchmark::State& state) {
+  common::Rng rng(6);
+  const auto payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  core::SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.channel = core::OverlapChannel::kCh4;
+  for (auto _ : state) {
+    auto enc = core::sledzig_encode(payload, cfg);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SledzigEncode)->Arg(100)->Arg(1000);
+
+void BM_SledzigDecode(benchmark::State& state) {
+  common::Rng rng(7);
+  core::SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.channel = core::OverlapChannel::kCh4;
+  const auto enc = core::sledzig_encode(rng.bytes(1000), cfg);
+  for (auto _ : state) {
+    auto dec = core::sledzig_decode(enc.transmit_psdu, cfg);
+    benchmark::DoNotOptimize(dec);
+  }
+  state.SetBytesProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SledzigDecode);
+
+void BM_ZigbeeSpreadDespread(benchmark::State& state) {
+  common::Rng rng(8);
+  const auto bits = rng.bits(4 * 256);
+  for (auto _ : state) {
+    auto chips = zigbee::spread(bits);
+    auto back = zigbee::despread(chips);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ZigbeeSpreadDespread);
+
+void BM_ZigbeeModDemod(benchmark::State& state) {
+  common::Rng rng(9);
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
+  for (auto _ : state) {
+    auto rx = zigbee::zigbee_receive(tx.samples);
+    benchmark::DoNotOptimize(rx);
+  }
+}
+BENCHMARK(BM_ZigbeeModDemod);
+
+void BM_ViterbiDecodeSoft(benchmark::State& state) {
+  common::Rng rng(10);
+  auto bits = rng.bits(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < wifi::kTailBits; ++i) bits.push_back(0);
+  const auto coded = wifi::convolutional_encode(bits);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? 4.0 : -4.0;
+  }
+  for (auto _ : state) {
+    auto decoded = wifi::viterbi_decode_soft(llrs);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViterbiDecodeSoft)->Arg(1024)->Arg(4096);
+
+void BM_WifiSynchronizeCfo(benchmark::State& state) {
+  common::Rng rng(11);
+  wifi::WifiTxConfig cfg;
+  const auto packet = wifi::wifi_transmit(rng.bytes(200), cfg);
+  for (auto _ : state) {
+    auto sync = wifi::synchronize_packet(packet.samples, 0.55,
+                                         wifi::ChannelWidth::k20MHz);
+    benchmark::DoNotOptimize(sync);
+  }
+}
+BENCHMARK(BM_WifiSynchronizeCfo);
+
+void BM_ZigbeeSoftDespread(benchmark::State& state) {
+  common::Rng rng(12);
+  const auto chips = zigbee::spread(rng.bits(4 * 64));
+  const auto wave = zigbee::oqpsk_modulate(chips);
+  for (auto _ : state) {
+    auto bits = zigbee::oqpsk_despread_soft(wave, 64);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ZigbeeSoftDespread);
+
+void BM_Wifi40Transmit(benchmark::State& state) {
+  common::Rng rng(13);
+  const auto psdu = rng.bytes(1000);
+  wifi::WifiTxConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.width = wifi::ChannelWidth::k40MHz;
+  for (auto _ : state) {
+    auto packet = wifi::wifi_transmit(psdu, cfg);
+    benchmark::DoNotOptimize(packet);
+  }
+  state.SetBytesProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Wifi40Transmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

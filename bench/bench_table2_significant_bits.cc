@@ -1,0 +1,38 @@
+// Table II: significant-bit positions {p_k} and encoder steps {n} for
+// QAM-16 on CH2, first OFDM symbol.
+#include <array>
+
+#include "bench_util.h"
+#include "sledzig/significant_bits.h"
+
+using namespace sledzig;
+
+int main() {
+  bench::title("Table II: significant bits, QAM-16 / CH2 / first OFDM symbol");
+
+  core::SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam16;
+  cfg.rate = wifi::CodingRate::kR12;
+  cfg.channel = core::OverlapChannel::kCh2;
+
+  constexpr std::array<std::size_t, 14> kPaperP = {
+      29, 30, 41, 42, 77, 78, 89, 90, 125, 138, 172, 173, 183, 186};
+  constexpr std::array<std::size_t, 14> kPaperN = {
+      15, 15, 21, 21, 39, 39, 45, 45, 63, 69, 86, 87, 92, 93};
+
+  const auto bits = core::significant_bits_for_symbol(cfg, 0);
+  bench::row("  %-4s %-10s %-10s %-9s %-9s %-6s", "k", "paper p_k", "ours p_k",
+             "paper n", "ours n", "match");
+  bool all_match = true;
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const std::size_t p = bits[k].punctured_pos + 1;
+    const std::size_t n = bits[k].step + 1;
+    const bool match = p == kPaperP[k] && n == kPaperN[k];
+    all_match = all_match && match;
+    bench::row("  %-4zu %-10zu %-10zu %-9zu %-9zu %-6s", k + 1, kPaperP[k], p,
+               kPaperN[k], n, match ? "yes" : "NO");
+  }
+  bench::note(all_match ? "All 14 positions match the paper exactly."
+                        : "MISMATCH against the paper!");
+  return all_match ? 0 : 1;
+}

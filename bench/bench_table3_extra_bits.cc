@@ -1,0 +1,43 @@
+// Table III: number of extra bits per OFDM symbol for every modulation /
+// coding-rate / channel combination.
+#include "bench_util.h"
+#include "sledzig/encoder.h"
+
+using namespace sledzig;
+
+int main() {
+  bench::title("Table III: extra bits per OFDM symbol");
+  bench::note("Paper prints 24 for QAM-64 2/3 CH1-CH3; its own Table IV");
+  bench::note("(14.58% of 192) and the subcarrier math (7 x 4) give 28.");
+  bench::note("The paper's 'QAM-16 2/3' row carries 144 bits = rate 3/4.");
+
+  struct Row {
+    wifi::Modulation m;
+    wifi::CodingRate r;
+    std::size_t paper_bits;
+    std::size_t paper_ch13;
+    std::size_t paper_ch4;
+  };
+  const Row rows[] = {
+      {wifi::Modulation::kQam16, wifi::CodingRate::kR12, 96, 14, 10},
+      {wifi::Modulation::kQam16, wifi::CodingRate::kR34, 144, 14, 10},
+      {wifi::Modulation::kQam64, wifi::CodingRate::kR23, 192, 28, 20},
+      {wifi::Modulation::kQam64, wifi::CodingRate::kR34, 216, 28, 20},
+      {wifi::Modulation::kQam64, wifi::CodingRate::kR56, 240, 28, 20},
+      {wifi::Modulation::kQam256, wifi::CodingRate::kR34, 288, 42, 30},
+      {wifi::Modulation::kQam256, wifi::CodingRate::kR56, 320, 42, 30},
+  };
+
+  bench::row("  %-8s %-5s %-10s %-10s %-14s %-12s %-10s", "QAM", "rate",
+             "bits/sym", "ours", "paper CH1-3", "ours CH1-3", "ours CH4");
+  for (const auto& r : rows) {
+    core::SledzigConfig c13{r.m, r.r, core::OverlapChannel::kCh2};
+    core::SledzigConfig c4{r.m, r.r, core::OverlapChannel::kCh4};
+    bench::row("  %-8s %-5s %-10zu %-10zu %-14zu %-12zu %-10zu",
+               wifi::to_string(r.m).c_str(), wifi::to_string(r.r).c_str(),
+               r.paper_bits, wifi::data_bits_per_symbol(r.m, r.r),
+               r.paper_ch13, core::extra_bits_per_symbol(c13),
+               core::extra_bits_per_symbol(c4));
+  }
+  return 0;
+}

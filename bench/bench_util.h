@@ -1,0 +1,40 @@
+// Shared reporting helpers for the reproduction benches.  Every bench binary
+// prints the paper's expected values next to the values this implementation
+// produces, so `for b in build/bench/*; do $b; done` yields a complete
+// paper-vs-measured report.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sledzig::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Renders a simple horizontal bar for quick visual comparison of dB values
+/// (more negative = shorter bar).
+inline std::string bar(double value_db, double floor_db = -95.0,
+                       double ceil_db = -45.0) {
+  const double clamped = std::max(floor_db, std::min(ceil_db, value_db));
+  const int len = static_cast<int>((clamped - floor_db) /
+                                   (ceil_db - floor_db) * 40.0);
+  return std::string(static_cast<std::size_t>(len), '#');
+}
+
+}  // namespace sledzig::bench

@@ -1,0 +1,78 @@
+// Receiver-side ZigBee-channel detection (section IV-G of the paper): the
+// WiFi receiver learns which ZigBee channel the transmitter is protecting
+// purely by looking at the QAM constellation points — no side channel.
+//
+//   $ ./channel_detect
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sledzig/encoder.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+
+using namespace sledzig;
+
+namespace {
+
+/// Rebuilds the QAM points from the decoded scrambled stream exactly as the
+/// paper describes ("conduct the channel coding and modulation process,
+/// then observe the QAM points").
+common::CplxVec points_from_stream(const common::Bits& scrambled,
+                                   const wifi::WifiTxConfig& cfg) {
+  return wifi::transmit_scrambled_stream(scrambled, cfg).data_points;
+}
+
+}  // namespace
+
+int main() {
+  common::Rng rng(2024);
+  wifi::WifiTxConfig tx;
+  tx.modulation = wifi::Modulation::kQam256;
+  tx.rate = wifi::CodingRate::kR34;
+
+  std::printf("Transmitting one SledZig packet per ZigBee channel at 35 dB "
+              "SNR; the receiver detects the protected channel blindly.\n\n");
+
+  for (auto ch : core::kAllOverlapChannels) {
+    core::SledzigConfig cfg;
+    cfg.modulation = tx.modulation;
+    cfg.rate = tx.rate;
+    cfg.channel = ch;
+
+    const auto payload = rng.bytes(300);
+    const auto enc = core::sledzig_encode(payload, cfg);
+    auto packet = wifi::wifi_transmit(enc.transmit_psdu, tx);
+    const double noise = common::db_to_linear(-35.0);
+    for (auto& s : packet.samples) s += rng.complex_gaussian(noise);
+
+    const auto rx = wifi::wifi_receive(packet.samples, wifi::WifiRxConfig{});
+    if (!rx.signal_valid) {
+      std::printf("  %s: receive failed\n", core::to_string(ch).c_str());
+      continue;
+    }
+    // Re-modulate the decoded stream and inspect the constellation.
+    const auto points = points_from_stream(rx.scrambled_stream, tx);
+    const std::size_t dbps =
+        wifi::data_bits_per_symbol(tx.modulation, tx.rate);
+    const std::size_t full_symbols = (rx.psdu.size() * 8) / dbps;
+    const auto detected = core::detect_channel_from_points(
+        std::span<const common::Cplx>(points)
+            .first(full_symbols * wifi::kNumDataSubcarriers),
+        tx.modulation);
+
+    const auto decoded = core::sledzig_decode(rx.psdu, cfg);
+    std::printf("  actual %s -> detected %s, payload %s\n",
+                core::to_string(ch).c_str(),
+                detected ? core::to_string(*detected).c_str() : "none",
+                decoded && *decoded == payload ? "recovered" : "LOST");
+  }
+
+  // A normal packet must not trigger detection.
+  const auto normal = wifi::wifi_transmit(rng.bytes(300), tx);
+  const auto detected =
+      core::detect_channel_from_points(normal.data_points, tx.modulation);
+  std::printf("  normal WiFi packet -> detected %s (expected none)\n",
+              detected ? core::to_string(*detected).c_str() : "none");
+  return 0;
+}

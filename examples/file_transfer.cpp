@@ -1,0 +1,75 @@
+// File transfer over SledZig: fragments a large message into SledZig
+// packets, pushes every packet through the full WiFi PHY over a noisy
+// channel (with simulated losses and retransmissions), and reassembles the
+// message on the receive side — all while the ZigBee channel stays
+// protected.
+//
+//   $ ./file_transfer
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sledzig/stream.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+
+using namespace sledzig;
+
+int main() {
+  common::Rng rng(4242);
+
+  // A 20 KiB "file".
+  common::Bytes file(20 * 1024);
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    file[i] = static_cast<std::uint8_t>(i * 131 + (i >> 8));
+  }
+
+  core::SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.channel = core::OverlapChannel::kCh4;
+
+  const auto psdus = core::stream_encode(file, 1, cfg, 1024);
+  std::printf("file: %zu bytes -> %zu SledZig packets "
+              "(ZigBee channel 26 protected throughout)\n",
+              file.size(), psdus.size());
+
+  wifi::WifiTxConfig tx;
+  tx.modulation = cfg.modulation;
+  tx.rate = cfg.rate;
+
+  core::StreamReassembler reassembler;
+  std::optional<common::Bytes> received;
+  std::size_t transmissions = 0, losses = 0;
+
+  for (std::size_t i = 0; i < psdus.size(); ++i) {
+    // Simple ARQ: retransmit until the chunk gets through the noisy PHY.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      ++transmissions;
+      auto packet = wifi::wifi_transmit(psdus[i], tx);
+      // 19 dB SNR: 1 dB above the QAM-64 2/3 threshold, occasional loss.
+      const double noise = common::db_to_linear(-19.0);
+      for (auto& s : packet.samples) s += rng.complex_gaussian(noise);
+
+      const auto rx = wifi::wifi_receive(packet.samples, wifi::WifiRxConfig{});
+      if (!rx.signal_valid || rx.psdu != psdus[i]) {
+        ++losses;
+        continue;  // corrupted: retransmit
+      }
+      if (auto done = reassembler.push(rx.psdu, cfg)) {
+        received = done;
+      }
+      break;
+    }
+  }
+
+  std::printf("transmissions: %zu (%zu corrupted and retransmitted)\n",
+              transmissions, losses);
+  if (received && *received == file) {
+    std::printf("file reassembled intact: %zu bytes\n", received->size());
+    return 0;
+  }
+  std::printf("transfer FAILED\n");
+  return 1;
+}

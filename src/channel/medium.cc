@@ -1,0 +1,56 @@
+#include "channel/medium.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace sledzig::channel {
+
+common::CplxVec mix_at_receiver(std::span<const Emission> emissions,
+                                std::size_t total_samples, common::Rng& rng,
+                                double noise_floor_dbm,
+                                double noise_bandwidth_hz) {
+  // Scale the in-band noise floor to the full simulated band.
+  const double noise_total_dbm =
+      noise_floor_dbm +
+      10.0 * std::log10(kMediumSampleRateHz / noise_bandwidth_hz);
+  const double noise_mw = common::dbm_to_mw(noise_total_dbm);
+
+  common::CplxVec out(total_samples);
+  for (auto& s : out) s = rng.complex_gaussian(noise_mw);
+
+  for (const auto& e : emissions) {
+    if (e.samples == nullptr) {
+      throw std::invalid_argument("mix_at_receiver: null emission");
+    }
+    const double amp = std::sqrt(common::dbm_to_mw(e.power_dbm));
+    const auto shifted = common::frequency_shift(*e.samples, e.freq_offset_hz,
+                                                 kMediumSampleRateHz);
+    for (std::size_t i = 0; i < shifted.size(); ++i) {
+      const std::size_t t = e.start_sample + i;
+      if (t >= total_samples) break;
+      out[t] += amp * shifted[i];
+    }
+  }
+  return out;
+}
+
+double rssi_2mhz_dbm(std::span<const common::Cplx> samples,
+                     double center_offset_hz) {
+  const double power = common::band_power(samples, kMediumSampleRateHz,
+                                          center_offset_hz - 1e6,
+                                          center_offset_hz + 1e6);
+  return common::mw_to_dbm(std::max(power, 1e-15));
+}
+
+double rssi_2mhz_slice_dbm(std::span<const common::Cplx> samples) {
+  const double total = common::mean_power(samples);
+  return common::mw_to_dbm(std::max(total / 10.0, 1e-15));
+}
+
+double total_power_dbm(std::span<const common::Cplx> samples) {
+  return common::mw_to_dbm(std::max(common::mean_power(samples), 1e-15));
+}
+
+}  // namespace sledzig::channel

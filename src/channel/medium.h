@@ -1,0 +1,52 @@
+// Sample-domain wireless medium: mixes unit-power baseband transmissions at
+// their received power and centre-frequency offset onto one receiver
+// baseband, plus AWGN at the calibrated noise floor.
+//
+// All sample streams run at 20 MS/s.  Powers follow the repository
+// convention that mean |x|^2 == 1 corresponds to 0 dBm (1 mW), so
+// 10*log10(mean_power) of any slice of the output is directly a dBm RSSI.
+#pragma once
+
+#include <vector>
+
+#include "common/dsp.h"
+#include "common/fft.h"
+#include "common/rng.h"
+
+namespace sledzig::channel {
+
+inline constexpr double kMediumSampleRateHz = 20e6;
+
+struct Emission {
+  /// Unit-mean-power baseband waveform as produced by a transmitter.
+  const common::CplxVec* samples = nullptr;
+  /// Received power at this receiver in dBm (path loss already applied).
+  double power_dbm = 0.0;
+  /// Transmitter centre frequency minus receiver centre frequency.
+  double freq_offset_hz = 0.0;
+  /// Start time in receiver samples.
+  std::size_t start_sample = 0;
+};
+
+/// Super-imposes all emissions over `total_samples` samples and adds AWGN
+/// with total in-band power `noise_floor_dbm` over `noise_bandwidth_hz`
+/// (defaults: the paper's -91 dBm / 2 MHz floor scaled to the full band).
+common::CplxVec mix_at_receiver(std::span<const Emission> emissions,
+                                std::size_t total_samples, common::Rng& rng,
+                                double noise_floor_dbm = -91.0,
+                                double noise_bandwidth_hz = 2e6);
+
+/// CC2420-style RSSI: power inside [center-1 MHz, center+1 MHz] of the
+/// receiver baseband, in dBm.
+double rssi_2mhz_dbm(std::span<const common::Cplx> samples,
+                     double center_offset_hz);
+
+/// "2 MHz-slice" RSSI as the paper's USRP receiver reports it: the mean
+/// per-2-MHz power across the full 20 MHz band (total power minus 10 dB of
+/// bandwidth dilution for a band-filling signal).
+double rssi_2mhz_slice_dbm(std::span<const common::Cplx> samples);
+
+/// Total power of the samples in dBm.
+double total_power_dbm(std::span<const common::Cplx> samples);
+
+}  // namespace sledzig::channel

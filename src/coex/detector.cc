@@ -1,0 +1,120 @@
+#include "coex/detector.h"
+
+#include <algorithm>
+
+#include "channel/medium.h"
+#include "common/units.h"
+#include "zigbee/chips.h"
+#include "zigbee/frame.h"
+#include "zigbee/oqpsk.h"
+#include "zigbee/transmitter.h"
+
+namespace sledzig::coex {
+
+namespace {
+
+/// Reference waveform of the 802.15.4 preamble (two '0' symbols are enough
+/// for a correlation fingerprint: 64 chips, 32 us).
+const common::CplxVec& preamble_fingerprint() {
+  static const common::CplxVec ref = [] {
+    common::Bits bits(8, 0);  // two '0000' symbols
+    return zigbee::oqpsk_modulate(zigbee::spread(bits));
+  }();
+  return ref;
+}
+
+/// Max normalised correlation of the fingerprint over the (downconverted)
+/// channel samples, searched at 2-sample steps.
+double max_fingerprint_correlation(const common::CplxVec& baseband) {
+  const auto& ref = preamble_fingerprint();
+  if (baseband.size() < ref.size()) return 0.0;
+  const double ref_energy = common::energy(ref);
+  double best = 0.0;
+  for (std::size_t t = 0; t + ref.size() <= baseband.size(); t += 2) {
+    common::Cplx acc(0.0, 0.0);
+    double e = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      acc += baseband[t + i] * std::conj(ref[i]);
+      e += std::norm(baseband[t + i]);
+    }
+    if (e <= 0.0) continue;
+    best = std::max(best, std::abs(acc) / std::sqrt(e * ref_energy));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<ZigbeeDetection> detect_zigbee_activity(
+    std::span<const common::Cplx> samples, const DetectorConfig& cfg) {
+  std::vector<ZigbeeDetection> detections;
+  for (core::OverlapChannel ch : core::kAllOverlapChannels) {
+    const double offset = core::channel_center_offset_hz(ch);
+    const double power = channel::rssi_2mhz_dbm(samples, offset);
+    if (power < cfg.energy_threshold_dbm) continue;
+    // Downconvert the window to baseband and correlate against the
+    // 802.15.4 preamble shape.
+    const auto baseband =
+        common::frequency_shift(samples, -offset, channel::kMediumSampleRateHz);
+    const double corr = max_fingerprint_correlation(baseband);
+    if (corr < cfg.correlation_threshold) continue;
+    detections.push_back(ZigbeeDetection{ch, power, corr});
+  }
+  std::sort(detections.begin(), detections.end(),
+            [](const auto& a, const auto& b) {
+              return a.band_power_dbm > b.band_power_dbm;
+            });
+  return detections;
+}
+
+bool AdaptiveController::observe(
+    std::span<const ZigbeeDetection> detections) {
+  std::array<bool, 4> seen{};
+  for (const auto& d : detections) {
+    seen[static_cast<std::size_t>(d.channel)] = true;
+  }
+  bool changed = false;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    auto& s = state_[i];
+    if (seen[i]) {
+      s.idle_scans = 0;
+      if (s.active_scans < params_.on_threshold) ++s.active_scans;
+      if (!s.protected_now && s.active_scans >= params_.on_threshold) {
+        s.protected_now = true;
+        changed = true;
+      }
+    } else {
+      s.active_scans = 0;
+      if (s.protected_now && ++s.idle_scans >= params_.off_threshold) {
+        s.protected_now = false;
+        s.idle_scans = 0;
+        changed = true;
+      }
+    }
+  }
+  if (changed) rebuild_protected_list();
+  return changed;
+}
+
+void AdaptiveController::rebuild_protected_list() {
+  protected_.clear();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i].protected_now &&
+        protected_.size() < params_.max_channels) {
+      protected_.push_back(static_cast<core::OverlapChannel>(i));
+    }
+  }
+}
+
+std::optional<core::SledzigConfig> AdaptiveController::config(
+    wifi::Modulation m, wifi::CodingRate r) const {
+  if (protected_.empty()) return std::nullopt;
+  core::SledzigConfig cfg;
+  cfg.modulation = m;
+  cfg.rate = r;
+  cfg.channel = protected_.front();
+  cfg.extra_channels.assign(protected_.begin() + 1, protected_.end());
+  return cfg;
+}
+
+}  // namespace sledzig::coex

@@ -1,0 +1,83 @@
+// ZigBee-activity detection at the WiFi device and an adaptive SledZig
+// controller.
+//
+// The paper (section VI-A) notes that signal-identification mechanisms like
+// SoNIC / LoFi "can work with SledZig ... as the WiFi devices can decrease
+// signal power adaptively according to the identified ZigBee channel".
+// This module implements that integration: a detector that classifies which
+// overlapped ZigBee channel carries 802.15.4 traffic from raw baseband
+// samples, and a controller that turns the detections into a SledZig
+// configuration with hysteresis.
+#pragma once
+
+#include <optional>
+
+#include "common/dsp.h"
+#include "sledzig/significant_bits.h"
+
+namespace sledzig::coex {
+
+struct ZigbeeDetection {
+  core::OverlapChannel channel;
+  double band_power_dbm;    // energy in the 2 MHz window
+  double chip_correlation;  // O-QPSK preamble correlation in [0, 1]
+};
+
+struct DetectorConfig {
+  /// Minimum band power above the noise floor to consider a channel.
+  double energy_threshold_dbm = -85.0;
+  /// Minimum normalised correlation against the 802.15.4 preamble waveform
+  /// to classify the energy as ZigBee (rejects WiFi leakage / noise).
+  double correlation_threshold = 0.35;
+};
+
+/// Scans all four overlapped ZigBee channels in `samples` (receiver
+/// baseband centred on the WiFi channel, 20 MS/s) and returns detections
+/// sorted by band power, strongest first.
+std::vector<ZigbeeDetection> detect_zigbee_activity(
+    std::span<const common::Cplx> samples, const DetectorConfig& cfg = {});
+
+/// Adaptive controller: feeds detections into a per-channel activity score
+/// with hysteresis and exposes the SledZig channel set to protect.
+class AdaptiveController {
+ public:
+  struct Params {
+    /// Scans a channel must be seen active in before protection starts.
+    unsigned on_threshold = 2;
+    /// Consecutive idle scans before protection stops.
+    unsigned off_threshold = 5;
+    /// Maximum number of channels protected at once (extra-bit budget).
+    std::size_t max_channels = 2;
+  };
+
+  AdaptiveController() : AdaptiveController(Params{}) {}
+  explicit AdaptiveController(Params params) : params_(params) {}
+
+  /// Ingests one scan's detections; returns true if the protected set
+  /// changed.
+  bool observe(std::span<const ZigbeeDetection> detections);
+
+  /// Channels currently protected, strongest activity first.
+  const std::vector<core::OverlapChannel>& protected_channels() const {
+    return protected_;
+  }
+
+  /// Builds the SledZig configuration for the current protected set, or
+  /// nullopt when no channel needs protection.
+  std::optional<core::SledzigConfig> config(wifi::Modulation m,
+                                            wifi::CodingRate r) const;
+
+ private:
+  Params params_;
+  struct ChannelState {
+    unsigned active_scans = 0;
+    unsigned idle_scans = 0;
+    bool protected_now = false;
+  };
+  std::array<ChannelState, 4> state_{};
+  std::vector<core::OverlapChannel> protected_;
+
+  void rebuild_protected_list();
+};
+
+}  // namespace sledzig::coex

@@ -1,0 +1,152 @@
+#include "coex/experiment.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "sledzig/encoder.h"
+#include "wifi/preamble.h"
+#include "wifi/transmitter.h"
+#include "zigbee/cc2420.h"
+#include "zigbee/transmitter.h"
+
+namespace sledzig::coex {
+
+mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s) {
+  const auto wifi_link = channel::wifi_link();
+  const auto zigbee_link = channel::zigbee_link();
+
+  mac::ZigbeeLinkBudget budget;
+  budget.signal_dbm = zigbee_link.received_power_dbm(
+      zigbee::tx_power_dbm(s.zigbee_gain), s.d_z_m);
+  budget.noise_dbm = channel::kNoiseFloor2MhzDbm;
+  budget.cca_threshold_dbm = channel::kZigbeeCcaThresholdDbm;
+
+  const double wifi_total = wifi_link.received_power_dbm(
+      channel::wifi_tx_power_dbm(s.wifi_gain), s.d_wz_m);
+  const auto offsets =
+      measure_inband_offsets(s.sledzig, s.scheme == Scheme::kSledzig);
+  budget.wifi_payload_inband_dbm = wifi_total + offsets.payload_offset_db;
+  budget.wifi_preamble_inband_dbm = wifi_total + offsets.preamble_offset_db;
+  return budget;
+}
+
+mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {
+  common::Rng rng(s.seed);
+  mac::WifiMacParams wifi_mac = s.wifi_mac;
+  wifi_mac.duty_ratio = s.wifi_duty_ratio;
+  const mac::WifiTimeline timeline(wifi_mac, s.duration_s * 1e6, rng);
+
+  auto budget = scenario_link_budget(s);
+  // Lognormal shadowing jitter per run (the paper's 1-3 dB RSSI variation);
+  // the WiFi payload and preamble share one path, so one jitter draw.
+  budget.signal_dbm += rng.gaussian(channel::kShadowingSigmaDb);
+  const double wifi_jitter = rng.gaussian(channel::kShadowingSigmaDb);
+  budget.wifi_payload_inband_dbm += wifi_jitter;
+  budget.wifi_preamble_inband_dbm += wifi_jitter;
+
+  return mac::simulate_zigbee_link(timeline, s.zigbee_mac, budget,
+                                   s.error_model, rng);
+}
+
+namespace {
+
+/// Emits `samples` at received power `power_dbm`, centred `freq_offset_hz`
+/// from the receiver, over AWGN; returns the receiver baseband.
+common::CplxVec through_channel(const common::CplxVec& samples,
+                                double power_dbm, double freq_offset_hz,
+                                common::Rng& rng) {
+  channel::Emission e{&samples, power_dbm, freq_offset_hz, 0};
+  return channel::mix_at_receiver(std::vector<channel::Emission>{e},
+                                  samples.size(), rng);
+}
+
+}  // namespace
+
+double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
+                                   Scheme scheme, double wifi_gain,
+                                   double distance_m, std::uint64_t seed,
+                                   std::size_t forced_subcarriers) {
+  common::Rng rng(seed);
+  core::SledzigConfig sz = cfg;
+  if (forced_subcarriers != 0) sz.forced_subcarriers = forced_subcarriers;
+
+  wifi::WifiTxConfig tx;
+  tx.modulation = sz.modulation;
+  tx.rate = sz.rate;
+  tx.scrambler_seed = sz.scrambler_seed;
+
+  const auto payload = rng.bytes(600);
+  common::Bytes psdu = payload;
+  if (scheme == Scheme::kSledzig) {
+    psdu = core::sledzig_encode(payload, sz).transmit_psdu;
+  }
+  const auto packet = wifi::wifi_transmit(psdu, tx);
+
+  const double rx_power =
+      channel::wifi_link().received_power_dbm(
+          channel::wifi_tx_power_dbm(wifi_gain), distance_m) +
+      rng.gaussian(channel::kShadowingSigmaDb);
+  const auto rx = through_channel(packet.samples, rx_power, 0.0, rng);
+
+  // The CC2420 averages RSSI over the packet payload; skip preamble+SIGNAL.
+  const std::size_t payload_start = wifi::kPreambleLen + wifi::kSymbolLen;
+  return channel::rssi_2mhz_dbm(
+      std::span<const common::Cplx>(rx).subspan(payload_start),
+      core::channel_center_offset_hz(sz.channel));
+}
+
+double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
+                           std::uint64_t seed) {
+  common::Rng rng(seed);
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
+  const double rx_power =
+      channel::zigbee_link().received_power_dbm(
+          zigbee::tx_power_dbm(zigbee_gain), distance_m) +
+      rng.gaussian(channel::kShadowingSigmaDb);
+  const auto rx = through_channel(tx.samples, rx_power, 0.0, rng);
+  return channel::rssi_2mhz_dbm(rx, 0.0);
+}
+
+WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
+                                   double distance_m, std::uint64_t seed) {
+  common::Rng rng(seed);
+  WifiRxRssi result{};
+  {
+    wifi::WifiTxConfig tx;
+    tx.modulation = wifi::Modulation::kQam64;
+    tx.rate = wifi::CodingRate::kR23;
+    const auto packet = wifi::wifi_transmit(rng.bytes(400), tx);
+    const double rx_power =
+        channel::wifi_link().received_power_dbm(
+            channel::wifi_tx_power_dbm(wifi_gain), distance_m) +
+        rng.gaussian(channel::kShadowingSigmaDb);
+    const auto rx = through_channel(packet.samples, rx_power, 0.0, rng);
+    result.wifi_dbm = channel::rssi_2mhz_slice_dbm(rx);
+  }
+  {
+    const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
+    const double rx_power =
+        channel::zigbee_link().received_power_dbm(
+            zigbee::tx_power_dbm(zigbee_gain), distance_m) +
+        rng.gaussian(channel::kShadowingSigmaDb);
+    // The ZigBee device sits on channel 26 (+8 MHz from the WiFi centre in
+    // the paper's setup); the USRP's wideband RSSI sees it wherever it is.
+    const auto rx = through_channel(tx.samples, rx_power, 8e6, rng);
+    result.zigbee_dbm = channel::rssi_2mhz_slice_dbm(rx);
+  }
+  return result;
+}
+
+double wifi_throughput_mbps(const core::SledzigConfig& cfg, Scheme scheme,
+                            double duty_ratio) {
+  // PHY rate: N_DBPS per 4 us symbol.
+  const double dbps = static_cast<double>(
+      wifi::data_bits_per_symbol(cfg.modulation, cfg.rate));
+  double rate_mbps = dbps / wifi::kSymbolDurationUs;
+  if (scheme == Scheme::kSledzig) {
+    rate_mbps *= 1.0 - core::throughput_loss(cfg);
+  }
+  return rate_mbps * duty_ratio;
+}
+
+}  // namespace sledzig::coex

@@ -1,0 +1,72 @@
+// High-level experiment harness reproducing the paper's Fig 10 testbed:
+// one WiFi link and one ZigBee link at configurable geometry, with SledZig
+// on or off.
+//
+// RSSI experiments (Figs 11-13, 17) run fully in the sample domain: real
+// transmit chains, calibrated path loss, AWGN and band-power measurement.
+// Throughput experiments (Figs 14-16) run the discrete-event MAC with link
+// budgets derived from the same calibrated models plus PHY-measured in-band
+// offsets.
+#pragma once
+
+#include "channel/medium.h"
+#include "channel/pathloss.h"
+#include "coex/inband.h"
+#include "mac/zigbee_csma.h"
+#include "sledzig/significant_bits.h"
+
+namespace sledzig::coex {
+
+/// Scheme under test: standard WiFi payload or SledZig-encoded payload.
+enum class Scheme { kNormalWifi, kSledzig };
+
+struct Scenario {
+  core::SledzigConfig sledzig;      // modulation / rate / channel
+  Scheme scheme = Scheme::kSledzig;
+  double wifi_gain = 15.0;          // USRP Tx gain (Fig 10 setting)
+  unsigned zigbee_gain = 31;        // CC2420 PA level
+  double d_wz_m = 4.0;              // WiFi Tx <-> ZigBee link distance
+  double d_z_m = 1.0;               // ZigBee Tx <-> Rx distance
+  double wifi_duty_ratio = 1.0;     // Fig 16 sweeps this
+  double duration_s = 30.0;
+  std::uint64_t seed = 1;
+  mac::WifiMacParams wifi_mac;      // airtime etc.
+  mac::ZigbeeMacParams zigbee_mac;
+  mac::SymbolErrorModel error_model;
+};
+
+/// Link budget at the ZigBee side for a scenario (shadowing not included —
+/// the MAC simulation is run repeatedly with jittered budgets for spread).
+mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s);
+
+/// Runs the MAC-level coexistence simulation.
+mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s);
+
+/// RSSI of a WiFi packet measured in the ZigBee channel at distance d from
+/// the WiFi transmitter (Figs 11 and 12).  Sample-domain: synthesises the
+/// packet, applies path loss + AWGN + lognormal shadowing, integrates the
+/// 2 MHz band.
+double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
+                                   Scheme scheme, double wifi_gain,
+                                   double distance_m, std::uint64_t seed,
+                                   std::size_t forced_subcarriers = 0);
+
+/// RSSI of a ZigBee frame at its receiver (Fig 13).
+double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
+                           std::uint64_t seed);
+
+/// "2 MHz-slice" RSSI of WiFi / ZigBee signals at the WiFi receiver
+/// (Fig 17).
+struct WifiRxRssi {
+  double wifi_dbm;
+  double zigbee_dbm;
+};
+WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
+                                   double distance_m, std::uint64_t seed);
+
+/// WiFi application throughput in Mbps for a mode, with or without the
+/// SledZig extra-bit overhead (Table IV's throughput-loss accounting).
+double wifi_throughput_mbps(const core::SledzigConfig& cfg, Scheme scheme,
+                            double duty_ratio = 1.0);
+
+}  // namespace sledzig::coex

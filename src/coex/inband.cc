@@ -1,0 +1,78 @@
+#include "coex/inband.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "channel/medium.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "sledzig/encoder.h"
+#include "wifi/preamble.h"
+#include "wifi/transmitter.h"
+
+namespace sledzig::coex {
+
+namespace {
+
+InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
+  common::Rng rng(0xc0ffee);
+  const auto payload = rng.bytes(600);
+
+  wifi::WifiTxConfig tx;
+  tx.modulation = cfg.modulation;
+  tx.rate = cfg.rate;
+  tx.scrambler_seed = cfg.scrambler_seed;
+  tx.include_service_field = cfg.include_service_field;
+
+  common::Bytes psdu = payload;
+  if (sledzig) {
+    psdu = core::sledzig_encode(payload, cfg).transmit_psdu;
+  }
+  const auto packet = wifi::wifi_transmit(psdu, tx);
+
+  // Separate the payload samples (after preamble + SIGNAL) from the
+  // preamble.
+  const std::size_t payload_start = wifi::kPreambleLen + wifi::kSymbolLen;
+  const std::span<const common::Cplx> samples(packet.samples);
+  const auto payload_samples = samples.subspan(payload_start);
+
+  const double f = core::channel_center_offset_hz(cfg.channel);
+  // Reference: total power of a *normal* payload at the same transmit
+  // scale.  Measured once per modulation/rate from a random payload.
+  const auto normal = wifi::wifi_transmit(rng.bytes(600), tx);
+  const double reference_dbm = channel::total_power_dbm(
+      std::span<const common::Cplx>(normal.samples).subspan(payload_start));
+
+  InbandOffsets offsets;
+  offsets.payload_offset_db =
+      channel::rssi_2mhz_dbm(payload_samples, f) - reference_dbm;
+  offsets.preamble_offset_db =
+      channel::rssi_2mhz_dbm(samples.first(wifi::kPreambleLen), f) -
+      reference_dbm;
+  return offsets;
+}
+
+}  // namespace
+
+InbandOffsets measure_inband_offsets(const core::SledzigConfig& cfg,
+                                     bool sledzig) {
+  using Key = std::tuple<int, int, int, unsigned, std::size_t, bool>;
+  static std::mutex mutex;
+  static std::map<Key, InbandOffsets> cache;
+  unsigned extra_mask = 0;
+  for (core::OverlapChannel ch : cfg.extra_channels) {
+    extra_mask |= 1u << static_cast<unsigned>(ch);
+  }
+  const Key key{static_cast<int>(cfg.modulation), static_cast<int>(cfg.rate),
+                static_cast<int>(cfg.channel), extra_mask, cfg.forced_count(),
+                sledzig};
+  std::scoped_lock lock(mutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, measure_uncached(cfg, sledzig)).first;
+  }
+  return it->second;
+}
+
+}  // namespace sledzig::coex

@@ -1,0 +1,27 @@
+// In-band power offsets of a WiFi transmission inside one ZigBee channel,
+// measured on the sample-domain PHY (not assumed): a packet is synthesised
+// through the full transmit chain and its PSD integrated over the 2 MHz
+// window.  These offsets bridge the bit-exact PHY into the analytic link
+// budget the MAC simulation uses.
+#pragma once
+
+#include "sledzig/significant_bits.h"
+
+namespace sledzig::coex {
+
+struct InbandOffsets {
+  /// Payload in-band power relative to the total power of a normal payload
+  /// (dB, negative).
+  double payload_offset_db = 0.0;
+  /// Preamble in-band power relative to the same reference (dB, negative).
+  /// Identical for normal and SledZig packets — the preamble is untouched.
+  double preamble_offset_db = 0.0;
+};
+
+/// Measures (and caches) the offsets for one configuration.  `sledzig`
+/// selects a SledZig-encoded payload vs a random normal payload;
+/// `forced_subcarriers` follows SledzigConfig semantics (0 = paper default).
+InbandOffsets measure_inband_offsets(const core::SledzigConfig& cfg,
+                                     bool sledzig);
+
+}  // namespace sledzig::coex

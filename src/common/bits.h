@@ -1,0 +1,45 @@
+// Bit-level utilities shared by every PHY module.
+//
+// Throughout the codebase a "bit stream" is a std::vector<std::uint8_t> whose
+// elements are 0 or 1.  802.11 and 802.15.4 both serialise octets LSB-first,
+// so the byte<->bit conversions here follow that convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sledzig::common {
+
+using Bit = std::uint8_t;
+using Bits = std::vector<Bit>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Expands octets into bits, LSB of each octet first (802.11 / 802.15.4 PHY
+/// serialisation order).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (LSB-first per octet) back into octets.  The bit count must be
+/// a multiple of 8.
+Bytes bits_to_bytes(std::span<const Bit> bits);
+
+/// Interprets the first `count` bits as an unsigned integer, LSB first.
+std::uint64_t bits_to_uint(std::span<const Bit> bits, std::size_t count);
+
+/// Appends `count` bits of `value`, LSB first.
+void append_uint(Bits& bits, std::uint64_t value, std::size_t count);
+
+/// XOR-reduction (parity) of all bits.
+Bit parity(std::span<const Bit> bits);
+
+/// Returns "0101..." for debugging and test failure messages.
+std::string to_string(std::span<const Bit> bits);
+
+/// Hamming distance between two equal-length bit streams.
+std::size_t hamming_distance(std::span<const Bit> a, std::span<const Bit> b);
+
+/// True when every element is 0 or 1 (cheap sanity check used in asserts).
+bool is_binary(std::span<const Bit> bits);
+
+}  // namespace sledzig::common

@@ -1,0 +1,135 @@
+#include "common/dsp.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sledzig::common {
+
+double Psd::bin_frequency(std::size_t b) const {
+  const auto n = bins.size();
+  return (static_cast<double>(b) - static_cast<double>(n) / 2.0) * fs /
+         static_cast<double>(n);
+}
+
+double Psd::band_power(double f_lo, double f_hi) const {
+  double p = 0.0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    const double f = bin_frequency(b);
+    if (f >= f_lo && f <= f_hi) p += bins[b];
+  }
+  return p;
+}
+
+std::vector<double> hann_window(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                 static_cast<double>(i) /
+                                 static_cast<double>(n)));
+  }
+  return w;
+}
+
+Psd welch_psd(std::span<const Cplx> x, double fs, std::size_t segment_size) {
+  if (!is_power_of_two(segment_size)) {
+    throw std::invalid_argument("welch_psd: segment_size must be a power of 2");
+  }
+  if (x.size() < segment_size) {
+    throw std::invalid_argument("welch_psd: input shorter than segment");
+  }
+  const auto window = hann_window(segment_size);
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  Psd psd;
+  psd.fs = fs;
+  psd.bins.assign(segment_size, 0.0);
+
+  const std::size_t hop = segment_size / 2;
+  std::size_t segments = 0;
+  CplxVec seg(segment_size);
+  for (std::size_t start = 0; start + segment_size <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < segment_size; ++i) {
+      seg[i] = x[start + i] * window[i];
+    }
+    fft_inplace(seg, /*inverse=*/false);
+    // FFT bin k maps to frequency k*fs/N for k < N/2 and (k-N)*fs/N above;
+    // re-order into [-fs/2, fs/2).
+    for (std::size_t k = 0; k < segment_size; ++k) {
+      const std::size_t b = (k + segment_size / 2) % segment_size;
+      psd.bins[b] += std::norm(seg[k]);
+    }
+    ++segments;
+  }
+  // Normalise so that sum(bins) == mean |x|^2 for a full-band signal:
+  // each periodogram sums to N * window_power * mean_power for white input.
+  const double scale =
+      1.0 / (static_cast<double>(segments) * window_power *
+             static_cast<double>(segment_size));
+  for (double& b : psd.bins) b *= scale;
+  return psd;
+}
+
+double band_power(std::span<const Cplx> x, double fs, double f_lo, double f_hi,
+                  std::size_t segment_size) {
+  // Clamp to the input length so short slices (e.g. a 3-symbol packet)
+  // still measure, at reduced frequency resolution.
+  while (segment_size > x.size() && segment_size > 2) segment_size /= 2;
+  return welch_psd(x, fs, segment_size).band_power(f_lo, f_hi);
+}
+
+std::vector<double> fir_lowpass_taps(std::size_t num_taps, double cutoff_hz,
+                                     double fs) {
+  if (num_taps == 0 || num_taps % 2 == 0) {
+    throw std::invalid_argument("fir_lowpass_taps: need an odd tap count");
+  }
+  const double fc = cutoff_hz / fs;  // normalised cutoff (cycles/sample)
+  const auto mid = static_cast<double>(num_taps - 1) / 2.0;
+  std::vector<double> taps(num_taps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double sinc =
+        t == 0.0 ? 2.0 * fc
+                 : std::sin(2.0 * std::numbers::pi * fc * t) /
+                       (std::numbers::pi * t);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                               static_cast<double>(num_taps - 1));
+    taps[i] = sinc * window;
+    sum += taps[i];
+  }
+  for (double& t : taps) t /= sum;  // unit DC gain
+  return taps;
+}
+
+CplxVec fir_filter(std::span<const Cplx> x, std::span<const double> taps) {
+  CplxVec out(x.size(), Cplx(0.0, 0.0));
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    Cplx acc(0.0, 0.0);
+    const std::size_t kmax = std::min(taps.size(), n + 1);
+    for (std::size_t k = 0; k < kmax; ++k) {
+      acc += taps[k] * x[n - k];
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+CplxVec frequency_shift(std::span<const Cplx> x, double freq, double fs) {
+  CplxVec out(x.size());
+  const double step = 2.0 * std::numbers::pi * freq / fs;
+  // Incremental rotation avoids a sin/cos per sample; renormalise
+  // periodically to stop drift.
+  Cplx rot(1.0, 0.0);
+  const Cplx inc(std::cos(step), std::sin(step));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] * rot;
+    rot *= inc;
+    if ((i & 0x3ff) == 0x3ff) rot /= std::abs(rot);
+  }
+  return out;
+}
+
+}  // namespace sledzig::common

@@ -1,0 +1,54 @@
+// Spectrum-measurement DSP: Welch PSD, band power (the simulated "RSSI
+// register"), and complex frequency shifting used to place signals of
+// different centre frequencies on a common baseband.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/fft.h"
+
+namespace sledzig::common {
+
+/// Welch power spectral density estimate.
+///
+/// Returns `segment_size` bins covering [-fs/2, fs/2), bin b centred at
+/// frequency (b - segment_size/2) * fs / segment_size.  Bins are normalised
+/// so that the *sum over all bins equals the mean power* of the input, which
+/// makes band_power() a direct power-in-band measurement.
+struct Psd {
+  std::vector<double> bins;   // power per bin (linear, same unit as |x|^2)
+  double fs = 0.0;            // sample rate the estimate was made at
+
+  /// Centre frequency of bin b, relative to the baseband centre.
+  double bin_frequency(std::size_t b) const;
+  /// Sum of bins whose centre lies in [f_lo, f_hi].
+  double band_power(double f_lo, double f_hi) const;
+};
+
+/// Computes a Welch PSD with 50% overlapped Hann windows.
+/// `segment_size` must be a power of two and <= x.size().
+Psd welch_psd(std::span<const Cplx> x, double fs, std::size_t segment_size);
+
+/// Power of `x` inside [f_lo, f_hi] (Hz, relative to the baseband centre).
+/// Convenience wrapper: Welch PSD then band integration.
+double band_power(std::span<const Cplx> x, double fs, double f_lo, double f_hi,
+                  std::size_t segment_size = 256);
+
+/// Multiplies x by exp(j*2*pi*freq*t): shifts the spectrum *up* by `freq` Hz.
+CplxVec frequency_shift(std::span<const Cplx> x, double freq, double fs);
+
+/// Hann window of length n (periodic form, suitable for Welch).
+std::vector<double> hann_window(std::size_t n);
+
+/// Windowed-sinc low-pass FIR taps (Hamming window, unit DC gain).
+/// `num_taps` should be odd so the group delay (num_taps-1)/2 is integral.
+std::vector<double> fir_lowpass_taps(std::size_t num_taps, double cutoff_hz,
+                                     double fs);
+
+/// Convolves x with real taps ("same" length output: the result is aligned
+/// with the input but delayed by (taps-1)/2 samples).
+CplxVec fir_filter(std::span<const Cplx> x, std::span<const double> taps);
+
+}  // namespace sledzig::common

@@ -1,0 +1,54 @@
+#include "common/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sledzig::common {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(CplxVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = x[i + k];
+        const Cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+CplxVec fft(std::span<const Cplx> x) {
+  CplxVec out(x.begin(), x.end());
+  fft_inplace(out, /*inverse=*/false);
+  return out;
+}
+
+CplxVec ifft(std::span<const Cplx> x) {
+  CplxVec out(x.begin(), x.end());
+  fft_inplace(out, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(out.size());
+  for (Cplx& c : out) c *= scale;
+  return out;
+}
+
+}  // namespace sledzig::common

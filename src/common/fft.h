@@ -1,0 +1,27 @@
+// Minimal radix-2 FFT used by the OFDM modem and the spectrum analyser.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sledzig::common {
+
+using Cplx = std::complex<double>;
+using CplxVec = std::vector<Cplx>;
+
+/// In-place iterative radix-2 DIT FFT.  `x.size()` must be a power of two.
+/// `inverse = true` computes the unscaled inverse transform; divide by N
+/// yourself (ifft() below does it for you).
+void fft_inplace(CplxVec& x, bool inverse);
+
+/// Forward DFT (copying).  Size must be a power of two.
+CplxVec fft(std::span<const Cplx> x);
+
+/// Inverse DFT including the 1/N scale.  Size must be a power of two.
+CplxVec ifft(std::span<const Cplx> x);
+
+/// True iff n is a nonzero power of two.
+bool is_power_of_two(std::size_t n);
+
+}  // namespace sledzig::common

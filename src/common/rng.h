@@ -1,0 +1,63 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+
+#include "common/bits.h"
+
+namespace sledzig::common {
+
+/// Thin wrapper around std::mt19937_64 with the helpers the PHY/MAC
+/// simulations need.  Every experiment takes an explicit seed so runs are
+/// reproducible; nothing in the library touches global RNG state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  Bit bit() { return static_cast<Bit>(engine_() & 1u); }
+
+  Bits bits(std::size_t count) {
+    Bits out(count);
+    for (auto& b : out) b = bit();
+    return out;
+  }
+
+  Bytes bytes(std::size_t count) {
+    Bytes out(count);
+    for (auto& b : out) b = static_cast<std::uint8_t>(engine_() & 0xffu);
+    return out;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return uni_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Zero-mean Gaussian with the given standard deviation.
+  double gaussian(double stddev) {
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// Circularly-symmetric complex Gaussian sample with total power
+  /// `power_mw` (E[|x|^2] = power_mw).
+  std::complex<double> complex_gaussian(double power_mw) {
+    const double s = std::sqrt(power_mw / 2.0);
+    return {gaussian(s), gaussian(s)};
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+};
+
+}  // namespace sledzig::common

@@ -1,0 +1,28 @@
+// Small statistics helpers for experiment reporting (box plots in Fig 16,
+// jittered RSSI summaries in Figs 11-13).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sledzig::common {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].  xs need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+/// Five-number summary used for the paper's box plots.
+struct BoxStats {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+BoxStats box_stats(std::span<const double> xs);
+
+}  // namespace sledzig::common

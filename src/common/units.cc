@@ -1,0 +1,16 @@
+#include "common/units.h"
+
+namespace sledzig::common {
+
+double mean_power(std::span<const std::complex<double>> x) {
+  if (x.empty()) return 0.0;
+  return energy(x) / static_cast<double>(x.size());
+}
+
+double energy(std::span<const std::complex<double>> x) {
+  double e = 0.0;
+  for (const auto& c : x) e += std::norm(c);
+  return e;
+}
+
+}  // namespace sledzig::common

@@ -1,0 +1,25 @@
+// dB / dBm / linear-power conversions and sample-power helpers.
+//
+// Convention: "power" of a complex-baseband sample vector is the mean of
+// |x|^2, interpreted in milliwatts when the signal has been scaled by the
+// channel model (so 10*log10(power) is directly a dBm figure).
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace sledzig::common {
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+inline double dbm_to_mw(double dbm) { return db_to_linear(dbm); }
+inline double mw_to_dbm(double mw) { return linear_to_db(mw); }
+
+/// Mean |x|^2 over the span (0 for an empty span).
+double mean_power(std::span<const std::complex<double>> x);
+
+/// Total sum of |x|^2.
+double energy(std::span<const std::complex<double>> x);
+
+}  // namespace sledzig::common

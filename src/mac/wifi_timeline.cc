@@ -1,0 +1,72 @@
+#include "mac/wifi_timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sledzig::mac {
+
+WifiTimeline::WifiTimeline(const WifiMacParams& params, double duration_us,
+                           common::Rng& rng)
+    : duration_us_(duration_us) {
+  if (params.duty_ratio < 0.0 || params.duty_ratio > 1.0) {
+    throw std::invalid_argument("WifiTimeline: duty_ratio in [0, 1]");
+  }
+  if (params.duty_ratio == 0.0) return;
+
+  const double burst_len = params.preamble_us + params.airtime_us;
+  // Mean extra idle per burst so that airtime / cycle = duty_ratio
+  // (beyond the unavoidable DIFS + mean backoff).
+  const double csma_gap =
+      params.difs_us + params.slot_us * (params.cw - 1) / 2.0;
+  const double target_cycle = burst_len / params.duty_ratio;
+  const double queue_idle =
+      std::max(0.0, target_cycle - burst_len - csma_gap);
+
+  double t = 0.0;
+  double busy = 0.0;
+  while (t < duration_us_) {
+    // Queue idle time (exponential-ish jitter around the mean keeps bursts
+    // from locking into a grid).
+    if (queue_idle > 0.0) {
+      t += queue_idle * (0.5 + rng.uniform());
+    }
+    // DIFS + uniform backoff.
+    t += params.difs_us +
+         params.slot_us *
+             static_cast<double>(rng.uniform_int(0, params.cw - 1));
+    if (t >= duration_us_) break;
+    WifiBurst burst;
+    burst.start_us = t;
+    burst.payload_start_us = t + params.preamble_us;
+    burst.end_us = t + burst_len;
+    busy += std::min(burst.end_us, duration_us_) - burst.start_us;
+    bursts_.push_back(burst);
+    t = burst.end_us;
+  }
+  busy_fraction_ = busy / duration_us_;
+}
+
+bool WifiTimeline::busy_at(double t_us) const {
+  return busy_in(t_us, t_us);
+}
+
+bool WifiTimeline::busy_in(double t0_us, double t1_us) const {
+  const auto [lo, hi] = overlapping(t0_us, t1_us);
+  return lo < hi;
+}
+
+std::pair<std::size_t, std::size_t> WifiTimeline::overlapping(
+    double t0_us, double t1_us) const {
+  // First burst with end > t0.
+  const auto lo = std::lower_bound(
+      bursts_.begin(), bursts_.end(), t0_us,
+      [](const WifiBurst& b, double t) { return b.end_us <= t; });
+  // First burst with start > t1.
+  const auto hi = std::upper_bound(
+      lo, bursts_.end(), t1_us,
+      [](double t, const WifiBurst& b) { return t < b.start_us; });
+  return {static_cast<std::size_t>(lo - bursts_.begin()),
+          static_cast<std::size_t>(hi - bursts_.begin())};
+}
+
+}  // namespace sledzig::mac

@@ -1,0 +1,62 @@
+// WiFi transmission timeline for the coexistence simulation.
+//
+// In every scenario of the paper the ZigBee signal at the WiFi device is
+// 20-30 dB below the 802.11 energy-detect threshold (Fig 17), so the WiFi
+// transmitter never defers to ZigBee and its channel activity can be
+// generated up-front: bursts of [preamble+SIGNAL | payload] separated by
+// DIFS, contention backoff and (for duty ratios < 1) queue idle time.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sledzig::mac {
+
+struct WifiMacParams {
+  double difs_us = 28.0;        // paper section II-B
+  double slot_us = 9.0;
+  unsigned cw = 16;             // fixed contention window (single BSS)
+  double preamble_us = 20.0;    // PLCP preamble (16 us) + SIGNAL symbol
+  double airtime_us = 4000.0;   // payload airtime per burst (A-MPDU-like)
+  /// Fraction of time the channel carries WiFi data (Fig 16's
+  /// "duration ratio").  1.0 = saturated back-to-back traffic.
+  double duty_ratio = 1.0;
+};
+
+struct WifiBurst {
+  double start_us = 0.0;         // preamble start
+  double payload_start_us = 0.0; // preamble end
+  double end_us = 0.0;
+};
+
+class WifiTimeline {
+ public:
+  WifiTimeline(const WifiMacParams& params, double duration_us,
+               common::Rng& rng);
+
+  const std::vector<WifiBurst>& bursts() const { return bursts_; }
+
+  /// True when a burst covers time t.
+  bool busy_at(double t_us) const;
+
+  /// True when any burst overlaps [t0, t1].
+  bool busy_in(double t0_us, double t1_us) const;
+
+  /// Bursts overlapping [t0, t1] (indices into bursts()).
+  std::pair<std::size_t, std::size_t> overlapping(double t0_us,
+                                                  double t1_us) const;
+
+  /// Fraction of the simulated duration covered by bursts (payload +
+  /// preamble).
+  double busy_fraction() const { return busy_fraction_; }
+
+  double duration_us() const { return duration_us_; }
+
+ private:
+  std::vector<WifiBurst> bursts_;
+  double duration_us_ = 0.0;
+  double busy_fraction_ = 0.0;
+};
+
+}  // namespace sledzig::mac

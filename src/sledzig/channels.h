@@ -1,0 +1,89 @@
+// Geometry of the four ZigBee channels overlapping one 20 MHz WiFi channel
+// (Fig 2 / section IV-B of the paper).
+//
+// At WiFi channel 13 (2472 MHz) the overlapped ZigBee channels 23..26 sit at
+// subcarrier offsets -22.4, -6.4, +9.6 and +25.6.  Each 2 MHz ZigBee channel
+// covers 6.4 subcarriers; with the leakage of the two adjacent subcarriers
+// the paper forces 8 subcarriers per channel, of which 7 are data + 1 pilot
+// for CH1-CH3 and 5 are data + 3 null for CH4.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wifi/phy_params.h"
+#include "wifi/subcarriers.h"
+
+namespace sledzig::core {
+
+enum class OverlapChannel { kCh1, kCh2, kCh3, kCh4 };
+
+inline constexpr std::array<OverlapChannel, 4> kAllOverlapChannels = {
+    OverlapChannel::kCh1, OverlapChannel::kCh2, OverlapChannel::kCh3,
+    OverlapChannel::kCh4};
+
+std::string to_string(OverlapChannel ch);
+
+/// Centre of the ZigBee channel in subcarrier units relative to the WiFi
+/// channel centre (-22.4, -6.4, +9.6, +25.6).
+double channel_center_subcarriers(OverlapChannel ch);
+
+/// Centre frequency offset in Hz from the WiFi channel centre
+/// (-7, -2, +3, +8 MHz).
+double channel_center_offset_hz(OverlapChannel ch);
+
+/// Number of data subcarriers the paper forces to lowest-power points:
+/// 7 for CH1-CH3 (the 8-subcarrier window contains one pilot), 5 for CH4
+/// (the window contains three nulls).
+std::size_t default_forced_count(OverlapChannel ch);
+
+/// The `count` data subcarriers nearest the ZigBee channel centre, as
+/// logical indices sorted ascending.  `count` up to 48; Fig 11 sweeps 5..8.
+std::vector<int> forced_data_subcarriers(OverlapChannel ch, std::size_t count);
+
+/// Same as above with the paper's default count.
+std::vector<int> forced_data_subcarriers(OverlapChannel ch);
+
+/// True when the pilot at -21/-7/+7 falls inside the channel's 8-subcarrier
+/// window (CH1-CH3).
+bool window_contains_pilot(OverlapChannel ch);
+
+/// Maps WiFi channel 13 to the paper's testbed ZigBee channel numbers:
+/// CH1 -> 23, CH2 -> 24, CH3 -> 25, CH4 -> 26.
+unsigned testbed_zigbee_channel(OverlapChannel ch);
+
+/// Inverse of the above for ZigBee channels 23..26.
+std::optional<OverlapChannel> overlap_for_zigbee_channel(unsigned channel);
+
+/// Centre frequency in Hz of WiFi channel 1..13 (2.4 GHz band).
+double wifi_channel_frequency_hz(unsigned channel);
+
+/// Union of the forced data subcarriers of several channels (sorted,
+/// deduplicated).  SledZig can protect multiple ZigBee channels in one
+/// packet at proportionally higher extra-bit cost (extension; the paper
+/// protects one channel at a time).
+std::vector<int> forced_data_subcarriers(std::span<const OverlapChannel> channels);
+
+/// General window rule for any channel plan (including 40 MHz) and victim
+/// bandwidth: all data subcarriers within bandwidth/2 plus one
+/// adjacent-leakage subcarrier of the window centre.  With the default
+/// 2 MHz (ZigBee) bandwidth on the 20 MHz plan this reproduces the paper's
+/// 7/5 defaults exactly; pass 1 MHz for a classic-Bluetooth hop channel or
+/// 2 MHz for a BLE channel.
+std::vector<int> window_data_subcarriers(const wifi::ChannelPlan& plan,
+                                         double center_offset_hz,
+                                         double bandwidth_hz = 2e6);
+
+/// Frequency offset of a ZigBee channel (11..26) from a WiFi centre
+/// frequency — for placing windows on wide channels.
+double zigbee_offset_hz(unsigned zigbee_channel, double wifi_center_hz);
+
+/// Frequency offset of a BLE advertising channel (37, 38, 39 at 2402, 2426,
+/// 2480 MHz) from a WiFi centre frequency.  SledZig can guard BLE
+/// advertising exactly like a ZigBee channel (the BlueFi-adjacent use case
+/// in the paper's related work).
+double ble_advertising_offset_hz(unsigned adv_channel, double wifi_center_hz);
+
+}  // namespace sledzig::core

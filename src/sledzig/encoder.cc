@@ -1,0 +1,255 @@
+#include "sledzig/encoder.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "wifi/convolutional.h"
+#include "wifi/qam.h"
+#include "wifi/scrambler.h"
+#include "wifi/subcarriers.h"
+
+namespace sledzig::core {
+
+namespace {
+
+constexpr common::Bit kUnset = 2;
+
+unsigned gen_of(unsigned branch) {
+  return branch == 0 ? wifi::kGen0 : wifi::kGen1;
+}
+
+/// XOR of the generator taps over the *known* stream positions of
+/// [step-6 .. step]; unknown (kUnset) positions are skipped — their
+/// contribution is carried by the cluster system's coefficient matrix.
+/// Positions before the stream start read as 0 (encoder initial state).
+common::Bit known_tap_sum(const common::Bits& x, std::size_t step,
+                          unsigned branch) {
+  const unsigned gen = gen_of(branch);
+  common::Bit acc = 0;
+  for (unsigned i = 0; i <= 6; ++i) {
+    if (((gen >> (6 - i)) & 1u) == 0) continue;  // gen bit for x_{n-i}
+    if (step < i) continue;                      // before stream start: 0
+    const std::size_t pos = step - i;
+    if (x[pos] == kUnset) continue;
+    acc ^= (x[pos] & 1u);
+  }
+  return acc;
+}
+
+/// Generator coefficient of stream position `pos` in the equation of step
+/// `step`: 1 when the generator taps x_{step-pos}.
+common::Bit gen_coeff(unsigned branch, std::size_t step, std::size_t pos) {
+  if (pos > step || step - pos > 6) return 0;
+  return static_cast<common::Bit>((gen_of(branch) >> (6 - (step - pos))) & 1u);
+}
+
+/// Solves the square GF(2) system of one cluster and writes the unknowns
+/// into the stream.  The plan guarantees invertibility.
+void solve_cluster(const Cluster& cluster, common::Bits& x) {
+  const std::size_t k = cluster.equations.size();
+  // Augmented matrix [A | r].
+  std::vector<std::vector<common::Bit>> m(k,
+                                          std::vector<common::Bit>(k + 1, 0));
+  for (std::size_t e = 0; e < k; ++e) {
+    const auto& eq = cluster.equations[e];
+    for (std::size_t u = 0; u < k; ++u) {
+      m[e][u] = gen_coeff(eq.branch, eq.step, cluster.positions[u]);
+    }
+    m[e][k] = static_cast<common::Bit>(
+        (eq.value ^ known_tap_sum(x, eq.step, eq.branch)) & 1u);
+  }
+  // Gauss-Jordan over GF(2).
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k && m[pivot][col] == 0) ++pivot;
+    if (pivot == k) {
+      throw std::logic_error("sledzig: singular cluster system");
+    }
+    std::swap(m[col], m[pivot]);
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r != col && m[r][col]) {
+        for (std::size_t c = col; c <= k; ++c) m[r][c] ^= m[col][c];
+      }
+    }
+  }
+  for (std::size_t u = 0; u < k; ++u) {
+    x[cluster.positions[u]] = m[u][k];
+  }
+}
+
+/// Encoder outputs (y_{2n-1}, y_{2n}) for step n over the finished stream.
+std::pair<common::Bit, common::Bit> encode_outputs(const common::Bits& x,
+                                                   std::size_t step) {
+  common::Bit a = 0, b = 0;
+  for (unsigned i = 0; i <= 6; ++i) {
+    if (step < i) continue;
+    const common::Bit bit = x[step - i] & 1u;
+    if ((wifi::kGen0 >> (6 - i)) & 1u) a ^= bit;
+    if ((wifi::kGen1 >> (6 - i)) & 1u) b ^= bit;
+  }
+  return {a, b};
+}
+
+std::size_t round_up8(std::size_t v) { return (v + 7) / 8 * 8; }
+
+}  // namespace
+
+std::size_t extra_bits_per_symbol(const SledzigConfig& cfg) {
+  return significant_bits_per_symbol(cfg);
+}
+
+double throughput_loss(const SledzigConfig& cfg) {
+  return static_cast<double>(extra_bits_per_symbol(cfg)) /
+         static_cast<double>(
+             wifi::data_bits_per_symbol(cfg.modulation, cfg.rate, cfg.plan()));
+}
+
+SledzigEncodeResult sledzig_encode(const common::Bytes& payload,
+                                   const SledzigConfig& cfg) {
+  if (payload.size() > kMaxSledzigPayload) {
+    throw std::invalid_argument("sledzig_encode: payload too long");
+  }
+  // Inner data: 2-byte little-endian length header + payload.
+  common::Bytes inner;
+  inner.reserve(payload.size() + 2);
+  inner.push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+  inner.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  inner.insert(inner.end(), payload.begin(), payload.end());
+  const auto data_bits = common::bytes_to_bits(inner);
+
+  const std::size_t svc = cfg.include_service_field ? 16 : 0;
+
+  // Find the smallest multiple-of-8 payload-region size T whose capacity
+  // (after removing extra-bit positions) fits the inner data.
+  std::size_t t = round_up8(data_bits.size());
+  ConstraintPlan plan;
+  for (int iter = 0; iter < 64; ++iter) {
+    plan = build_constraint_plan(cfg, svc, svc + t);
+    const std::size_t capacity = t - plan.extra_positions.size();
+    if (capacity >= data_bits.size()) break;
+    t = round_up8(data_bits.size() + plan.extra_positions.size() + 8);
+  }
+  const std::size_t capacity = t - plan.extra_positions.size();
+  if (capacity < data_bits.size()) {
+    throw std::logic_error("sledzig_encode: sizing did not converge");
+  }
+
+  // Scrambled-domain stream: service prefix (scrambled zeros = keystream),
+  // data bits (scrambled with a data-indexed keystream), extra positions.
+  const auto key_abs = wifi::scrambler_sequence(cfg.scrambler_seed, svc + t);
+  const auto key_data = wifi::scrambler_sequence(cfg.scrambler_seed, capacity);
+  const std::set<std::size_t> extras(plan.extra_positions.begin(),
+                                     plan.extra_positions.end());
+
+  common::Bits x(svc + t, kUnset);
+  for (std::size_t p = 0; p < svc; ++p) x[p] = key_abs[p];
+  std::size_t j = 0;
+  for (std::size_t p = svc; p < svc + t; ++p) {
+    if (extras.contains(p)) continue;
+    const common::Bit data = j < data_bits.size() ? data_bits[j] : 0;
+    x[p] = static_cast<common::Bit>((data ^ key_data[j]) & 1u);
+    ++j;
+  }
+
+  // Solve the clusters in stream order.
+  SledzigEncodeResult result;
+  result.num_twins = plan.num_twins;
+  result.num_unforced_tail = plan.num_unforced_tail;
+  result.num_unforced_head = plan.num_unforced_head;
+  result.num_collisions = plan.num_collisions;
+  for (const auto& cluster : plan.clusters) {
+    solve_cluster(cluster, x);
+    result.num_extra_bits += cluster.positions.size();
+  }
+  for (auto& bit : x) {
+    if (bit == kUnset) bit = 0;  // defensive; plan covers all extras
+  }
+
+  // Verify every forced equation against a real encode pass.
+  for (const auto& cluster : plan.clusters) {
+    for (const auto& eq : cluster.equations) {
+      const auto [a, b] = encode_outputs(x, eq.step);
+      if ((eq.branch == 0 ? a : b) != eq.value) ++result.num_violations;
+    }
+  }
+
+  // Descramble the payload region into transmit bytes.
+  common::Bits t_bits(t);
+  for (std::size_t p = svc; p < svc + t; ++p) {
+    t_bits[p - svc] = static_cast<common::Bit>((x[p] ^ key_abs[p]) & 1u);
+  }
+  result.transmit_psdu = common::bits_to_bytes(t_bits);
+  result.scrambled_payload = std::move(x);
+  return result;
+}
+
+std::optional<common::Bytes> sledzig_decode(const common::Bytes& transmit_psdu,
+                                            const SledzigConfig& cfg) {
+  const std::size_t t = transmit_psdu.size() * 8;
+  if (t == 0) return std::nullopt;
+  const std::size_t svc = cfg.include_service_field ? 16 : 0;
+  const auto plan = build_constraint_plan(cfg, svc, svc + t);
+  const auto key_abs = wifi::scrambler_sequence(cfg.scrambler_seed, svc + t);
+  const auto t_bits = common::bytes_to_bits(transmit_psdu);
+
+  const std::set<std::size_t> extras(plan.extra_positions.begin(),
+                                     plan.extra_positions.end());
+  common::Bits residual;
+  residual.reserve(t);
+  for (std::size_t p = svc; p < svc + t; ++p) {
+    if (extras.contains(p)) continue;
+    residual.push_back(
+        static_cast<common::Bit>((t_bits[p - svc] ^ key_abs[p]) & 1u));
+  }
+  const auto key_data =
+      wifi::scrambler_sequence(cfg.scrambler_seed, residual.size());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = static_cast<common::Bit>((residual[i] ^ key_data[i]) & 1u);
+  }
+  if (residual.size() < 16) return std::nullopt;
+  const std::size_t len = static_cast<std::size_t>(
+      common::bits_to_uint(residual, 16));
+  if (16 + len * 8 > residual.size()) return std::nullopt;
+  common::Bits payload_bits(residual.begin() + 16,
+                            residual.begin() + 16 + len * 8);
+  return common::bits_to_bytes(payload_bits);
+}
+
+std::optional<OverlapChannel> detect_channel_from_points(
+    std::span<const common::Cplx> points, wifi::Modulation modulation,
+    double min_fraction) {
+  if (points.empty() || points.size() % wifi::kNumDataSubcarriers != 0) {
+    return std::nullopt;
+  }
+  const std::size_t num_symbols = points.size() / wifi::kNumDataSubcarriers;
+  std::optional<OverlapChannel> best;
+  double best_fraction = 0.0;
+  for (OverlapChannel ch : kAllOverlapChannels) {
+    const auto subcarriers = forced_data_subcarriers(ch);
+    std::size_t lowest = 0, total = 0;
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      for (int logical : subcarriers) {
+        const int pos = wifi::data_subcarrier_position(logical);
+        const auto& point =
+            points[s * wifi::kNumDataSubcarriers + static_cast<std::size_t>(pos)];
+        ++total;
+        // Snap to the nearest constellation point so the test is robust to
+        // noise: a point "is lowest" when its hard decision is.
+        const auto ideal = wifi::qam_map_point(
+            wifi::qam_demap_point(point, modulation), modulation);
+        if (wifi::is_lowest_point(ideal, modulation)) ++lowest;
+      }
+    }
+    const double fraction =
+        total == 0 ? 0.0 : static_cast<double>(lowest) / static_cast<double>(total);
+    if (fraction > best_fraction) {
+      best_fraction = fraction;
+      best = ch;
+    }
+  }
+  if (best_fraction < min_fraction) return std::nullopt;
+  return best;
+}
+
+}  // namespace sledzig::core

@@ -1,0 +1,271 @@
+#include "sledzig/significant_bits.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "wifi/convolutional.h"
+#include "wifi/interleaver.h"
+#include "wifi/puncture.h"
+#include "wifi/qam.h"
+#include "wifi/subcarriers.h"
+
+namespace sledzig::core {
+
+std::vector<int> SledzigConfig::forced_subcarrier_set() const {
+  if (!window_offsets_hz.empty()) {
+    std::vector<int> all;
+    for (double offset : window_offsets_hz) {
+      const auto subs =
+          window_data_subcarriers(plan(), offset, window_bandwidth_hz);
+      all.insert(all.end(), subs.begin(), subs.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all;
+  }
+  if (width != wifi::ChannelWidth::k20MHz) {
+    throw std::invalid_argument(
+        "SledzigConfig: wide channels need explicit window_offsets_hz");
+  }
+  if (extra_channels.empty()) {
+    return forced_data_subcarriers(channel, forced_count());
+  }
+  std::vector<OverlapChannel> all;
+  all.push_back(channel);
+  all.insert(all.end(), extra_channels.begin(), extra_channels.end());
+  return forced_data_subcarriers(all);
+}
+
+std::size_t significant_bits_per_symbol(const SledzigConfig& cfg) {
+  return cfg.forced_subcarrier_set().size() *
+         wifi::significant_bits(cfg.modulation).size();
+}
+
+std::vector<SignificantBit> significant_bits_for_symbol(
+    const SledzigConfig& cfg, std::size_t symbol) {
+  const auto& plan = cfg.plan();
+  const auto subcarriers = cfg.forced_subcarrier_set();
+  const auto specs = wifi::significant_bits(cfg.modulation);
+  // Gather convention: QAM-input bit j reads pre-interleaver position perm[j].
+  const auto perm = wifi::interleaver_permutation(cfg.modulation, plan);
+  const std::size_t n_bpsc = wifi::bits_per_subcarrier(cfg.modulation);
+  const std::size_t n_cbps = wifi::coded_bits_per_symbol(cfg.modulation, plan);
+
+  std::vector<SignificantBit> bits;
+  bits.reserve(subcarriers.size() * specs.size());
+  for (int logical : subcarriers) {
+    const int pos = plan.data_position(logical);
+    if (pos < 0) {
+      throw std::logic_error("significant_bits: non-data subcarrier chosen");
+    }
+    for (const auto& spec : specs) {
+      // Post-interleaver index within the symbol, traced to the interleaver
+      // input, then through the puncturer to the encoder step.
+      const std::size_t j =
+          static_cast<std::size_t>(pos) * n_bpsc + spec.offset_in_group;
+      const std::size_t punctured_in_symbol = perm[j];
+      const std::size_t punctured_global = symbol * n_cbps + punctured_in_symbol;
+      const std::size_t coded =
+          wifi::punctured_to_coded_index(cfg.rate, punctured_global);
+      SignificantBit bit;
+      bit.punctured_pos = punctured_global;
+      bit.value = spec.value;
+      bit.step = coded / 2;
+      bit.branch = static_cast<unsigned>(coded % 2);
+      bits.push_back(bit);
+    }
+  }
+  std::sort(bits.begin(), bits.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.step, a.branch) < std::tie(b.step, b.branch);
+  });
+  return bits;
+}
+
+std::vector<SignificantBit> significant_bits(const SledzigConfig& cfg,
+                                             std::size_t num_symbols) {
+  std::vector<SignificantBit> all;
+  all.reserve(num_symbols * significant_bits_per_symbol(cfg));
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    const auto symbol_bits = significant_bits_for_symbol(cfg, s);
+    all.insert(all.end(), symbol_bits.begin(), symbol_bits.end());
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.step, a.branch) < std::tie(b.step, b.branch);
+  });
+  return all;
+}
+
+namespace {
+
+common::Bit gen_coeff(unsigned branch, std::size_t step, std::size_t pos) {
+  const unsigned gen = branch == 0 ? wifi::kGen0 : wifi::kGen1;
+  if (pos > step || step - pos > 6) return 0;
+  return static_cast<common::Bit>((gen >> (6 - (step - pos))) & 1u);
+}
+
+/// Chooses one unknown stream position per equation of a cluster via GF(2)
+/// Gaussian elimination, preferring each equation's own tap positions in the
+/// paper's offset order.  Equations that cannot get an independent unknown
+/// are dropped and reported through `unforced`.
+void solve_cluster_positions(Cluster& cluster, std::size_t payload_begin,
+                             std::size_t payload_end,
+                             std::vector<Equation>& unforced) {
+  // Candidate positions: the union of all tap windows, restricted to the
+  // payload region.
+  std::vector<std::size_t> candidates;
+  for (const auto& eq : cluster.equations) {
+    for (unsigned o = 0; o <= 6; ++o) {
+      if (eq.step < o) continue;
+      const std::size_t pos = eq.step - o;
+      if (pos < payload_begin || pos >= payload_end) continue;
+      if (gen_coeff(eq.branch, eq.step, pos)) candidates.push_back(pos);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  auto candidate_index = [&](std::size_t pos) -> int {
+    const auto it = std::lower_bound(candidates.begin(), candidates.end(), pos);
+    if (it == candidates.end() || *it != pos) return -1;
+    return static_cast<int>(it - candidates.begin());
+  };
+
+  // Paper-preferred offsets per generator: a single forces x_n first, and a
+  // twin's g0 equation forces x_{n-5} (Algorithm 1 of the paper); the
+  // remaining taps are fallbacks (g0 lacks x_{n-1}/x_{n-4}, g1 lacks
+  // x_{n-4}/x_{n-5}).
+  static constexpr unsigned kSingleOffsets[2][5] = {{0, 5, 2, 3, 6},
+                                                    {0, 1, 2, 3, 6}};
+  static constexpr unsigned kTwinOffsets[2][5] = {{5, 0, 2, 3, 6},
+                                                  {1, 0, 2, 3, 6}};
+  std::map<std::size_t, unsigned> step_counts;
+  for (const auto& eq : cluster.equations) ++step_counts[eq.step];
+
+  std::vector<std::vector<common::Bit>> reduced_rows;
+  std::vector<int> pivot_cols;
+  std::vector<Equation> kept;
+  std::vector<std::size_t> positions;
+
+  for (const auto& eq : cluster.equations) {
+    std::vector<common::Bit> row(candidates.size(), 0);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      row[c] = gen_coeff(eq.branch, eq.step, candidates[c]);
+    }
+    // Reduce against earlier pivots.
+    for (std::size_t r = 0; r < reduced_rows.size(); ++r) {
+      if (row[static_cast<std::size_t>(pivot_cols[r])]) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          row[c] ^= reduced_rows[r][c];
+        }
+      }
+    }
+    // Pick a pivot: the equation's own taps in preference order first, then
+    // any remaining set column (descending position for determinism).
+    int pivot = -1;
+    const auto& prefs =
+        step_counts[eq.step] == 2 ? kTwinOffsets : kSingleOffsets;
+    for (unsigned o : prefs[eq.branch]) {
+      if (eq.step < o) continue;
+      const int idx = candidate_index(eq.step - o);
+      if (idx >= 0 && row[static_cast<std::size_t>(idx)]) {
+        pivot = idx;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      for (std::size_t c = candidates.size(); c-- > 0;) {
+        if (row[c]) {
+          pivot = static_cast<int>(c);
+          break;
+        }
+      }
+    }
+    if (pivot < 0) {
+      unforced.push_back(eq);
+      continue;
+    }
+    reduced_rows.push_back(std::move(row));
+    pivot_cols.push_back(pivot);
+    kept.push_back(eq);
+    positions.push_back(candidates[static_cast<std::size_t>(pivot)]);
+  }
+  cluster.equations = std::move(kept);
+  cluster.positions = std::move(positions);
+}
+
+}  // namespace
+
+ConstraintPlan build_constraint_plan(const SledzigConfig& cfg,
+                                     std::size_t payload_begin,
+                                     std::size_t payload_end) {
+  if (payload_end < payload_begin) {
+    throw std::invalid_argument("build_constraint_plan: bad payload bounds");
+  }
+  const std::size_t dbps =
+      wifi::data_bits_per_symbol(cfg.modulation, cfg.rate, cfg.plan());
+  // Steps < payload_end live in symbols < ceil(payload_end / dbps).
+  const std::size_t num_symbols = (payload_end + dbps - 1) / dbps;
+  const auto sig = significant_bits(cfg, num_symbols);
+
+  ConstraintPlan plan;
+
+  // Count singles/twins and split off the tail region.
+  std::map<std::size_t, unsigned> outputs_per_step;
+  std::vector<Equation> equations;
+  for (const auto& bit : sig) {
+    ++outputs_per_step[bit.step];
+    if (bit.step >= payload_end) {
+      ++plan.num_unforced_tail;
+      continue;
+    }
+    equations.push_back(Equation{bit.step, bit.branch, bit.value});
+  }
+  for (const auto& [step, count] : outputs_per_step) {
+    if (count == 1) {
+      ++plan.num_singles;
+    } else if (count == 2) {
+      ++plan.num_twins;
+    } else {
+      throw std::logic_error("build_constraint_plan: >2 outputs per step");
+    }
+  }
+
+  // Cluster equations whose 7-bit tap windows can interact, then choose the
+  // unknowns cluster by cluster.
+  std::vector<Equation> unforced;
+  for (std::size_t i = 0; i < equations.size();) {
+    Cluster cluster;
+    cluster.equations.push_back(equations[i]);
+    std::size_t last_step = equations[i].step;
+    std::size_t jmp = i + 1;
+    while (jmp < equations.size() && equations[jmp].step <= last_step + 6) {
+      last_step = std::max(last_step, equations[jmp].step);
+      cluster.equations.push_back(equations[jmp]);
+      ++jmp;
+    }
+    i = jmp;
+    solve_cluster_positions(cluster, payload_begin, payload_end, unforced);
+    if (!cluster.equations.empty()) {
+      plan.extra_positions.insert(plan.extra_positions.end(),
+                                  cluster.positions.begin(),
+                                  cluster.positions.end());
+      plan.clusters.push_back(std::move(cluster));
+    }
+  }
+  for (const auto& eq : unforced) {
+    // Equations near the stream head (or the SERVICE field) simply lack
+    // room for an unknown; anything else would be a genuine rank collision.
+    if (eq.step < payload_begin + 7) {
+      ++plan.num_unforced_head;
+    } else {
+      ++plan.num_collisions;
+    }
+  }
+  std::sort(plan.extra_positions.begin(), plan.extra_positions.end());
+  return plan;
+}
+
+}  // namespace sledzig::core

@@ -1,0 +1,91 @@
+#include "sledzig/stream.h"
+
+#include <stdexcept>
+
+namespace sledzig::core {
+
+namespace {
+
+void put_u16(common::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const common::Bytes& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] |
+                                    (static_cast<std::uint16_t>(in[at + 1]) << 8));
+}
+
+}  // namespace
+
+std::vector<common::Bytes> stream_encode(const common::Bytes& message,
+                                         std::uint16_t stream_id,
+                                         const SledzigConfig& cfg,
+                                         std::size_t max_fragment) {
+  if (max_fragment == 0) {
+    throw std::invalid_argument("stream_encode: max_fragment must be > 0");
+  }
+  const std::size_t total =
+      message.empty() ? 1 : (message.size() + max_fragment - 1) / max_fragment;
+  if (total > 0xffff) {
+    throw std::invalid_argument("stream_encode: message needs too many chunks");
+  }
+
+  std::vector<common::Bytes> psdus;
+  psdus.reserve(total);
+  for (std::size_t seq = 0; seq < total; ++seq) {
+    const std::size_t begin = seq * max_fragment;
+    const std::size_t end = std::min(message.size(), begin + max_fragment);
+    common::Bytes chunk;
+    chunk.reserve(kStreamHeaderOctets + (end - begin));
+    put_u16(chunk, stream_id);
+    put_u16(chunk, static_cast<std::uint16_t>(seq));
+    put_u16(chunk, static_cast<std::uint16_t>(total));
+    chunk.insert(chunk.end(), message.begin() + static_cast<long>(begin),
+                 message.begin() + static_cast<long>(end));
+    psdus.push_back(sledzig_encode(chunk, cfg).transmit_psdu);
+  }
+  return psdus;
+}
+
+std::optional<StreamChunk> parse_stream_chunk(const common::Bytes& chunk) {
+  if (chunk.size() < kStreamHeaderOctets) return std::nullopt;
+  StreamChunk out;
+  out.stream_id = get_u16(chunk, 0);
+  out.seq = get_u16(chunk, 2);
+  out.total = get_u16(chunk, 4);
+  if (out.total == 0 || out.seq >= out.total) return std::nullopt;
+  out.fragment.assign(chunk.begin() + kStreamHeaderOctets, chunk.end());
+  return out;
+}
+
+std::optional<common::Bytes> StreamReassembler::push(
+    const common::Bytes& transmit_psdu, const SledzigConfig& cfg) {
+  const auto decoded = sledzig_decode(transmit_psdu, cfg);
+  if (!decoded) return std::nullopt;
+  const auto chunk = parse_stream_chunk(*decoded);
+  if (!chunk) return std::nullopt;
+  return push_chunk(*chunk);
+}
+
+std::optional<common::Bytes> StreamReassembler::push_chunk(
+    const StreamChunk& chunk) {
+  auto& pending = pending_[chunk.stream_id];
+  if (pending.total == 0) {
+    pending.total = chunk.total;
+  } else if (pending.total != chunk.total) {
+    // Conflicting totals: restart the stream with the newer header.
+    pending = Pending{chunk.total, {}};
+  }
+  pending.fragments.emplace(chunk.seq, chunk.fragment);  // dedupes
+  if (pending.fragments.size() < pending.total) return std::nullopt;
+
+  common::Bytes message;
+  for (const auto& [seq, frag] : pending.fragments) {
+    message.insert(message.end(), frag.begin(), frag.end());
+  }
+  pending_.erase(chunk.stream_id);
+  return message;
+}
+
+}  // namespace sledzig::core

@@ -1,0 +1,69 @@
+// Fragmentation / reassembly on top of the SledZig codec.
+//
+// A single PSDU is capped by the 12-bit SIGNAL LENGTH field (4095 octets)
+// and large payloads also amortise badly against the per-symbol extra-bit
+// cost near packet tails.  This layer splits an application message into
+// chunks — each an independent SledZig packet — and reassembles them
+// out-of-order on the receive side:
+//
+//   chunk payload = [stream_id:2][seq:2][total:2][fragment bytes]
+//
+// all little-endian, wrapped by sledzig_encode()/sledzig_decode().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "sledzig/encoder.h"
+
+namespace sledzig::core {
+
+inline constexpr std::size_t kStreamHeaderOctets = 6;
+
+struct StreamChunk {
+  std::uint16_t stream_id = 0;
+  std::uint16_t seq = 0;
+  std::uint16_t total = 0;
+  common::Bytes fragment;
+};
+
+/// Splits `message` into chunks of at most `max_fragment` payload octets and
+/// returns one transmit PSDU per chunk.  Throws if the message would need
+/// more than 65535 chunks.
+std::vector<common::Bytes> stream_encode(const common::Bytes& message,
+                                         std::uint16_t stream_id,
+                                         const SledzigConfig& cfg,
+                                         std::size_t max_fragment = 1024);
+
+/// Parses one received chunk (after sledzig_decode); nullopt when the
+/// header is inconsistent.
+std::optional<StreamChunk> parse_stream_chunk(const common::Bytes& chunk);
+
+/// Reassembles chunks into messages.  Multiple interleaved streams are
+/// supported; duplicates are ignored.
+class StreamReassembler {
+ public:
+  /// Feeds one received transmit PSDU.  Returns the completed message when
+  /// this chunk was the last missing piece of its stream.
+  std::optional<common::Bytes> push(const common::Bytes& transmit_psdu,
+                                    const SledzigConfig& cfg);
+
+  /// Feeds an already-decoded chunk payload.
+  std::optional<common::Bytes> push_chunk(const StreamChunk& chunk);
+
+  /// Streams currently partially assembled.
+  std::size_t pending_streams() const { return pending_.size(); }
+
+  /// Drops the partial state of one stream (e.g. on timeout).
+  void abort_stream(std::uint16_t stream_id) { pending_.erase(stream_id); }
+
+ private:
+  struct Pending {
+    std::uint16_t total = 0;
+    std::map<std::uint16_t, common::Bytes> fragments;
+  };
+  std::map<std::uint16_t, Pending> pending_;
+};
+
+}  // namespace sledzig::core

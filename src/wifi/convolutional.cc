@@ -1,0 +1,193 @@
+#include "wifi/convolutional.h"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace sledzig::wifi {
+
+namespace {
+
+common::Bit parity7(unsigned v) {
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<common::Bit>(v & 1u);
+}
+
+}  // namespace
+
+EncodeStepResult encode_step(unsigned state, common::Bit input) {
+  // Register layout: bit6 = x_n (current input), bit5..bit0 = x_{n-1}..x_{n-6}.
+  const unsigned reg = (static_cast<unsigned>(input & 1u) << 6) | (state & 0x3f);
+  EncodeStepResult r;
+  r.out_a = parity7(reg & kGen0);
+  r.out_b = parity7(reg & kGen1);
+  r.next_state = (reg >> 1) & 0x3f;  // drop x_{n-6}, x_n becomes x_{n-1}
+  return r;
+}
+
+common::Bits convolutional_encode(const common::Bits& in) {
+  common::Bits out;
+  out.reserve(in.size() * 2);
+  unsigned state = 0;
+  for (common::Bit b : in) {
+    const auto step = encode_step(state, b);
+    out.push_back(step.out_a);
+    out.push_back(step.out_b);
+    state = step.next_state;
+  }
+  return out;
+}
+
+common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
+                            bool terminated) {
+  if (coded.size() % 2 != 0) {
+    throw std::invalid_argument("viterbi_decode: odd coded length");
+  }
+  const std::size_t steps = coded.size() / 2;
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+
+  // Precompute branch outputs for (state, input).
+  struct Branch {
+    unsigned next;
+    common::Bit a, b;
+  };
+  static const auto kTrellis = [] {
+    std::array<std::array<Branch, 2>, kNumStates> t{};
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      for (unsigned in = 0; in < 2; ++in) {
+        const auto r = encode_step(s, static_cast<common::Bit>(in));
+        t[s][in] = Branch{r.next_state, r.out_a, r.out_b};
+      }
+    }
+    return t;
+  }();
+
+  std::vector<unsigned> metric(kNumStates, kInf);
+  std::vector<unsigned> next_metric(kNumStates, kInf);
+  metric[0] = 0;  // encoder starts in the all-zero state
+
+  // survivor[t][s] = input bit and predecessor state packed into one byte.
+  std::vector<std::vector<std::uint8_t>> survivor(
+      steps, std::vector<std::uint8_t>(kNumStates, 0));
+  std::vector<std::vector<std::uint8_t>> pred(
+      steps, std::vector<std::uint8_t>(kNumStates, 0));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    const std::int8_t ra = coded[2 * t];
+    const std::int8_t rb = coded[2 * t + 1];
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned in = 0; in < 2; ++in) {
+        const Branch& br = kTrellis[s][in];
+        unsigned cost = metric[s];
+        if (ra != kErased && br.a != static_cast<common::Bit>(ra)) ++cost;
+        if (rb != kErased && br.b != static_cast<common::Bit>(rb)) ++cost;
+        if (cost < next_metric[br.next]) {
+          next_metric[br.next] = cost;
+          survivor[t][br.next] = static_cast<std::uint8_t>(in);
+          pred[t][br.next] = static_cast<std::uint8_t>(s);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Pick the end state: 0 when terminated, otherwise best metric.
+  unsigned state = 0;
+  if (!terminated) {
+    unsigned best = kInf;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] < best) {
+        best = metric[s];
+        state = s;
+      }
+    }
+  }
+
+  common::Bits decoded(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    decoded[t] = survivor[t][state];
+    state = pred[t][state];
+  }
+  return decoded;
+}
+
+common::Bits viterbi_decode_soft(std::span<const double> llrs,
+                                 bool terminated) {
+  if (llrs.size() % 2 != 0) {
+    throw std::invalid_argument("viterbi_decode_soft: odd LLR length");
+  }
+  const std::size_t steps = llrs.size() / 2;
+  constexpr double kInf = 1e300;
+
+  struct Branch {
+    unsigned next;
+    common::Bit a, b;
+  };
+  static const auto kTrellis = [] {
+    std::array<std::array<Branch, 2>, kNumStates> t{};
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      for (unsigned in = 0; in < 2; ++in) {
+        const auto r = encode_step(s, static_cast<common::Bit>(in));
+        t[s][in] = Branch{r.next_state, r.out_a, r.out_b};
+      }
+    }
+    return t;
+  }();
+
+  std::vector<double> metric(kNumStates, kInf);
+  std::vector<double> next_metric(kNumStates, kInf);
+  metric[0] = 0.0;
+
+  std::vector<std::vector<std::uint8_t>> survivor(
+      steps, std::vector<std::uint8_t>(kNumStates, 0));
+  std::vector<std::vector<std::uint8_t>> pred(
+      steps, std::vector<std::uint8_t>(kNumStates, 0));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    const double la = llrs[2 * t];
+    const double lb = llrs[2 * t + 1];
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned in = 0; in < 2; ++in) {
+        const Branch& br = kTrellis[s][in];
+        // Cost: correlation against the LLRs — a bit of 1 prefers a
+        // positive LLR.  Add llr when the branch bit disagrees with its
+        // sign (equivalent up to a constant to -sum(llr * (2*bit - 1))).
+        double cost = metric[s];
+        cost += br.a ? -la : la;
+        cost += br.b ? -lb : lb;
+        if (cost < next_metric[br.next]) {
+          next_metric[br.next] = cost;
+          survivor[t][br.next] = static_cast<std::uint8_t>(in);
+          pred[t][br.next] = static_cast<std::uint8_t>(s);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  unsigned state = 0;
+  if (!terminated) {
+    double best = kInf;
+    for (unsigned s = 0; s < kNumStates; ++s) {
+      if (metric[s] < best) {
+        best = metric[s];
+        state = s;
+      }
+    }
+  }
+
+  common::Bits decoded(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    decoded[t] = survivor[t][state];
+    state = pred[t][state];
+  }
+  return decoded;
+}
+
+}  // namespace sledzig::wifi

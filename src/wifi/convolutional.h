@@ -1,0 +1,57 @@
+// Rate-1/2, constraint-length-7 convolutional code of 802.11
+// (generators g0 = 133o = 1011011b, g1 = 171o = 1111001b) plus a
+// hard-decision Viterbi decoder with erasure support for depunctured
+// streams.
+//
+// Output ordering: input bit x_n produces y_{2n-1} (from g0) followed by
+// y_{2n} (from g1), matching Eq. 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace sledzig::wifi {
+
+inline constexpr unsigned kConstraintLength = 7;
+inline constexpr unsigned kNumStates = 1u << (kConstraintLength - 1);  // 64
+// Generator taps over [x_n, x_{n-1}, ..., x_{n-6}]:
+inline constexpr std::uint8_t kGen0 = 0b1011011;  // 133 octal
+inline constexpr std::uint8_t kGen1 = 0b1111001;  // 171 octal
+
+/// Encoder state = the previous 6 input bits, x_{n-1} in the MSB-6 position:
+/// state = x_{n-1}<<5 | x_{n-2}<<4 | ... | x_{n-6}.
+struct EncodeStepResult {
+  unsigned next_state;
+  common::Bit out_a;  // y_{2n-1}, generator g0
+  common::Bit out_b;  // y_{2n},   generator g1
+};
+
+/// One encoder transition.  Pure function; used by both the encoder and the
+/// SledZig extra-bit solver.
+EncodeStepResult encode_step(unsigned state, common::Bit input);
+
+/// Encodes the whole input (no tail appended; append kTailBits zeros
+/// upstream if you need the trellis terminated).  Output has 2x the length.
+common::Bits convolutional_encode(const common::Bits& in);
+
+/// Hard-decision Viterbi decoder over the same code.
+///
+/// `coded` holds one entry per 1/2-rate coded bit: 0, 1, or kErased for a
+/// punctured position.  The length must be even.  If `terminated` is true the
+/// decoder assumes the encoder was flushed to state 0 (tail bits present in
+/// the input and returned in the output).
+inline constexpr std::int8_t kErased = -1;
+
+common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
+                            bool terminated = true);
+
+/// Soft-decision Viterbi over per-bit LLRs (positive = likely 1; 0 =
+/// erased/punctured).  Worth ~2 dB over hard decisions at 802.11 operating
+/// points.  The LLR length must be even.
+common::Bits viterbi_decode_soft(std::span<const double> llrs,
+                                 bool terminated = true);
+
+}  // namespace sledzig::wifi

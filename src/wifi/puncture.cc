@@ -1,0 +1,114 @@
+#include "wifi/puncture.h"
+
+#include <stdexcept>
+
+namespace sledzig::wifi {
+
+std::vector<bool> puncture_mask(CodingRate r) {
+  switch (r) {
+    case CodingRate::kR12:
+      return {true, true};
+    case CodingRate::kR23:
+      return {true, true, true, false};
+    case CodingRate::kR34:
+      return {true, true, true, false, false, true};
+    case CodingRate::kR56:
+      return {true, true, true, false, false, true, true, false, false, true};
+  }
+  throw std::invalid_argument("puncture_mask: bad rate");
+}
+
+common::Bits puncture(const common::Bits& coded, CodingRate r) {
+  const auto mask = puncture_mask(r);
+  common::Bits out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (mask[i % mask.size()]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+std::vector<std::int8_t> depuncture(const common::Bits& punctured,
+                                    CodingRate r) {
+  const auto mask = puncture_mask(r);
+  std::size_t kept_per_period = 0;
+  for (bool keep : mask) kept_per_period += keep ? 1 : 0;
+
+  std::vector<std::int8_t> out;
+  out.reserve(punctured.size() * mask.size() / kept_per_period + mask.size());
+  std::size_t in_pos = 0;
+  std::size_t last_kept_end = 0;  // one past the last real (non-erased) bit
+  while (in_pos < punctured.size()) {
+    for (bool keep : mask) {
+      if (keep && in_pos < punctured.size()) {
+        out.push_back(static_cast<std::int8_t>(punctured[in_pos++]));
+        last_kept_end = out.size();
+      } else {
+        out.push_back(kErased);
+      }
+    }
+  }
+  // The encoder may have stopped mid-pattern; drop padding beyond the last
+  // real bit, rounded up to a whole trellis step.
+  out.resize(last_kept_end + (last_kept_end % 2));
+  return out;
+}
+
+std::vector<double> depuncture_soft(std::span<const double> punctured,
+                                    CodingRate r) {
+  const auto mask = puncture_mask(r);
+  std::size_t kept_per_period = 0;
+  for (bool keep : mask) kept_per_period += keep ? 1 : 0;
+
+  std::vector<double> out;
+  out.reserve(punctured.size() * mask.size() / kept_per_period + mask.size());
+  std::size_t in_pos = 0;
+  std::size_t last_kept_end = 0;
+  while (in_pos < punctured.size()) {
+    for (bool keep : mask) {
+      if (keep && in_pos < punctured.size()) {
+        out.push_back(punctured[in_pos++]);
+        last_kept_end = out.size();
+      } else {
+        out.push_back(0.0);
+      }
+    }
+  }
+  out.resize(last_kept_end + (last_kept_end % 2));
+  return out;
+}
+
+std::size_t punctured_to_coded_index(CodingRate r, std::size_t punctured_pos) {
+  const auto mask = puncture_mask(r);
+  std::size_t kept_per_period = 0;
+  for (bool keep : mask) kept_per_period += keep ? 1 : 0;
+
+  const std::size_t period = punctured_pos / kept_per_period;
+  std::size_t within = punctured_pos % kept_per_period;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) {
+      if (within == 0) return period * mask.size() + i;
+      --within;
+    }
+  }
+  throw std::logic_error("punctured_to_coded_index: unreachable");
+}
+
+bool coded_to_punctured_index(CodingRate r, std::size_t coded_pos,
+                              std::size_t& punctured_pos) {
+  const auto mask = puncture_mask(r);
+  std::size_t kept_per_period = 0;
+  for (bool keep : mask) kept_per_period += keep ? 1 : 0;
+
+  const std::size_t period = coded_pos / mask.size();
+  const std::size_t within = coded_pos % mask.size();
+  if (!mask[within]) return false;
+  std::size_t kept_before = 0;
+  for (std::size_t i = 0; i < within; ++i) {
+    kept_before += mask[i] ? 1 : 0;
+  }
+  punctured_pos = period * kept_per_period + kept_before;
+  return true;
+}
+
+}  // namespace sledzig::wifi

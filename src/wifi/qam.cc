@@ -1,0 +1,214 @@
+#include "wifi/qam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sledzig::wifi {
+
+namespace {
+
+/// Decodes a binary-reflected Gray code given MSB-first bits.
+unsigned gray_decode(std::span<const common::Bit> bits) {
+  unsigned b = 0;
+  unsigned prev = 0;
+  for (common::Bit g : bits) {
+    prev ^= (g & 1u);
+    b = (b << 1) | prev;
+  }
+  return b;
+}
+
+/// Encodes value (0..2^n-1) as MSB-first Gray bits.
+void gray_encode(unsigned value, std::size_t n, common::Bits& out) {
+  const unsigned g = value ^ (value >> 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<common::Bit>((g >> (n - 1 - i)) & 1u));
+  }
+}
+
+double axis_amplitude(std::span<const common::Bit> bits) {
+  const auto n = bits.size();
+  return 2.0 * static_cast<double>(gray_decode(bits)) -
+         (static_cast<double>(1u << n) - 1.0);
+}
+
+/// Nearest valid axis level for n bits, returned as the level index 0..2^n-1.
+unsigned nearest_level(double value, std::size_t n) {
+  const double max_level = static_cast<double>((1u << n) - 1);
+  double idx = (value + max_level) / 2.0;
+  idx = std::round(idx);
+  if (idx < 0) idx = 0;
+  if (idx > max_level) idx = max_level;
+  return static_cast<unsigned>(idx);
+}
+
+}  // namespace
+
+double qam_norm(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1.0;
+    case Modulation::kQpsk: return 1.0 / std::sqrt(2.0);
+    case Modulation::kQam16: return 1.0 / std::sqrt(10.0);
+    case Modulation::kQam64: return 1.0 / std::sqrt(42.0);
+    case Modulation::kQam256: return 1.0 / std::sqrt(170.0);
+  }
+  throw std::invalid_argument("qam_norm: bad modulation");
+}
+
+common::Cplx qam_map_point(std::span<const common::Bit> bits, Modulation m) {
+  const std::size_t n_bpsc = bits_per_subcarrier(m);
+  if (bits.size() != n_bpsc) {
+    throw std::invalid_argument("qam_map_point: wrong group size");
+  }
+  const double k = qam_norm(m);
+  if (m == Modulation::kBpsk) {
+    return {k * (bits[0] ? 1.0 : -1.0), 0.0};
+  }
+  // Interlaced layout: I bits at even group offsets, Q bits at odd.
+  const std::size_t half = n_bpsc / 2;
+  common::Bits i_bits(half), q_bits(half);
+  for (std::size_t t = 0; t < half; ++t) {
+    i_bits[t] = bits[2 * t];
+    q_bits[t] = bits[2 * t + 1];
+  }
+  const double i = axis_amplitude(i_bits);
+  const double q = axis_amplitude(q_bits);
+  return {k * i, k * q};
+}
+
+common::CplxVec qam_map(const common::Bits& bits, Modulation m) {
+  const std::size_t n_bpsc = bits_per_subcarrier(m);
+  if (bits.size() % n_bpsc != 0) {
+    throw std::invalid_argument("qam_map: size not a multiple of N_BPSC");
+  }
+  common::CplxVec out;
+  out.reserve(bits.size() / n_bpsc);
+  for (std::size_t i = 0; i < bits.size(); i += n_bpsc) {
+    out.push_back(
+        qam_map_point(std::span<const common::Bit>(bits).subspan(i, n_bpsc), m));
+  }
+  return out;
+}
+
+common::Bits qam_demap_point(common::Cplx point, Modulation m) {
+  const double k = qam_norm(m);
+  common::Bits out;
+  if (m == Modulation::kBpsk) {
+    out.push_back(point.real() >= 0.0 ? 1 : 0);
+    return out;
+  }
+  const std::size_t half = bits_per_subcarrier(m) / 2;
+  common::Bits i_bits, q_bits;
+  gray_encode(nearest_level(point.real() / k, half), half, i_bits);
+  gray_encode(nearest_level(point.imag() / k, half), half, q_bits);
+  out.resize(2 * half);
+  for (std::size_t t = 0; t < half; ++t) {
+    out[2 * t] = i_bits[t];
+    out[2 * t + 1] = q_bits[t];
+  }
+  return out;
+}
+
+common::Bits qam_demap(std::span<const common::Cplx> points, Modulation m) {
+  common::Bits out;
+  out.reserve(points.size() * bits_per_subcarrier(m));
+  for (const auto& p : points) {
+    const auto bits = qam_demap_point(p, m);
+    out.insert(out.end(), bits.begin(), bits.end());
+  }
+  return out;
+}
+
+std::vector<double> qam_demap_soft(common::Cplx point, Modulation m) {
+  const std::size_t n_bpsc = bits_per_subcarrier(m);
+  // Enumerate the constellation once per modulation: point + bit labels.
+  struct Entry {
+    common::Cplx point;
+    unsigned label;  // bit b at offset i => (label >> i) & 1
+  };
+  static const auto tables = [] {
+    std::array<std::vector<Entry>, 5> all;
+    for (auto mod : {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+                     Modulation::kQam64, Modulation::kQam256}) {
+      const std::size_t bits = bits_per_subcarrier(mod);
+      auto& table = all[static_cast<std::size_t>(mod)];
+      table.reserve(1u << bits);
+      for (unsigned v = 0; v < (1u << bits); ++v) {
+        common::Bits group(bits);
+        for (std::size_t i = 0; i < bits; ++i) {
+          group[i] = static_cast<common::Bit>((v >> i) & 1u);
+        }
+        table.push_back(Entry{qam_map_point(group, mod), v});
+      }
+    }
+    return all;
+  }();
+  const auto& table = tables[static_cast<std::size_t>(m)];
+
+  // Max-log: LLR_i = min_{s: bit_i=0} |y-s|^2 - min_{s: bit_i=1} |y-s|^2.
+  std::vector<double> min0(n_bpsc, 1e300), min1(n_bpsc, 1e300);
+  for (const auto& e : table) {
+    const double d = std::norm(point - e.point);
+    for (std::size_t i = 0; i < n_bpsc; ++i) {
+      if ((e.label >> i) & 1u) {
+        min1[i] = std::min(min1[i], d);
+      } else {
+        min0[i] = std::min(min0[i], d);
+      }
+    }
+  }
+  std::vector<double> llrs(n_bpsc);
+  for (std::size_t i = 0; i < n_bpsc; ++i) llrs[i] = min0[i] - min1[i];
+  return llrs;
+}
+
+std::vector<double> qam_demap_soft(std::span<const common::Cplx> points,
+                                   Modulation m) {
+  std::vector<double> out;
+  out.reserve(points.size() * bits_per_subcarrier(m));
+  for (const auto& p : points) {
+    const auto llrs = qam_demap_soft(p, m);
+    out.insert(out.end(), llrs.begin(), llrs.end());
+  }
+  return out;
+}
+
+std::vector<SignificantBitSpec> significant_bits(Modulation m) {
+  const std::size_t n_bpsc = bits_per_subcarrier(m);
+  if (n_bpsc < 4) {
+    throw std::invalid_argument(
+        "significant_bits: BPSK/QPSK have a single power level");
+  }
+  const std::size_t half = n_bpsc / 2;
+  // Lowest axis levels (+-1) have Gray codes 01..1 0..0 reading MSB-first:
+  // the first axis bit is arbitrary, the second must be 1, the rest must be
+  // 0.  With the interlaced layout the axis-t bit sits at group offset
+  // 2t (I) / 2t+1 (Q), so the significant offsets are {2, 3, 4, ...}.
+  std::vector<SignificantBitSpec> specs;
+  for (std::size_t axis = 0; axis < 2; ++axis) {
+    specs.push_back({2 * 1 + axis, 1});
+    for (std::size_t t = 2; t < half; ++t) specs.push_back({2 * t + axis, 0});
+  }
+  return specs;
+}
+
+double lowest_point_power_raw() { return 2.0; }
+
+double average_point_power_raw(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1.0;
+    case Modulation::kQpsk: return 2.0;
+    case Modulation::kQam16: return 10.0;
+    case Modulation::kQam64: return 42.0;
+    case Modulation::kQam256: return 170.0;
+  }
+  throw std::invalid_argument("average_point_power_raw: bad modulation");
+}
+
+bool is_lowest_point(common::Cplx point, Modulation m, double tol) {
+  const double k = qam_norm(m);
+  return std::abs(std::abs(point.real()) - k) < tol &&
+         std::abs(std::abs(point.imag()) - k) < tol;
+}
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,253 @@
+#include "wifi/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/dsp.h"
+#include "common/units.h"
+#include "wifi/convolutional.h"
+#include "wifi/interleaver.h"
+#include "wifi/ofdm.h"
+#include "wifi/preamble.h"
+#include "wifi/puncture.h"
+#include "wifi/qam.h"
+#include "wifi/scrambler.h"
+
+namespace sledzig::wifi {
+
+std::optional<std::size_t> detect_preamble(std::span<const common::Cplx> samples,
+                                           double threshold,
+                                           ChannelWidth width) {
+  const auto& ref = full_preamble(width);
+  if (samples.size() < ref.size()) return std::nullopt;
+  const double ref_energy = common::energy(ref);
+
+  double best_corr = 0.0;
+  std::size_t best_pos = 0;
+  // Sliding window energy for normalisation.
+  double win_energy = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) win_energy += std::norm(samples[i]);
+
+  const std::size_t last = samples.size() - ref.size();
+  for (std::size_t t = 0; t <= last; ++t) {
+    common::Cplx acc(0.0, 0.0);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      acc += samples[t + i] * std::conj(ref[i]);
+    }
+    const double denom = std::sqrt(std::max(win_energy, 1e-30) * ref_energy);
+    const double corr = std::abs(acc) / denom;
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_pos = t;
+    }
+    if (t < last) {
+      win_energy += std::norm(samples[t + ref.size()]) - std::norm(samples[t]);
+    }
+  }
+  if (best_corr < threshold) return std::nullopt;
+  return best_pos;
+}
+
+namespace {
+
+/// Phase-increment estimate from a delayed autocorrelation at `lag` over
+/// [begin, begin+span): returns radians per sample.
+double lag_phase(std::span<const common::Cplx> samples, std::size_t begin,
+                 std::size_t lag, std::size_t span) {
+  common::Cplx acc(0.0, 0.0);
+  for (std::size_t i = 0; i < span; ++i) {
+    acc += samples[begin + i + lag] * std::conj(samples[begin + i]);
+  }
+  return std::arg(acc) / static_cast<double>(lag);
+}
+
+common::CplxVec derotate(std::span<const common::Cplx> samples,
+                         double cfo_hz, double fs) {
+  return common::frequency_shift(samples, -cfo_hz, fs);
+}
+
+}  // namespace
+
+std::optional<SyncInfo> synchronize_packet(std::span<const common::Cplx> samples,
+                                           double threshold,
+                                           ChannelWidth width) {
+  const auto& plan = channel_plan(width);
+  const std::size_t lag = plan.fft_size / 4;  // STS period
+  const std::size_t window = stf_len(width) - 2 * lag;
+  if (samples.size() < preamble_len(width) + plan.symbol_len()) {
+    return std::nullopt;
+  }
+
+  // 1. Coarse scan: STF autocorrelation plateau (CFO-immune).
+  double best_metric = 0.0;
+  std::size_t coarse = 0;
+  const std::size_t last = samples.size() - preamble_len(width);
+  for (std::size_t t = 0; t <= last; t += 4) {
+    common::Cplx acc(0.0, 0.0);
+    double energy = 0.0, energy_shift = 0.0;
+    for (std::size_t i = 0; i < window; ++i) {
+      acc += samples[t + i + lag] * std::conj(samples[t + i]);
+      energy += std::norm(samples[t + i]);
+      energy_shift += std::norm(samples[t + i + lag]);
+    }
+    // Normalise by both windows (bounds the metric to [0, 1] and avoids the
+    // spike at the noise-to-signal boundary).
+    const double denom = std::sqrt(energy * energy_shift);
+    if (denom <= 1e-30) continue;
+    const double metric = std::abs(acc) / denom;
+    if (metric > best_metric) {
+      best_metric = metric;
+      coarse = t;
+    }
+  }
+  if (best_metric < 0.5) return std::nullopt;
+
+  // 2. Coarse CFO from the STF at the coarse position.
+  const double fs = plan.sample_rate_hz;
+  const double coarse_cfo =
+      lag_phase(samples, coarse, lag, window) * fs / (2.0 * std::numbers::pi);
+
+  // 3. Fine timing: cross-correlate the derotated neighbourhood with the
+  //    clean preamble.
+  const std::size_t search_begin =
+      coarse > plan.fft_size ? coarse - plan.fft_size : 0;
+  const std::size_t search_len =
+      std::min(samples.size() - search_begin,
+               preamble_len(width) + 3 * plan.fft_size);
+  const auto region = derotate(samples.subspan(search_begin, search_len),
+                               coarse_cfo, fs);
+  const auto fine = detect_preamble(region, threshold, width);
+  if (!fine) return std::nullopt;
+  const std::size_t start = search_begin + *fine;
+
+  // 4. Fine CFO from the two LTS bodies (lag = fft size).
+  const std::size_t lts1 = start + stf_len(width) + plan.fft_size / 2;
+  if (lts1 + 2 * plan.fft_size > samples.size()) return std::nullopt;
+  const auto around_ltf =
+      derotate(samples.subspan(lts1, 2 * plan.fft_size), coarse_cfo, fs);
+  const double fine_cfo =
+      lag_phase(around_ltf, 0, plan.fft_size, plan.fft_size) * fs /
+      (2.0 * std::numbers::pi);
+
+  return SyncInfo{start, coarse_cfo + fine_cfo};
+}
+
+common::CplxVec estimate_channel(std::span<const common::Cplx> samples,
+                                 std::size_t ltf_start, ChannelWidth width) {
+  const auto& plan = channel_plan(width);
+  const std::size_t n = plan.fft_size;
+  // The two LTS bodies start half a body (guard) into the LTF.
+  const std::size_t lts1 = ltf_start + n / 2;
+  const std::size_t lts2 = lts1 + n;
+  common::CplxVec y1(samples.begin() + static_cast<long>(lts1),
+                     samples.begin() + static_cast<long>(lts1 + n));
+  common::CplxVec y2(samples.begin() + static_cast<long>(lts2),
+                     samples.begin() + static_cast<long>(lts2 + n));
+  common::fft_inplace(y1, /*inverse=*/false);
+  common::fft_inplace(y2, /*inverse=*/false);
+
+  const auto& ref = ltf_reference_bins(width);
+  common::CplxVec channel(n, common::Cplx(1.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::abs(ref[k]) > 0.5) {
+      channel[k] = (y1[k] + y2[k]) / (2.0 * plan.time_scale() * ref[k]);
+    }
+  }
+  return channel;
+}
+
+common::Bits decode_data_field(std::span<const common::Cplx> data_samples,
+                               Modulation m, CodingRate r,
+                               std::size_t num_symbols,
+                               std::span<const common::Cplx> channel,
+                               ChannelWidth width, bool soft_decision) {
+  const auto& plan = channel_plan(width);
+  // Pad is data-like, so the trellis is not guaranteed to terminate at zero.
+  if (soft_decision) {
+    std::vector<double> llrs;
+    llrs.reserve(num_symbols * coded_bits_per_symbol(m, plan));
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      const auto points = demodulate_ofdm_symbol(
+          data_samples.subspan(s * plan.symbol_len(), plan.symbol_len()),
+          s + 1, channel, plan);
+      const auto symbol_llrs = qam_demap_soft(points, m);
+      llrs.insert(llrs.end(), symbol_llrs.begin(), symbol_llrs.end());
+    }
+    const auto punctured = deinterleave_soft(llrs, m, plan);
+    const auto full = depuncture_soft(punctured, r);
+    return viterbi_decode_soft(full, /*terminated=*/false);
+  }
+  common::Bits interleaved;
+  interleaved.reserve(num_symbols * coded_bits_per_symbol(m, plan));
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    const auto points = demodulate_ofdm_symbol(
+        data_samples.subspan(s * plan.symbol_len(), plan.symbol_len()), s + 1,
+        channel, plan);
+    const auto bits = qam_demap(points, m);
+    interleaved.insert(interleaved.end(), bits.begin(), bits.end());
+  }
+  const auto punctured = deinterleave(interleaved, m, plan);
+  const auto soft = depuncture(punctured, r);
+  return viterbi_decode(soft, /*terminated=*/false);
+}
+
+WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
+                          const WifiRxConfig& cfg) {
+  const auto& plan = channel_plan(cfg.width);
+  WifiRxResult result;
+
+  std::optional<std::size_t> start;
+  common::CplxVec corrected;
+  std::span<const common::Cplx> samples = raw_samples;
+  if (cfg.correct_cfo) {
+    const auto sync =
+        synchronize_packet(raw_samples, cfg.detection_threshold, cfg.width);
+    if (!sync) return result;
+    corrected = derotate(raw_samples, sync->cfo_hz, plan.sample_rate_hz);
+    samples = corrected;
+    start = sync->packet_start;
+  } else {
+    start = detect_preamble(samples, cfg.detection_threshold, cfg.width);
+    if (!start) return result;
+  }
+  result.detected = true;
+  result.packet_start = *start;
+
+  const std::size_t ltf_start = *start + stf_len(cfg.width);
+  const std::size_t signal_start = *start + preamble_len(cfg.width);
+  if (signal_start + plan.symbol_len() > samples.size()) return result;
+  const auto channel = estimate_channel(samples, ltf_start, cfg.width);
+
+  const auto field = demodulate_signal_symbol(
+      samples.subspan(signal_start, plan.symbol_len()), channel, plan);
+  if (!field) return result;
+  result.signal = *field;
+  result.signal_valid = true;
+
+  WifiTxConfig txcfg;
+  txcfg.modulation = field->modulation;
+  txcfg.rate = field->rate;
+  txcfg.include_service_field = cfg.include_service_field;
+  txcfg.width = cfg.width;
+  const std::size_t n_sym = num_data_symbols(field->psdu_octets * 8, txcfg);
+  const std::size_t data_start = signal_start + plan.symbol_len();
+  if (data_start + n_sym * plan.symbol_len() > samples.size()) return result;
+
+  const auto scrambled = decode_data_field(
+      samples.subspan(data_start, n_sym * plan.symbol_len()),
+      field->modulation, field->rate, n_sym, channel, cfg.width,
+      cfg.soft_decision);
+  result.scrambled_stream = scrambled;
+
+  auto raw = descramble(scrambled, cfg.scrambler_seed);
+  const std::size_t offset = payload_bit_offset(txcfg);
+  const std::size_t payload_bits = field->psdu_octets * 8;
+  if (offset + payload_bits > raw.size()) return result;
+  common::Bits psdu_bits(raw.begin() + static_cast<long>(offset),
+                         raw.begin() + static_cast<long>(offset + payload_bits));
+  result.psdu = common::bits_to_bytes(psdu_bits);
+  return result;
+}
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,34 @@
+#include "wifi/scrambler.h"
+
+#include <stdexcept>
+
+namespace sledzig::wifi {
+
+common::Bits scrambler_sequence(std::uint8_t seed, std::size_t count) {
+  if ((seed & 0x7f) == 0) {
+    throw std::invalid_argument("scrambler: seed must be a nonzero 7-bit value");
+  }
+  // state bits: state[0] = x1 ... state[6] = x7 in the standard's notation.
+  std::uint8_t state = static_cast<std::uint8_t>(seed & 0x7f);
+  common::Bits out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Feedback = x7 XOR x4.
+    const std::uint8_t x7 = (state >> 6) & 1u;
+    const std::uint8_t x4 = (state >> 3) & 1u;
+    const std::uint8_t fb = x7 ^ x4;
+    out[i] = fb;
+    state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7f);
+  }
+  return out;
+}
+
+common::Bits scramble(const common::Bits& in, std::uint8_t seed) {
+  const auto key = scrambler_sequence(seed, in.size());
+  common::Bits out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<common::Bit>((in[i] ^ key[i]) & 1u);
+  }
+  return out;
+}
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,28 @@
+// 802.11 data scrambler: length-127 LFSR with polynomial x^7 + x^4 + 1.
+//
+// The scrambler is *additive* (synchronous): the keystream depends only on
+// the 7-bit seed, so scrambling and descrambling are the same XOR operation.
+// SledZig relies on this — extra bits are computed in the scrambled domain
+// and the transmit payload is obtained by descrambling (section IV-C of the
+// paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace sledzig::wifi {
+
+/// Generates `count` keystream bits from the 7-bit seed (must be nonzero per
+/// the standard; seed bit 0 is x1, the oldest register stage).
+common::Bits scrambler_sequence(std::uint8_t seed, std::size_t count);
+
+/// XORs the input with the keystream.  Self-inverse.
+common::Bits scramble(const common::Bits& in, std::uint8_t seed);
+
+/// Alias of scramble(); provided for call-site readability.
+inline common::Bits descramble(const common::Bits& in, std::uint8_t seed) {
+  return scramble(in, seed);
+}
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,107 @@
+#include "wifi/transmitter.h"
+
+#include <stdexcept>
+
+#include "wifi/convolutional.h"
+#include "wifi/interleaver.h"
+#include "wifi/ofdm.h"
+#include "wifi/preamble.h"
+#include "wifi/puncture.h"
+#include "wifi/qam.h"
+#include "wifi/scrambler.h"
+
+namespace sledzig::wifi {
+
+std::size_t payload_bit_offset(const WifiTxConfig& cfg) {
+  return cfg.include_service_field ? 16 : 0;
+}
+
+std::size_t num_data_symbols(std::size_t payload_bits, const WifiTxConfig& cfg) {
+  const std::size_t dbps =
+      data_bits_per_symbol(cfg.modulation, cfg.rate, cfg.plan());
+  const std::size_t total = payload_bit_offset(cfg) + payload_bits + kTailBits;
+  return (total + dbps - 1) / dbps;
+}
+
+WifiTxResult transmit_scrambled_stream(const common::Bits& scrambled,
+                                       const WifiTxConfig& cfg) {
+  const auto& plan = cfg.plan();
+  const std::size_t dbps = data_bits_per_symbol(cfg.modulation, cfg.rate, plan);
+  if (scrambled.empty() || scrambled.size() % dbps != 0) {
+    throw std::invalid_argument(
+        "transmit_scrambled_stream: length must be a nonzero multiple of N_DBPS");
+  }
+  const auto coded = convolutional_encode(scrambled);
+  const auto punctured = puncture(coded, cfg.rate);
+  const std::size_t cbps = coded_bits_per_symbol(cfg.modulation, plan);
+  if (punctured.size() % cbps != 0) {
+    throw std::logic_error("transmit_scrambled_stream: puncture misalignment");
+  }
+  const auto interleaved = interleave(punctured, cfg.modulation, plan);
+  const auto points = qam_map(interleaved, cfg.modulation);
+
+  WifiTxResult result;
+  result.scrambled_stream = scrambled;
+  result.data_points = points;
+  result.num_data_symbols = scrambled.size() / dbps;
+  result.samples.reserve(result.num_data_symbols * plan.symbol_len());
+  for (std::size_t s = 0; s < result.num_data_symbols; ++s) {
+    const auto symbol = modulate_ofdm_symbol(
+        std::span<const common::Cplx>(points).subspan(s * plan.num_data(),
+                                                      plan.num_data()),
+        /*symbol_index=*/s + 1, plan);  // index 0 is the SIGNAL symbol
+    result.samples.insert(result.samples.end(), symbol.begin(), symbol.end());
+  }
+  return result;
+}
+
+WifiTxResult wifi_transmit(const common::Bytes& psdu, const WifiTxConfig& cfg) {
+  const auto& plan = cfg.plan();
+  const auto payload_bits = common::bytes_to_bits(psdu);
+  const std::size_t n_sym = num_data_symbols(payload_bits.size(), cfg);
+  const std::size_t dbps = data_bits_per_symbol(cfg.modulation, cfg.rate, plan);
+  const std::size_t total = n_sym * dbps;
+
+  // Assemble [SERVICE?][payload][tail][pad], scramble, then zero the
+  // scrambled tail bits so the encoder is flushed (17.3.5.3 of the standard).
+  common::Bits raw;
+  raw.reserve(total);
+  for (std::size_t i = 0; i < payload_bit_offset(cfg); ++i) raw.push_back(0);
+  raw.insert(raw.end(), payload_bits.begin(), payload_bits.end());
+  const std::size_t tail_start = raw.size();
+  raw.resize(total, 0);
+
+  auto scrambled = scramble(raw, cfg.scrambler_seed);
+  for (std::size_t i = 0; i < kTailBits && tail_start + i < total; ++i) {
+    scrambled[tail_start + i] = 0;
+  }
+
+  auto data_part = transmit_scrambled_stream(scrambled, cfg);
+
+  SignalField field;
+  field.modulation = cfg.modulation;
+  field.rate = cfg.rate;
+  field.psdu_octets = psdu.size();
+
+  WifiTxResult result;
+  result.num_data_symbols = n_sym;
+  result.scrambled_stream = std::move(data_part.scrambled_stream);
+  result.data_points = std::move(data_part.data_points);
+  const auto& preamble = full_preamble(cfg.width);
+  const auto signal = modulate_signal_symbol(field, plan);
+  result.samples.reserve(preamble.size() + signal.size() +
+                         data_part.samples.size());
+  result.samples.insert(result.samples.end(), preamble.begin(), preamble.end());
+  result.samples.insert(result.samples.end(), signal.begin(), signal.end());
+  result.samples.insert(result.samples.end(), data_part.samples.begin(),
+                        data_part.samples.end());
+  return result;
+}
+
+double packet_duration_us(std::size_t psdu_octets, const WifiTxConfig& cfg) {
+  const std::size_t n_sym = num_data_symbols(psdu_octets * 8, cfg);
+  return kPreambleDurationUs + kSymbolDurationUs /*SIGNAL*/ +
+         kSymbolDurationUs * static_cast<double>(n_sym);
+}
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,63 @@
+// Standard 802.11 OFDM transmitter chain (Fig 1 of the paper):
+//   payload -> scramble -> convolutional encode -> puncture -> interleave
+//           -> QAM map -> OFDM (pilots, IFFT, CP) -> preamble + SIGNAL + data.
+//
+// SledZig never modifies this chain; it only chooses the payload bytes.  The
+// intermediate scrambled-domain entry point (transmit_scrambled_stream) is
+// exposed for tests that need to inspect the pipeline stage by stage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.h"
+#include "common/fft.h"
+#include "wifi/phy_params.h"
+#include "wifi/signal_field.h"
+#include "wifi/subcarriers.h"
+
+namespace sledzig::wifi {
+
+struct WifiTxConfig {
+  Modulation modulation = Modulation::kQam16;
+  CodingRate rate = CodingRate::kR12;
+  std::uint8_t scrambler_seed = 0x5d;
+  /// When true the data field starts with the 16-bit SERVICE field as in the
+  /// full standard; the paper's bit-position accounting (Table II) omits it,
+  /// so the default is false.
+  bool include_service_field = false;
+  /// Channel bandwidth (the paper's evaluation is 20 MHz).
+  ChannelWidth width = ChannelWidth::k20MHz;
+
+  const ChannelPlan& plan() const { return channel_plan(width); }
+};
+
+struct WifiTxResult {
+  /// Complete packet: 320-sample preamble, 80-sample SIGNAL, data symbols.
+  common::CplxVec samples;
+  std::size_t num_data_symbols = 0;
+  /// Scrambled-domain uncoded stream actually encoded (payload + tail + pad).
+  common::Bits scrambled_stream;
+  /// All data-subcarrier QAM points, symbol-major (48 per symbol).
+  common::CplxVec data_points;
+};
+
+/// Number of data OFDM symbols needed for `payload_bits` payload bits.
+std::size_t num_data_symbols(std::size_t payload_bits, const WifiTxConfig& cfg);
+
+/// Offset of the first payload bit inside the data field (16 when the
+/// SERVICE field is enabled, else 0).
+std::size_t payload_bit_offset(const WifiTxConfig& cfg);
+
+/// Transmits a PSDU of whole octets.
+WifiTxResult wifi_transmit(const common::Bytes& psdu, const WifiTxConfig& cfg);
+
+/// Lower-level entry: encodes + modulates an already-scrambled uncoded
+/// stream (length must be a multiple of N_DBPS).  Returns data symbols only
+/// (no preamble / SIGNAL).
+WifiTxResult transmit_scrambled_stream(const common::Bits& scrambled,
+                                       const WifiTxConfig& cfg);
+
+/// Duration of a full packet in microseconds (preamble + SIGNAL + data).
+double packet_duration_us(std::size_t psdu_octets, const WifiTxConfig& cfg);
+
+}  // namespace sledzig::wifi

@@ -1,0 +1,40 @@
+#include "zigbee/cc2420.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace sledzig::zigbee {
+
+double tx_power_dbm(unsigned gain) {
+  if (gain > 31) throw std::invalid_argument("tx_power_dbm: gain 0..31");
+  // Datasheet calibration points (PA_LEVEL, dBm).
+  constexpr std::array<std::pair<unsigned, double>, 8> kPoints = {{
+      {3, -25.0}, {7, -15.0}, {11, -10.0}, {15, -7.0},
+      {19, -5.0}, {23, -3.0}, {27, -1.0}, {31, 0.0},
+  }};
+  if (gain <= kPoints.front().first) {
+    // Extrapolate below the lowest calibration point (very weak output).
+    const double slope = -10.0 / 3.0;  // dB per step toward zero
+    return kPoints.front().second +
+           slope * static_cast<double>(kPoints.front().first - gain);
+  }
+  for (std::size_t i = 1; i < kPoints.size(); ++i) {
+    if (gain <= kPoints[i].first) {
+      const auto [g0, p0] = kPoints[i - 1];
+      const auto [g1, p1] = kPoints[i];
+      const double frac = static_cast<double>(gain - g0) /
+                          static_cast<double>(g1 - g0);
+      return p0 + frac * (p1 - p0);
+    }
+  }
+  return 0.0;
+}
+
+double channel_frequency_hz(unsigned channel) {
+  if (channel < 11 || channel > 26) {
+    throw std::invalid_argument("channel_frequency_hz: channel 11..26");
+  }
+  return (2405.0 + 5.0 * static_cast<double>(channel - 11)) * 1e6;
+}
+
+}  // namespace sledzig::zigbee

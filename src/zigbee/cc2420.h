@@ -1,0 +1,36 @@
+// CC2420 (TelosB radio) behavioural model: transmit power vs gain setting,
+// RSSI averaging, CCA threshold and 802.15.4 MAC timing constants.  These
+// are the parameters the paper's TelosB nodes expose.
+#pragma once
+
+#include <cstddef>
+
+namespace sledzig::zigbee {
+
+/// Maximum transmit power (gain 31) in dBm.
+inline constexpr double kMaxTxPowerDbm = 0.0;
+
+/// CC2420 default CCA threshold (energy detect) in dBm, measured over the
+/// 2 MHz channel.
+inline constexpr double kCcaThresholdDbm = -77.0;
+
+/// RSSI / CCA averaging window: 8 symbol periods = 128 us (802.15.4 6.9.9).
+inline constexpr double kCcaWindowUs = 128.0;
+
+/// 802.15.4 unslotted CSMA/CA timing.
+inline constexpr double kBackoffPeriodUs = 320.0;  // aUnitBackoffPeriod
+inline constexpr double kTurnaroundUs = 192.0;     // aTurnaroundTime
+inline constexpr unsigned kMacMinBe = 3;
+inline constexpr unsigned kMacMaxBe = 5;
+inline constexpr unsigned kMaxCsmaBackoffs = 4;
+
+/// Transmit power in dBm for a CC2420 PA_LEVEL-style gain setting 0..31,
+/// linearly interpolated between the datasheet's calibration points
+/// (31 -> 0 dBm, 27 -> -1, 23 -> -3, 19 -> -5, 15 -> -7, 11 -> -10,
+///  7 -> -15, 3 -> -25).
+double tx_power_dbm(unsigned gain);
+
+/// ZigBee channel centre frequency in Hz (channels 11..26).
+double channel_frequency_hz(unsigned channel);
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,86 @@
+#include "zigbee/chips.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sledzig::zigbee {
+
+namespace {
+
+constexpr const char* kSymbol0 = "11011001110000110101001000101110";
+
+std::array<ChipSeq, kNumSymbols> build_table() {
+  std::array<ChipSeq, kNumSymbols> table{};
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    table[0][i] = static_cast<common::Bit>(kSymbol0[i] - '0');
+  }
+  // Symbols 1..7: cyclic right rotation by 4 chips per step.
+  for (std::size_t s = 1; s < 8; ++s) {
+    for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+      table[s][i] = table[s - 1][(i + kChipsPerSymbol - 4) % kChipsPerSymbol];
+    }
+  }
+  // Symbols 8..15: odd-indexed chips inverted (I/Q conjugation).
+  for (std::size_t s = 8; s < kNumSymbols; ++s) {
+    for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+      table[s][i] = (i % 2 == 1) ? static_cast<common::Bit>(table[s - 8][i] ^ 1u)
+                                 : table[s - 8][i];
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::array<ChipSeq, kNumSymbols>& chip_table() {
+  static const auto table = build_table();
+  return table;
+}
+
+common::Bits spread(const common::Bits& bits) {
+  if (bits.size() % kBitsPerSymbol != 0) {
+    throw std::invalid_argument("spread: bit count not a multiple of 4");
+  }
+  const auto& table = chip_table();
+  common::Bits chips;
+  chips.reserve(bits.size() / kBitsPerSymbol * kChipsPerSymbol);
+  for (std::size_t i = 0; i < bits.size(); i += kBitsPerSymbol) {
+    std::size_t symbol = 0;
+    for (std::size_t b = 0; b < kBitsPerSymbol; ++b) {
+      symbol |= static_cast<std::size_t>(bits[i + b] & 1u) << b;
+    }
+    const auto& seq = table[symbol];
+    chips.insert(chips.end(), seq.begin(), seq.end());
+  }
+  return chips;
+}
+
+DespreadResult despread(const common::Bits& chips) {
+  if (chips.size() % kChipsPerSymbol != 0) {
+    throw std::invalid_argument("despread: chip count not a multiple of 32");
+  }
+  const auto& table = chip_table();
+  DespreadResult result;
+  result.bits.reserve(chips.size() / kChipsPerSymbol * kBitsPerSymbol);
+  for (std::size_t i = 0; i < chips.size(); i += kChipsPerSymbol) {
+    std::size_t best_symbol = 0;
+    std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      std::size_t dist = 0;
+      for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+        dist += static_cast<std::size_t>((chips[i + c] ^ table[s][c]) & 1u);
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_symbol = s;
+      }
+    }
+    result.total_chip_errors += best_dist;
+    for (std::size_t b = 0; b < kBitsPerSymbol; ++b) {
+      result.bits.push_back(static_cast<common::Bit>((best_symbol >> b) & 1u));
+    }
+  }
+  return result;
+}
+
+}  // namespace sledzig::zigbee

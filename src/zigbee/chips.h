@@ -1,0 +1,38 @@
+// 802.15.4 2.4 GHz DSSS: each 4-bit symbol is spread to one of sixteen
+// 32-chip pseudo-noise sequences (Table 73 of the standard).  Symbols 1..7
+// are 4-chip right rotations of symbol 0; symbols 8..15 invert the
+// odd-indexed chips of symbols 0..7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace sledzig::zigbee {
+
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr std::size_t kBitsPerSymbol = 4;
+inline constexpr std::size_t kNumSymbols = 16;
+inline constexpr double kChipRateHz = 2e6;
+inline constexpr double kSymbolDurationUs = 16.0;
+inline constexpr double kBitRateBps = 250e3;
+
+using ChipSeq = std::array<common::Bit, kChipsPerSymbol>;
+
+/// The full 16-entry chip table.
+const std::array<ChipSeq, kNumSymbols>& chip_table();
+
+/// Spreads a bit stream (length multiple of 4; LSB-first symbol packing per
+/// the standard) into chips.
+common::Bits spread(const common::Bits& bits);
+
+/// Hard-decision despreading: picks the symbol with the smallest chip
+/// Hamming distance.  Also reports that distance for link-quality metrics.
+struct DespreadResult {
+  common::Bits bits;
+  std::size_t total_chip_errors = 0;
+};
+DespreadResult despread(const common::Bits& chips);
+
+}  // namespace sledzig::zigbee

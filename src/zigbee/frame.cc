@@ -1,0 +1,62 @@
+#include "zigbee/frame.h"
+
+#include <stdexcept>
+
+namespace sledzig::zigbee {
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0x0000;
+  for (std::uint8_t byte : data) {
+    for (int i = 0; i < 8; ++i) {
+      const std::uint16_t bit = static_cast<std::uint16_t>((byte >> i) & 1u);
+      const std::uint16_t fb = (crc ^ bit) & 1u;
+      crc >>= 1;
+      if (fb) crc ^= 0x8408;  // reversed 0x1021
+    }
+  }
+  return crc;
+}
+
+common::Bytes build_ppdu(const common::Bytes& payload) {
+  if (payload.size() + kFcsOctets > kMaxPsduOctets) {
+    throw std::invalid_argument("build_ppdu: payload too long");
+  }
+  common::Bytes ppdu;
+  ppdu.reserve(kPreambleOctets + 2 + payload.size() + kFcsOctets);
+  for (std::size_t i = 0; i < kPreambleOctets; ++i) ppdu.push_back(0x00);
+  ppdu.push_back(kSfd);
+  ppdu.push_back(static_cast<std::uint8_t>(payload.size() + kFcsOctets));
+  ppdu.insert(ppdu.end(), payload.begin(), payload.end());
+  const std::uint16_t fcs = crc16_ccitt(payload);
+  ppdu.push_back(static_cast<std::uint8_t>(fcs & 0xff));
+  ppdu.push_back(static_cast<std::uint8_t>(fcs >> 8));
+  return ppdu;
+}
+
+std::optional<common::Bytes> parse_ppdu(const common::Bytes& octets) {
+  if (octets.size() < kPreambleOctets + 2 + kFcsOctets) return std::nullopt;
+  for (std::size_t i = 0; i < kPreambleOctets; ++i) {
+    if (octets[i] != 0x00) return std::nullopt;
+  }
+  if (octets[kPreambleOctets] != kSfd) return std::nullopt;
+  const std::size_t psdu_len = octets[kPreambleOctets + 1] & 0x7f;
+  if (psdu_len < kFcsOctets) return std::nullopt;
+  const std::size_t psdu_start = kPreambleOctets + 2;
+  if (octets.size() < psdu_start + psdu_len) return std::nullopt;
+
+  common::Bytes payload(octets.begin() + psdu_start,
+                        octets.begin() + psdu_start + psdu_len - kFcsOctets);
+  const std::uint16_t fcs = crc16_ccitt(payload);
+  const std::uint16_t rx_fcs = static_cast<std::uint16_t>(
+      octets[psdu_start + psdu_len - 2] |
+      (static_cast<std::uint16_t>(octets[psdu_start + psdu_len - 1]) << 8));
+  if (fcs != rx_fcs) return std::nullopt;
+  return payload;
+}
+
+double frame_duration_us(std::size_t payload_octets) {
+  const std::size_t total = kPreambleOctets + 2 + payload_octets + kFcsOctets;
+  return static_cast<double>(total) * 32.0;  // 2 symbols / octet, 16 us each
+}
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,34 @@
+// 802.15.4 framing: PPDU = preamble (4 zero octets), SFD (0xA7), 7-bit frame
+// length, PSDU.  The MPDU carries a 16-bit FCS (CRC-16-CCITT, as computed by
+// the CC2420 hardware).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bits.h"
+
+namespace sledzig::zigbee {
+
+inline constexpr std::size_t kPreambleOctets = 4;  // eight '0' symbols, 128 us
+inline constexpr std::uint8_t kSfd = 0xa7;
+inline constexpr std::size_t kMaxPsduOctets = 127;
+inline constexpr std::size_t kFcsOctets = 2;
+inline constexpr double kPreambleDurationUs = 128.0;
+
+/// ITU-T CRC-16 used for the FCS (poly x^16 + x^12 + x^5 + 1, init 0,
+/// LSB-first as the radio serialises it).
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+/// Builds the PPDU octets: preamble | SFD | length | payload | FCS.
+common::Bytes build_ppdu(const common::Bytes& payload);
+
+/// Parses a PPDU back into the MAC payload; nullopt when the SFD, length or
+/// FCS check fails.  `octets` must start at the first preamble octet.
+std::optional<common::Bytes> parse_ppdu(const common::Bytes& octets);
+
+/// On-air duration of a payload-octet MPDU including preamble/SFD/PHR,
+/// at 250 kb/s (32 us per octet).
+double frame_duration_us(std::size_t payload_octets);
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,123 @@
+#include "zigbee/oqpsk.h"
+
+#include "zigbee/chips.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace sledzig::zigbee {
+
+namespace {
+
+/// Half-sine pulse sample i of the 2*Tc (= 2*kSamplesPerChip samples) pulse.
+double pulse(std::size_t i) {
+  return std::sin(std::numbers::pi * static_cast<double>(i) /
+                  (2.0 * static_cast<double>(kSamplesPerChip)));
+}
+
+}  // namespace
+
+common::CplxVec oqpsk_modulate(const common::Bits& chips) {
+  if (chips.empty() || chips.size() % 2 != 0) {
+    throw std::invalid_argument("oqpsk_modulate: need an even chip count");
+  }
+  const std::size_t total = chips.size() * kSamplesPerChip + kSamplesPerChip;
+  std::vector<double> i_phase(total, 0.0), q_phase(total, 0.0);
+  for (std::size_t k = 0; k < chips.size(); ++k) {
+    const double a = chips[k] ? 1.0 : -1.0;
+    auto& phase = (k % 2 == 0) ? i_phase : q_phase;
+    const std::size_t start = k * kSamplesPerChip;
+    for (std::size_t i = 0; i < 2 * kSamplesPerChip; ++i) {
+      if (start + i < total) phase[start + i] += a * pulse(i);
+    }
+  }
+  common::CplxVec out(total);
+  // 1/sqrt(2) so that |I|^2 + |Q|^2 -> unit mean power for the MSK-like
+  // constant envelope of sqrt(2) amplitude... the half-sine pair gives
+  // I^2 + Q^2 = 1, so no extra scale is required.
+  for (std::size_t i = 0; i < total; ++i) {
+    out[i] = common::Cplx(i_phase[i], q_phase[i]);
+  }
+  return out;
+}
+
+common::Bits oqpsk_demodulate_chips(std::span<const common::Cplx> samples,
+                                    std::size_t num_chips) {
+  common::Bits chips(num_chips);
+  for (std::size_t k = 0; k < num_chips; ++k) {
+    const std::size_t start = k * kSamplesPerChip;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 2 * kSamplesPerChip; ++i) {
+      if (start + i >= samples.size()) break;
+      const double w = pulse(i);
+      const double v = (k % 2 == 0) ? samples[start + i].real()
+                                    : samples[start + i].imag();
+      acc += w * v;
+    }
+    chips[k] = acc >= 0.0 ? 1 : 0;
+  }
+  return chips;
+}
+
+common::Bits oqpsk_despread_soft(std::span<const common::Cplx> samples,
+                                 std::size_t num_symbols) {
+  // Reference waveforms for the 16 symbols, built once.  Each covers the
+  // 320-sample symbol window plus the 10-sample Q-phase tail.
+  static const auto kRefs = [] {
+    std::array<common::CplxVec, kNumSymbols> refs;
+    const auto& table = chip_table();
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      const common::Bits chips(table[s].begin(), table[s].end());
+      refs[s] = oqpsk_modulate(chips);
+    }
+    return refs;
+  }();
+
+  common::Bits bits;
+  bits.reserve(num_symbols * kBitsPerSymbol);
+  for (std::size_t sym = 0; sym < num_symbols; ++sym) {
+    const std::size_t start = sym * kSamplesPerSymbol;
+    std::size_t best = 0;
+    double best_metric = -1e300;
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      const auto& ref = kRefs[s];
+      double metric = 0.0;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        const std::size_t t = start + i;
+        if (t >= samples.size()) break;
+        // Coherent correlation: input is phase-corrected upstream.
+        metric += samples[t].real() * ref[i].real() +
+                  samples[t].imag() * ref[i].imag();
+      }
+      if (metric > best_metric) {
+        best_metric = metric;
+        best = s;
+      }
+    }
+    for (std::size_t b = 0; b < kBitsPerSymbol; ++b) {
+      bits.push_back(static_cast<common::Bit>((best >> b) & 1u));
+    }
+  }
+  return bits;
+}
+
+double oqpsk_correlate(std::span<const common::Cplx> samples,
+                       const common::Bits& chips) {
+  const auto ref = oqpsk_modulate(chips);
+  const std::size_t n = std::min(samples.size(), ref.size());
+  if (n == 0) return 0.0;
+  common::Cplx acc(0.0, 0.0);
+  double ex = 0.0, er = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += samples[i] * std::conj(ref[i]);
+    ex += std::norm(samples[i]);
+    er += std::norm(ref[i]);
+  }
+  if (ex <= 0.0 || er <= 0.0) return 0.0;
+  return std::abs(acc) / std::sqrt(ex * er);
+}
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,45 @@
+// O-QPSK modulation with half-sine pulse shaping (802.15.4 2.4 GHz PHY).
+//
+// Even-indexed chips modulate the I phase, odd-indexed chips the Q phase,
+// offset by one chip period Tc = 0.5 us.  Each chip is shaped by a half-sine
+// pulse spanning 2*Tc, so the envelope is MSK-like (constant modulus).
+// At the common simulation rate of 20 MS/s each chip spans 10 samples.
+#pragma once
+
+#include "common/bits.h"
+#include "common/fft.h"
+
+namespace sledzig::zigbee {
+
+inline constexpr double kOqpskSampleRateHz = 20e6;
+inline constexpr std::size_t kSamplesPerChip = 10;  // 20 MS/s / 2 Mchip/s
+
+/// Samples occupied by one 32-chip symbol (320 at 20 MS/s).
+inline constexpr std::size_t kSamplesPerSymbol = 32 * kSamplesPerChip;
+
+/// Modulates a chip stream (multiple of 32 chips) into complex baseband.
+/// The waveform is scaled to unit mean power.  The final Q pulse spills one
+/// chip period past the nominal end; the tail is included, so the output is
+/// chips*10 + 10 samples long.
+common::CplxVec oqpsk_modulate(const common::Bits& chips);
+
+/// Coherent chip decisions by integrating over each half-sine pulse.  The
+/// input must be aligned to the start of the first chip.
+common::Bits oqpsk_demodulate_chips(std::span<const common::Cplx> samples,
+                                    std::size_t num_chips);
+
+/// Correlates `samples` against the modulated reference of `chips` and
+/// returns the normalised complex correlation magnitude in [0, 1].
+/// Used for preamble detection and per-symbol quality metrics.
+double oqpsk_correlate(std::span<const common::Cplx> samples,
+                       const common::Bits& chips);
+
+/// Soft matched-filter despreading: correlates each 32-chip symbol window
+/// (coherently, so the input must be phase-corrected) against the 16
+/// reference symbol waveforms and picks the best.  ~4-6 dB more robust than
+/// hard chip decisions + Hamming despreading — this is how correlator-based
+/// radios like the CC2420 behave.  Returns 4 bits per symbol.
+common::Bits oqpsk_despread_soft(std::span<const common::Cplx> samples,
+                                 std::size_t num_symbols);
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,23 @@
+#include "zigbee/transmitter.h"
+
+#include "zigbee/chips.h"
+#include "zigbee/frame.h"
+#include "zigbee/oqpsk.h"
+
+namespace sledzig::zigbee {
+
+common::CplxVec modulate_octets(const common::Bytes& octets) {
+  const auto bits = common::bytes_to_bits(octets);
+  const auto chips = spread(bits);
+  return oqpsk_modulate(chips);
+}
+
+ZigbeeTxResult zigbee_transmit(const common::Bytes& payload) {
+  ZigbeeTxResult result;
+  result.ppdu = build_ppdu(payload);
+  result.num_symbols = result.ppdu.size() * 2;
+  result.samples = modulate_octets(result.ppdu);
+  return result;
+}
+
+}  // namespace sledzig::zigbee

@@ -1,0 +1,23 @@
+// ZigBee transmitter: payload -> PPDU octets -> DSSS chips -> O-QPSK
+// waveform at 20 MS/s, unit mean power (the channel model applies the
+// CC2420 gain).
+#pragma once
+
+#include "common/bits.h"
+#include "common/fft.h"
+
+namespace sledzig::zigbee {
+
+struct ZigbeeTxResult {
+  common::CplxVec samples;
+  common::Bytes ppdu;        // octets on the air
+  std::size_t num_symbols = 0;
+};
+
+ZigbeeTxResult zigbee_transmit(const common::Bytes& payload);
+
+/// Waveform for arbitrary raw octets (no framing) — used for CCA /
+/// interference probes in tests.
+common::CplxVec modulate_octets(const common::Bytes& octets);
+
+}  // namespace sledzig::zigbee

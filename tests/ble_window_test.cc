@@ -1,0 +1,98 @@
+// Tests for the variable-bandwidth window generalisation (BLE / classic
+// Bluetooth guarding, the BlueFi-adjacent use case from the paper's related
+// work).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sledzig/encoder.h"
+#include "wifi/qam.h"
+#include "wifi/transmitter.h"
+
+namespace sledzig::core {
+namespace {
+
+using wifi::ChannelWidth;
+
+TEST(BleWindow, AdvertisingChannelOffsets) {
+  // WiFi channel 1 (2412 MHz): BLE 37 at 2402 -> -10 MHz (in band).
+  EXPECT_NEAR(ble_advertising_offset_hz(37, 2412e6), -10e6, 1);
+  EXPECT_NEAR(ble_advertising_offset_hz(38, 2426e6), 0.0, 1);
+  EXPECT_NEAR(ble_advertising_offset_hz(39, 2472e6), 8e6, 1);
+  EXPECT_THROW(ble_advertising_offset_hz(36, 2412e6), std::invalid_argument);
+}
+
+TEST(BleWindow, NarrowerBandwidthSelectsFewerSubcarriers) {
+  const auto& plan = wifi::channel_plan(ChannelWidth::k20MHz);
+  const auto ble2 = window_data_subcarriers(plan, -2e6, 2e6);
+  const auto bt1 = window_data_subcarriers(plan, -2e6, 1e6);
+  EXPECT_LT(bt1.size(), ble2.size());
+  EXPECT_GE(bt1.size(), 4u);
+  // Narrow window is a subset of the wide one.
+  for (int s : bt1) {
+    EXPECT_NE(std::find(ble2.begin(), ble2.end(), s), ble2.end());
+  }
+}
+
+TEST(BleWindow, DefaultBandwidthMatchesZigbeeRule) {
+  const auto& plan = wifi::channel_plan(ChannelWidth::k20MHz);
+  EXPECT_EQ(window_data_subcarriers(plan, 8e6),
+            window_data_subcarriers(plan, 8e6, 2e6));
+}
+
+TEST(BleWindow, RejectsNonPositiveBandwidth) {
+  const auto& plan = wifi::channel_plan(ChannelWidth::k20MHz);
+  EXPECT_THROW(window_data_subcarriers(plan, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(BleWindow, GuardBleAdvertisingEndToEnd) {
+  // Protect BLE advertising channel 39 (2480 MHz) from WiFi channel 13
+  // (2472 MHz): window at +8 MHz, like ZigBee channel 26 but configured via
+  // the explicit-window API.
+  common::Rng rng(901);
+  SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.window_offsets_hz = {ble_advertising_offset_hz(39, 2472e6)};
+
+  const auto payload = rng.bytes(200);
+  const auto enc = sledzig_encode(payload, cfg);
+  EXPECT_EQ(enc.num_collisions, 0u);
+  const auto dec = sledzig_decode(enc.transmit_psdu, cfg);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, payload);
+
+  // And the window is genuinely forced on air.
+  wifi::WifiTxConfig tx;
+  tx.modulation = cfg.modulation;
+  tx.rate = cfg.rate;
+  const auto packet = wifi::wifi_transmit(enc.transmit_psdu, tx);
+  const std::size_t dbps =
+      wifi::data_bits_per_symbol(cfg.modulation, cfg.rate);
+  const std::size_t full_symbols = (enc.transmit_psdu.size() * 8) / dbps;
+  const std::size_t first = enc.num_unforced_head > 0 ? 1 : 0;
+  for (std::size_t s = first; s < full_symbols; ++s) {
+    for (int logical : cfg.forced_subcarrier_set()) {
+      const int pos = cfg.plan().data_position(logical);
+      EXPECT_TRUE(wifi::is_lowest_point(
+          packet.data_points[s * cfg.plan().num_data() +
+                             static_cast<std::size_t>(pos)],
+          cfg.modulation));
+    }
+  }
+}
+
+TEST(BleWindow, NarrowBluetoothWindowCostsLess) {
+  SledzigConfig wide;
+  wide.modulation = wifi::Modulation::kQam64;
+  wide.rate = wifi::CodingRate::kR23;
+  wide.window_offsets_hz = {-2e6};
+  wide.window_bandwidth_hz = 2e6;
+
+  SledzigConfig narrow = wide;
+  narrow.window_bandwidth_hz = 1e6;
+
+  EXPECT_LT(throughput_loss(narrow), throughput_loss(wide));
+}
+
+}  // namespace
+}  // namespace sledzig::core

@@ -1,0 +1,110 @@
+// Tests for carrier-frequency-offset estimation and correction.
+#include <gtest/gtest.h>
+
+#include "common/dsp.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+
+namespace sledzig::wifi {
+namespace {
+
+common::CplxVec with_cfo(const common::CplxVec& samples, double cfo_hz,
+                         double fs) {
+  return common::frequency_shift(samples, cfo_hz, fs);
+}
+
+class CfoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CfoSweep, EstimateAccurateWithin400Hz) {
+  common::Rng rng(1101);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam64;
+  tx.rate = CodingRate::kR23;
+  auto packet = wifi_transmit(rng.bytes(150), tx);
+  const double cfo = GetParam();
+  auto shifted = with_cfo(packet.samples, cfo, kSampleRateHz);
+  const double noise = common::db_to_linear(-30.0);
+  for (auto& s : shifted) s += rng.complex_gaussian(noise);
+
+  const auto sync = synchronize_packet(shifted, 0.55, ChannelWidth::k20MHz);
+  ASSERT_TRUE(sync.has_value()) << cfo;
+  EXPECT_NEAR(sync->cfo_hz, cfo, 400.0) << cfo;
+  EXPECT_NEAR(static_cast<double>(sync->packet_start), 0.0, 2.0);
+}
+
+TEST_P(CfoSweep, FullReceiveUnderCfo) {
+  common::Rng rng(1102);
+  const auto psdu = rng.bytes(120);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam64;
+  tx.rate = CodingRate::kR23;
+  auto packet = wifi_transmit(psdu, tx);
+  auto shifted = with_cfo(packet.samples, GetParam(), kSampleRateHz);
+  const double noise = common::db_to_linear(-28.0);
+  for (auto& s : shifted) s += rng.complex_gaussian(noise);
+
+  const auto rx = wifi_receive(shifted, WifiRxConfig{});
+  ASSERT_TRUE(rx.signal_valid) << GetParam();
+  EXPECT_EQ(rx.psdu, psdu) << GetParam();
+}
+
+// +-100 kHz is +-40 ppm at 2.4 GHz (the 802.11 oscillator tolerance is
+// +-20 ppm per side).
+INSTANTIATE_TEST_SUITE_P(Offsets, CfoSweep,
+                         ::testing::Values(-100e3, -40e3, -5e3, 0.0, 5e3,
+                                           40e3, 100e3));
+
+TEST(Cfo, UncorrectedReceiverFailsUnderLargeCfo) {
+  common::Rng rng(1103);
+  const auto psdu = rng.bytes(120);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam64;
+  tx.rate = CodingRate::kR23;
+  const auto packet = wifi_transmit(psdu, tx);
+  const auto shifted = with_cfo(packet.samples, 80e3, kSampleRateHz);
+  WifiRxConfig no_cfo;
+  no_cfo.correct_cfo = false;
+  const auto rx = wifi_receive(shifted, no_cfo);
+  EXPECT_NE(rx.psdu, psdu);
+}
+
+TEST(Cfo, FortyMhzPathUnderCfo) {
+  common::Rng rng(1104);
+  const auto psdu = rng.bytes(150);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam16;
+  tx.rate = CodingRate::kR12;
+  tx.width = ChannelWidth::k40MHz;
+  auto packet = wifi_transmit(psdu, tx);
+  auto shifted = with_cfo(packet.samples, 60e3, 40e6);
+  const double noise = common::db_to_linear(-28.0);
+  for (auto& s : shifted) s += rng.complex_gaussian(noise);
+  WifiRxConfig rxcfg;
+  rxcfg.width = ChannelWidth::k40MHz;
+  const auto rx = wifi_receive(shifted, rxcfg);
+  ASSERT_TRUE(rx.signal_valid);
+  EXPECT_EQ(rx.psdu, psdu);
+}
+
+TEST(Cfo, OffsetPacketWithCfo) {
+  common::Rng rng(1105);
+  const auto psdu = rng.bytes(80);
+  WifiTxConfig tx;
+  const auto packet = wifi_transmit(psdu, tx);
+  common::CplxVec stream(900);
+  const double noise = common::db_to_linear(-35.0);
+  for (auto& s : stream) s = rng.complex_gaussian(noise);
+  const auto shifted = with_cfo(packet.samples, -55e3, kSampleRateHz);
+  stream.insert(stream.end(), shifted.begin(), shifted.end());
+  for (int i = 0; i < 300; ++i) stream.push_back(rng.complex_gaussian(noise));
+
+  const auto rx = wifi_receive(stream, WifiRxConfig{});
+  ASSERT_TRUE(rx.signal_valid);
+  EXPECT_NEAR(static_cast<double>(rx.packet_start), 900.0, 3.0);
+  EXPECT_EQ(rx.psdu, psdu);
+}
+
+}  // namespace
+}  // namespace sledzig::wifi

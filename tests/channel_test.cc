@@ -1,0 +1,153 @@
+// Tests for the calibrated channel model and the sample-domain medium.
+#include <gtest/gtest.h>
+
+#include "channel/medium.h"
+#include "channel/pathloss.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "wifi/transmitter.h"
+#include "zigbee/cc2420.h"
+#include "zigbee/transmitter.h"
+
+namespace sledzig::channel {
+namespace {
+
+TEST(PathLoss, PaperAnchors) {
+  // WiFi @ gain 15: -52 dBm total at 1 m.
+  EXPECT_NEAR(wifi_link().received_power_dbm(wifi_tx_power_dbm(15), 1.0),
+              -52.0, 1e-9);
+  // ZigBee @ gain 31 (0 dBm): -75 dBm at 0.5 m (Fig 13).
+  EXPECT_NEAR(zigbee_link().received_power_dbm(zigbee::tx_power_dbm(31), 0.5),
+              -75.0, 0.05);
+}
+
+TEST(PathLoss, Fig13Consistency) {
+  // At 1 m / gain 15 (-7 dBm) the ZigBee signal sits near the -91 dBm floor.
+  const double p = zigbee_link().received_power_dbm(zigbee::tx_power_dbm(15), 1.0);
+  EXPECT_LT(p, -86.0);
+  EXPECT_GT(p, -92.0);
+  // At 3 m even gain 25 is submerged.
+  EXPECT_LT(zigbee_link().received_power_dbm(zigbee::tx_power_dbm(25), 3.0),
+            -89.0);
+}
+
+TEST(PathLoss, Fig14CcaCutoffNear8p5m) {
+  // Normal WiFi in a 2 MHz CH1-CH3 window is ~8 dB below the total power.
+  // CCA at -77 dBm should clear around d ~ 8.5 m.
+  const auto link = wifi_link();
+  const double inband_1m =
+      link.received_power_dbm(wifi_tx_power_dbm(15), 1.0) - 8.0;
+  const double d_cutoff =
+      std::pow(10.0, (inband_1m - kZigbeeCcaThresholdDbm) /
+                         (10.0 * kPathLossExponent));
+  EXPECT_GT(d_cutoff, 7.0);
+  EXPECT_LT(d_cutoff, 10.5);
+}
+
+TEST(PathLoss, MonotonicInDistance) {
+  const auto link = wifi_link();
+  double prev = 1e9;
+  for (double d = 0.5; d < 20.0; d += 0.5) {
+    const double p = link.received_power_dbm(10.0, d);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PathLoss, RejectsNonPositiveDistance) {
+  EXPECT_THROW(wifi_link().received_power_dbm(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Medium, NoiseFloorCalibrated) {
+  common::Rng rng(201);
+  const auto samples = mix_at_receiver({}, 1 << 14, rng);
+  // 2 MHz band anywhere should measure ~-91 dBm.
+  EXPECT_NEAR(rssi_2mhz_dbm(samples, 0.0), kNoiseFloor2MhzDbm, 1.0);
+  EXPECT_NEAR(rssi_2mhz_dbm(samples, 8e6), kNoiseFloor2MhzDbm, 1.0);
+  // Full band: -81 dBm.
+  EXPECT_NEAR(total_power_dbm(samples), kNoiseFloor20MhzDbm, 0.5);
+}
+
+TEST(Medium, SinglePowerScaledEmission) {
+  common::Rng rng(202);
+  common::CplxVec wave(1 << 14);
+  for (auto& s : wave) s = rng.complex_gaussian(1.0);
+  Emission e{&wave, -40.0, 0.0, 0};
+  const auto rx = mix_at_receiver(std::vector<Emission>{e}, wave.size(), rng);
+  EXPECT_NEAR(total_power_dbm(rx), -40.0, 0.5);
+}
+
+TEST(Medium, FrequencyOffsetPlacesZigbeeInItsChannel) {
+  common::Rng rng(203);
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(40));
+  // ZigBee channel 26 sits +8 MHz from WiFi channel 13.
+  Emission e{&tx.samples, -55.0, 8e6, 0};
+  const auto rx = mix_at_receiver(std::vector<Emission>{e},
+                                  tx.samples.size(), rng);
+  const double in_band = rssi_2mhz_dbm(rx, 8e6);
+  const double off_band = rssi_2mhz_dbm(rx, -7e6);
+  EXPECT_NEAR(in_band, -55.0, 1.5);
+  // The off-channel window sees noise plus faint MSK sidelobes (~ -35 dB
+  // 15 MHz away from a -55 dBm signal).
+  EXPECT_NEAR(off_band, kNoiseFloor2MhzDbm, 2.5);
+}
+
+TEST(Medium, EmissionsSuperpose) {
+  common::Rng rng(204);
+  common::CplxVec a(1 << 13), b(1 << 13);
+  for (auto& s : a) s = rng.complex_gaussian(1.0);
+  for (auto& s : b) s = rng.complex_gaussian(1.0);
+  std::vector<Emission> both = {{&a, -40.0, -7e6, 0}, {&b, -50.0, 8e6, 0}};
+  const auto rx = mix_at_receiver(both, a.size(), rng);
+  // Each emission is white over the 20 MHz band, so a 2 MHz window sees
+  // one tenth of its power; emission a dominates everywhere.
+  EXPECT_NEAR(rssi_2mhz_dbm(rx, -7e6), -50.0, 2.0);
+  // Total power dominated by the stronger emission (plus ~0.4 dB from b).
+  EXPECT_NEAR(total_power_dbm(rx), -39.6, 1.0);
+}
+
+TEST(Medium, DelayedEmissionStartsLater) {
+  common::Rng rng(205);
+  common::CplxVec wave(4096, common::Cplx(1.0, 0.0));
+  Emission e{&wave, -30.0, 0.0, 8192};
+  const auto rx = mix_at_receiver(std::vector<Emission>{e}, 16384, rng);
+  const double early = total_power_dbm(
+      std::span<const common::Cplx>(rx).subspan(0, 4096));
+  const double late = total_power_dbm(
+      std::span<const common::Cplx>(rx).subspan(8192, 4096));
+  EXPECT_LT(early, -75.0);
+  EXPECT_NEAR(late, -30.0, 0.5);
+}
+
+TEST(Medium, SliceRssiShowsBandwidthDilution) {
+  // A 2 MHz-wide signal measured with the USRP-style slice estimator reads
+  // ~10 dB below its total power (the Fig 17 effect).
+  common::Rng rng(206);
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(30));
+  Emission e{&tx.samples, -75.0, 0.0, 0};
+  const auto rx = mix_at_receiver(std::vector<Emission>{e},
+                                  tx.samples.size(), rng,
+                                  /*noise_floor_dbm=*/-120.0);
+  EXPECT_NEAR(rssi_2mhz_slice_dbm(rx), -85.0, 1.0);
+  EXPECT_NEAR(rssi_2mhz_dbm(rx, 0.0), -75.0, 1.5);
+}
+
+TEST(Medium, WifiPacketFillsBand) {
+  common::Rng rng(207);
+  wifi::WifiTxConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  const auto packet = wifi::wifi_transmit(rng.bytes(400), cfg);
+  Emission e{&packet.samples, -52.0, 0.0, 0};
+  const auto rx = mix_at_receiver(std::vector<Emission>{e},
+                                  packet.samples.size(), rng);
+  // Each interior 2 MHz window carries roughly 1/10 of the power.
+  for (double f : {-7e6, -2e6, 3e6}) {
+    EXPECT_NEAR(rssi_2mhz_dbm(rx, f), -52.0 - 8.0, 2.5) << f;
+  }
+  // CH4 (+8 MHz) spans the guard band: noticeably weaker.
+  EXPECT_LT(rssi_2mhz_dbm(rx, 8e6), rssi_2mhz_dbm(rx, 3e6) - 1.0);
+}
+
+}  // namespace
+}  // namespace sledzig::channel

@@ -1,0 +1,185 @@
+// Integration tests for the coexistence experiment harness: link budgets,
+// PHY-measured in-band offsets and end-to-end scenario behaviour.
+#include <gtest/gtest.h>
+
+#include "coex/experiment.h"
+#include "sledzig/power_analysis.h"
+
+namespace sledzig::coex {
+namespace {
+
+using core::OverlapChannel;
+using wifi::CodingRate;
+using wifi::Modulation;
+
+core::SledzigConfig cfg(Modulation m, CodingRate r, OverlapChannel ch) {
+  core::SledzigConfig c;
+  c.modulation = m;
+  c.rate = r;
+  c.channel = ch;
+  return c;
+}
+
+TEST(Inband, SledzigReducesPayloadNotPreamble) {
+  for (auto ch : {OverlapChannel::kCh2, OverlapChannel::kCh4}) {
+    const auto c = cfg(Modulation::kQam64, CodingRate::kR23, ch);
+    const auto normal = measure_inband_offsets(c, false);
+    const auto sled = measure_inband_offsets(c, true);
+    EXPECT_LT(sled.payload_offset_db, normal.payload_offset_db - 4.0)
+        << to_string(ch);
+    EXPECT_NEAR(sled.preamble_offset_db, normal.preamble_offset_db, 0.7)
+        << to_string(ch);
+  }
+}
+
+TEST(Inband, ReductionOrderedByModulation) {
+  for (auto ch : core::kAllOverlapChannels) {
+    const auto r16 = measure_inband_offsets(
+        cfg(Modulation::kQam16, CodingRate::kR12, ch), true);
+    const auto r64 = measure_inband_offsets(
+        cfg(Modulation::kQam64, CodingRate::kR23, ch), true);
+    const auto r256 = measure_inband_offsets(
+        cfg(Modulation::kQam256, CodingRate::kR34, ch), true);
+    EXPECT_LT(r64.payload_offset_db, r16.payload_offset_db) << to_string(ch);
+    EXPECT_LT(r256.payload_offset_db, r64.payload_offset_db) << to_string(ch);
+  }
+}
+
+TEST(Inband, Ch4ReductionNearPaper14dB) {
+  // The paper's headline: up to 14 dB decrease (QAM-256 on CH4, where
+  // spectral leakage caps the 19.3 dB constellation gap).
+  const auto c = cfg(Modulation::kQam256, CodingRate::kR34, OverlapChannel::kCh4);
+  const auto normal = measure_inband_offsets(c, false);
+  const auto sled = measure_inband_offsets(c, true);
+  const double reduction = normal.payload_offset_db - sled.payload_offset_db;
+  EXPECT_GT(reduction, 12.0);
+  EXPECT_LT(reduction, 17.0);
+}
+
+TEST(Inband, MeasuredReductionTracksIdealWithLeakageLoss) {
+  // Measured reduction <= ideal (leakage + pilot), within a few dB.
+  for (auto ch : core::kAllOverlapChannels) {
+    for (auto m : {Modulation::kQam16, Modulation::kQam64}) {
+      const auto c = cfg(m, CodingRate::kR34, ch);
+      const auto normal = measure_inband_offsets(c, false);
+      const auto sled = measure_inband_offsets(c, true);
+      const double measured = normal.payload_offset_db - sled.payload_offset_db;
+      const double ideal = core::ideal_inband_reduction_db(c);
+      EXPECT_LT(measured, ideal + 0.8) << to_string(ch) << wifi::to_string(m);
+      EXPECT_GT(measured, ideal - 3.5) << to_string(ch) << wifi::to_string(m);
+    }
+  }
+}
+
+TEST(Experiment, LinkBudgetAnchors) {
+  Scenario s;
+  s.sledzig = cfg(Modulation::kQam64, CodingRate::kR23, OverlapChannel::kCh2);
+  s.scheme = Scheme::kNormalWifi;
+  s.d_wz_m = 1.0;
+  s.d_z_m = 1.0;
+  const auto budget = scenario_link_budget(s);
+  // Normal WiFi in a CH1-CH3 window at 1 m: about -60 dBm (Fig 12).
+  EXPECT_NEAR(budget.wifi_payload_inband_dbm, -61.0, 2.0);
+  // ZigBee link at 1 m, gain 31: about -80 dBm (Fig 13).
+  EXPECT_NEAR(budget.signal_dbm, -80.4, 0.5);
+}
+
+TEST(Experiment, SledzigLowersInbandBudget) {
+  Scenario s;
+  s.sledzig = cfg(Modulation::kQam256, CodingRate::kR34, OverlapChannel::kCh4);
+  s.d_wz_m = 2.0;
+  s.scheme = Scheme::kNormalWifi;
+  const auto normal = scenario_link_budget(s);
+  s.scheme = Scheme::kSledzig;
+  const auto sled = scenario_link_budget(s);
+  EXPECT_LT(sled.wifi_payload_inband_dbm,
+            normal.wifi_payload_inband_dbm - 12.0);
+  EXPECT_NEAR(sled.wifi_preamble_inband_dbm, normal.wifi_preamble_inband_dbm,
+              0.7);
+}
+
+TEST(Experiment, NormalWifiBlocksCloseZigbee) {
+  // Fig 14(a): under saturated normal WiFi at short d_WZ the ZigBee link is
+  // CCA-silenced.
+  Scenario s;
+  s.sledzig = cfg(Modulation::kQam64, CodingRate::kR23, OverlapChannel::kCh2);
+  s.scheme = Scheme::kNormalWifi;
+  s.d_wz_m = 3.0;
+  s.duration_s = 20.0;
+  const auto result = run_throughput_experiment(s);
+  EXPECT_LT(result.throughput_kbps, 8.0);
+}
+
+TEST(Experiment, NormalWifiFarAwayIsHarmless) {
+  Scenario s;
+  s.sledzig = cfg(Modulation::kQam64, CodingRate::kR23, OverlapChannel::kCh2);
+  s.scheme = Scheme::kNormalWifi;
+  s.d_wz_m = 14.0;
+  s.duration_s = 20.0;
+  const auto result = run_throughput_experiment(s);
+  EXPECT_GT(result.throughput_kbps, 40.0);
+}
+
+TEST(Experiment, SledzigEnablesCloserCoexistence) {
+  // The headline mechanism: at a distance where normal WiFi silences the
+  // ZigBee link, SledZig (QAM-256) restores most of its throughput.
+  Scenario s;
+  s.sledzig = cfg(Modulation::kQam256, CodingRate::kR34, OverlapChannel::kCh4);
+  s.d_wz_m = 4.0;
+  s.duration_s = 20.0;
+  s.scheme = Scheme::kNormalWifi;
+  const auto normal = run_throughput_experiment(s);
+  s.scheme = Scheme::kSledzig;
+  const auto sled = run_throughput_experiment(s);
+  EXPECT_GT(sled.throughput_kbps, normal.throughput_kbps + 20.0);
+}
+
+TEST(Experiment, RssiExperimentsMatchPaperLevels) {
+  // Fig 12 anchor points (QAM-64, 1 m, gain 15), averaged over the
+  // shadowing jitter.
+  const auto c2 = cfg(Modulation::kQam64, CodingRate::kR23, OverlapChannel::kCh2);
+  double normal = 0.0, sled = 0.0;
+  const int runs = 5;
+  for (int s = 0; s < runs; ++s) {
+    normal += measure_wifi_rssi_at_zigbee(c2, Scheme::kNormalWifi, 15, 1.0,
+                                          100 + s);
+    sled += measure_wifi_rssi_at_zigbee(c2, Scheme::kSledzig, 15, 1.0, 100 + s);
+  }
+  EXPECT_NEAR(normal / runs, -61.0, 2.5);
+  EXPECT_NEAR(sled / runs, -67.5, 2.5);
+}
+
+TEST(Experiment, ZigbeeRssiMatchesFig13) {
+  EXPECT_NEAR(measure_zigbee_rssi(31, 0.5, 6), -75.0, 3.0);
+  // Low gain at 1 m is buried in the noise floor.
+  EXPECT_NEAR(measure_zigbee_rssi(3, 1.0, 6), -91.0, 2.0);
+}
+
+TEST(Experiment, WifiRxSeesZigbee30dBBelowWifi) {
+  // Fig 17: at 0.5 m the ZigBee signal at the WiFi receiver is ~30 dB below
+  // the WiFi signal and near the noise floor by 2 m.  Averaged over the
+  // shadowing jitter.
+  double wifi_half = 0.0, zb_half = 0.0, zb_two = 0.0;
+  const int runs = 5;
+  for (int s = 0; s < runs; ++s) {
+    const auto at_half = measure_rssi_at_wifi_rx(15, 31, 0.5, 200 + s);
+    wifi_half += at_half.wifi_dbm;
+    zb_half += at_half.zigbee_dbm;
+    zb_two += measure_rssi_at_wifi_rx(15, 31, 2.0, 200 + s).zigbee_dbm;
+  }
+  EXPECT_NEAR(wifi_half / runs, -56.6, 2.5);
+  EXPECT_NEAR(zb_half / runs, -84.3, 2.5);
+  EXPECT_GT(wifi_half / runs - zb_half / runs, 24.0);
+  EXPECT_LT(zb_two / runs, -87.0);
+}
+
+TEST(Experiment, WifiThroughputLossMatchesTableIv) {
+  const auto c = cfg(Modulation::kQam16, CodingRate::kR34, OverlapChannel::kCh4);
+  const double normal = wifi_throughput_mbps(c, Scheme::kNormalWifi);
+  const double sled = wifi_throughput_mbps(c, Scheme::kSledzig);
+  EXPECT_NEAR(normal, 36.0, 1e-9);  // 144 bits / 4 us
+  EXPECT_NEAR((normal - sled) / normal, 0.0694, 1e-3);
+}
+
+}  // namespace
+}  // namespace sledzig::coex

@@ -1,0 +1,220 @@
+// Unit tests for src/common: bit utilities, FFT, PSD/band power, stats.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/dsp.h"
+#include "common/fft.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace sledzig::common {
+namespace {
+
+TEST(Bits, BytesToBitsLsbFirst) {
+  const Bytes bytes = {0x01, 0x80, 0xa5};
+  const Bits bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 24u);
+  EXPECT_EQ(bits[0], 1);  // 0x01 LSB first
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+  for (int i = 8; i < 15; ++i) EXPECT_EQ(bits[i], 0);
+  EXPECT_EQ(bits[15], 1);  // 0x80 MSB last
+  // 0xa5 = 1010 0101 -> LSB first: 1,0,1,0,0,1,0,1
+  const Bits expected_a5 = {1, 0, 1, 0, 0, 1, 0, 1};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(bits[16 + i], expected_a5[i]);
+}
+
+TEST(Bits, RoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes bytes = rng.bytes(1 + static_cast<std::size_t>(trial) * 7);
+    EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+  }
+}
+
+TEST(Bits, BitsToBytesRejectsPartialOctets) {
+  EXPECT_THROW(bits_to_bytes(Bits{1, 0, 1}), std::invalid_argument);
+}
+
+TEST(Bits, UintRoundTrip) {
+  Bits bits;
+  append_uint(bits, 0x5a3, 12);
+  EXPECT_EQ(bits.size(), 12u);
+  EXPECT_EQ(bits_to_uint(bits, 12), 0x5a3u);
+}
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity(Bits{1, 1, 0}), 0);
+  EXPECT_EQ(parity(Bits{1, 1, 1}), 1);
+  EXPECT_EQ(parity(Bits{}), 0);
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(hamming_distance(Bits{1, 0, 1, 1}, Bits{1, 1, 1, 0}), 2u);
+  EXPECT_THROW(hamming_distance(Bits{1}, Bits{1, 0}), std::invalid_argument);
+}
+
+TEST(Fft, DeltaIsFlat) {
+  CplxVec x(64, Cplx(0, 0));
+  x[0] = Cplx(1, 0);
+  const auto y = fft(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 128;
+  CplxVec x(n);
+  const int k0 = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double angle = 2.0 * std::numbers::pi * k0 * static_cast<double>(t) /
+                         static_cast<double>(n);
+    x[t] = Cplx(std::cos(angle), std::sin(angle));
+  }
+  const auto y = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == static_cast<std::size_t>(k0)) {
+      EXPECT_NEAR(std::abs(y[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng(7);
+  CplxVec x(256);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const auto y = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(9);
+  CplxVec x(512);
+  for (auto& v : x) v = rng.complex_gaussian(2.0);
+  const auto y = fft(x);
+  EXPECT_NEAR(energy(y) / static_cast<double>(x.size()), energy(x),
+              1e-6 * energy(x));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CplxVec x(48);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Units, DbConversions) {
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(mw_to_dbm(0.001), -30.0, 1e-12);
+}
+
+TEST(Units, MeanPower) {
+  CplxVec x = {{1, 0}, {0, 1}, {1, 1}};
+  EXPECT_NEAR(mean_power(x), (1.0 + 1.0 + 2.0) / 3.0, 1e-12);
+  EXPECT_EQ(mean_power(CplxVec{}), 0.0);
+}
+
+TEST(Psd, WhiteNoiseTotalPowerMatches) {
+  Rng rng(123);
+  CplxVec x(1 << 14);
+  const double power = 0.5;
+  for (auto& v : x) v = rng.complex_gaussian(power);
+  const auto psd = welch_psd(x, 20e6, 256);
+  double total = 0.0;
+  for (double b : psd.bins) total += b;
+  EXPECT_NEAR(total, power, 0.05 * power);
+}
+
+TEST(Psd, ToneShowsUpInTheRightBand) {
+  const double fs = 20e6;
+  const double f0 = 3e6;
+  CplxVec x(1 << 14);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double angle = 2.0 * std::numbers::pi * f0 *
+                         static_cast<double>(t) / fs;
+    x[t] = Cplx(std::cos(angle), std::sin(angle));
+  }
+  const auto psd = welch_psd(x, fs, 256);
+  const double in_band = psd.band_power(2.5e6, 3.5e6);
+  const double out_band = psd.band_power(-9e6, 2e6);
+  EXPECT_GT(in_band, 0.9);
+  EXPECT_LT(out_band, 0.05);
+}
+
+TEST(Psd, BandPowerSplitsProportionally) {
+  Rng rng(55);
+  CplxVec x(1 << 14);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const auto psd = welch_psd(x, 20e6, 256);
+  // A 2 MHz slice of white noise over 20 MHz carries ~10% of the power.
+  const double band = psd.band_power(-1e6, 1e6);
+  EXPECT_NEAR(band, 0.1, 0.03);
+}
+
+TEST(Dsp, FrequencyShiftMovesTone) {
+  const double fs = 20e6;
+  CplxVec x(1 << 13, Cplx(1.0, 0.0));  // DC tone
+  const auto shifted = frequency_shift(x, 5e6, fs);
+  const auto psd = welch_psd(shifted, fs, 256);
+  EXPECT_GT(psd.band_power(4.5e6, 5.5e6), 0.9);
+  EXPECT_LT(psd.band_power(-1e6, 1e6), 0.05);
+}
+
+TEST(Dsp, FrequencyShiftPreservesPower) {
+  Rng rng(3);
+  CplxVec x(1 << 12);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const auto shifted = frequency_shift(x, -7e6, 20e6);
+  EXPECT_NEAR(mean_power(shifted), mean_power(x), 1e-9);
+}
+
+TEST(Stats, Quantiles) {
+  const std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_NEAR(quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.25), 2.0, 1e-12);
+}
+
+TEST(Stats, BoxStats) {
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  const auto b = box_stats(xs);
+  EXPECT_EQ(b.min, 1.0);
+  EXPECT_EQ(b.max, 100.0);
+  EXPECT_EQ(b.median, 3.0);
+  EXPECT_NEAR(b.mean, 22.0, 1e-12);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bit(), b.bit());
+  }
+}
+
+TEST(Rng, ComplexGaussianPower) {
+  Rng rng(4);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += std::norm(rng.complex_gaussian(3.0));
+  EXPECT_NEAR(acc / n, 3.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sledzig::common

@@ -1,0 +1,196 @@
+// Failure-injection tests: corrupted inputs, truncated buffers and hostile
+// conditions must degrade gracefully (clean error returns, never crashes or
+// silently wrong successes).
+#include <gtest/gtest.h>
+
+#include "channel/medium.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "mac/zigbee_csma.h"
+#include "sledzig/encoder.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+namespace sledzig {
+namespace {
+
+TEST(FailureInjection, WifiReceiverAtHopelessSnr) {
+  common::Rng rng(701);
+  wifi::WifiTxConfig tx;
+  tx.modulation = wifi::Modulation::kQam256;
+  tx.rate = wifi::CodingRate::kR56;
+  const auto psdu = rng.bytes(100);
+  auto packet = wifi::wifi_transmit(psdu, tx);
+  // 5 dB SNR against a 31 dB requirement: preamble may still correlate but
+  // the payload must not silently "succeed".
+  for (auto& s : packet.samples) {
+    s += rng.complex_gaussian(common::db_to_linear(-5.0));
+  }
+  const auto rx = wifi::wifi_receive(packet.samples, wifi::WifiRxConfig{});
+  if (rx.signal_valid) {
+    EXPECT_NE(rx.psdu, psdu);  // CRC-less PHY: garbage out is acceptable,
+                               // silent success is not expected here.
+  }
+}
+
+TEST(FailureInjection, WifiReceiverOnTruncatedPacket) {
+  common::Rng rng(702);
+  wifi::WifiTxConfig tx;
+  const auto packet = wifi::wifi_transmit(rng.bytes(200), tx);
+  for (std::size_t keep :
+       {std::size_t{10}, std::size_t{320}, std::size_t{420},
+        packet.samples.size() / 2}) {
+    const auto rx = wifi::wifi_receive(
+        std::span<const common::Cplx>(packet.samples).first(keep),
+        wifi::WifiRxConfig{});
+    EXPECT_TRUE(rx.psdu.empty()) << keep;
+  }
+}
+
+TEST(FailureInjection, WifiReceiverWrongWidthDoesNotCrash) {
+  common::Rng rng(703);
+  wifi::WifiTxConfig tx;
+  tx.width = wifi::ChannelWidth::k40MHz;
+  const auto packet = wifi::wifi_transmit(rng.bytes(100), tx);
+  wifi::WifiRxConfig rx20;  // mismatch on purpose
+  const auto rx = wifi::wifi_receive(packet.samples, rx20);
+  EXPECT_TRUE(rx.psdu.empty());
+}
+
+TEST(FailureInjection, SledzigDecodeCorruptedLengthHeader) {
+  common::Rng rng(704);
+  core::SledzigConfig cfg;
+  const auto enc = core::sledzig_encode(rng.bytes(50), cfg);
+  // Flipping transmit bits may corrupt the embedded length; the decoder
+  // must either return the wrong payload or nullopt — never crash.
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = enc.transmit_psdu;
+    corrupted[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(corrupted.size()) - 1))] ^=
+        static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    const auto dec = core::sledzig_decode(corrupted, cfg);
+    (void)dec;
+  }
+  SUCCEED();
+}
+
+TEST(FailureInjection, SledzigDecodeEmptyAndTiny) {
+  core::SledzigConfig cfg;
+  EXPECT_FALSE(core::sledzig_decode({}, cfg).has_value());
+  EXPECT_FALSE(core::sledzig_decode({0xff}, cfg).has_value());
+}
+
+TEST(FailureInjection, SledzigDecodeWrongChannelConfig) {
+  // Decoding with the wrong channel strips the wrong positions; the result
+  // must not equal the payload (and usually fails the length check).
+  common::Rng rng(705);
+  core::SledzigConfig enc_cfg;
+  enc_cfg.channel = core::OverlapChannel::kCh1;
+  const auto payload = rng.bytes(100);
+  const auto enc = core::sledzig_encode(payload, enc_cfg);
+  core::SledzigConfig dec_cfg = enc_cfg;
+  dec_cfg.channel = core::OverlapChannel::kCh3;
+  const auto dec = core::sledzig_decode(enc.transmit_psdu, dec_cfg);
+  if (dec.has_value()) {
+    EXPECT_NE(*dec, payload);
+  }
+}
+
+TEST(FailureInjection, SledzigDecodeWrongSeed) {
+  common::Rng rng(706);
+  core::SledzigConfig cfg;
+  const auto payload = rng.bytes(80);
+  const auto enc = core::sledzig_encode(payload, cfg);
+  core::SledzigConfig wrong = cfg;
+  wrong.scrambler_seed = 0x11;
+  const auto dec = core::sledzig_decode(enc.transmit_psdu, wrong);
+  if (dec.has_value()) {
+    EXPECT_NE(*dec, payload);
+  }
+}
+
+TEST(FailureInjection, ZigbeeReceiverMidFrameCut) {
+  common::Rng rng(707);
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
+  const auto rx = zigbee::zigbee_receive(
+      std::span<const common::Cplx>(tx.samples)
+          .first(tx.samples.size() / 2));
+  EXPECT_FALSE(rx.crc_ok);
+}
+
+TEST(FailureInjection, ZigbeeReceiverCorruptedSfd) {
+  common::Rng rng(708);
+  auto tx = zigbee::zigbee_transmit(rng.bytes(30));
+  // Blank out the SFD symbol region (octet 4 => samples 4*640..5*640).
+  for (std::size_t i = 4 * 640; i < 5 * 640 && i < tx.samples.size(); ++i) {
+    tx.samples[i] = common::Cplx(0.0, 0.0);
+  }
+  const auto rx = zigbee::zigbee_receive(tx.samples);
+  EXPECT_FALSE(rx.crc_ok);
+}
+
+TEST(FailureInjection, ZigbeeJammedBeyondRecovery) {
+  // Note: the channel-select filter buys back ~9 dB against wideband noise,
+  // so -10 dB SNR is actually recoverable; -22 dB is not.
+  common::Rng rng(709);
+  const auto payload = rng.bytes(30);
+  const auto tx = zigbee::zigbee_transmit(payload);
+  common::CplxVec jammed(tx.samples);
+  for (auto& s : jammed) {
+    s += rng.complex_gaussian(common::db_to_linear(22.0));  // -22 dB SNR
+  }
+  const auto rx = zigbee::zigbee_receive(jammed);
+  EXPECT_FALSE(rx.crc_ok && rx.payload == payload);
+}
+
+TEST(FailureInjection, ChannelFilterBuysProcessingGain) {
+  // Companion positive case: -10 dB wideband SNR decodes *because of* the
+  // channel filter, and fails without it.
+  common::Rng rng(712);
+  const auto payload = rng.bytes(30);
+  const auto tx = zigbee::zigbee_transmit(payload);
+  common::CplxVec jammed(tx.samples);
+  for (auto& s : jammed) {
+    s += rng.complex_gaussian(common::db_to_linear(10.0));
+  }
+  const auto with_filter = zigbee::zigbee_receive(jammed);
+  EXPECT_TRUE(with_filter.crc_ok);
+  EXPECT_EQ(with_filter.payload, payload);
+  zigbee::ZigbeeRxConfig no_filter;
+  no_filter.channel_filter_cutoff_hz = 0.0;
+  const auto without = zigbee::zigbee_receive(jammed, no_filter);
+  EXPECT_FALSE(without.crc_ok && without.payload == payload);
+}
+
+TEST(FailureInjection, MacSimDegenerateParams) {
+  common::Rng rng(710);
+  mac::WifiMacParams wifi_params;
+  wifi_params.duty_ratio = 1.0;
+  wifi_params.airtime_us = 100.0;  // tiny bursts
+  const mac::WifiTimeline tl(wifi_params, 1e6, rng);
+  mac::ZigbeeMacParams zb;
+  zb.payload_octets = 1;
+  zb.processing_us = 0.0;
+  const auto result = mac::simulate_zigbee_link(
+      tl, zb, mac::ZigbeeLinkBudget{}, mac::SymbolErrorModel{}, rng);
+  EXPECT_GE(result.throughput_kbps, 0.0);
+}
+
+TEST(FailureInjection, EncoderRejectsOversizedPayload) {
+  core::SledzigConfig cfg;
+  EXPECT_THROW(
+      core::sledzig_encode(common::Bytes(core::kMaxSledzigPayload + 1, 0), cfg),
+      std::invalid_argument);
+}
+
+TEST(FailureInjection, MediumRejectsNullEmission) {
+  common::Rng rng(711);
+  std::vector<channel::Emission> bad = {{nullptr, -50.0, 0.0, 0}};
+  EXPECT_THROW(channel::mix_at_receiver(bad, 1000, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sledzig

@@ -1,0 +1,156 @@
+// Tests for the fragmentation/reassembly layer.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sledzig/stream.h"
+
+namespace sledzig::core {
+namespace {
+
+SledzigConfig test_cfg() {
+  SledzigConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  cfg.channel = OverlapChannel::kCh4;
+  return cfg;
+}
+
+TEST(Stream, SingleChunkMessage) {
+  common::Rng rng(801);
+  const auto cfg = test_cfg();
+  const auto message = rng.bytes(100);
+  const auto psdus = stream_encode(message, 7, cfg, 1024);
+  ASSERT_EQ(psdus.size(), 1u);
+  StreamReassembler rx;
+  const auto out = rx.push(psdus[0], cfg);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+  EXPECT_EQ(rx.pending_streams(), 0u);
+}
+
+TEST(Stream, MultiChunkInOrder) {
+  common::Rng rng(802);
+  const auto cfg = test_cfg();
+  const auto message = rng.bytes(3000);
+  const auto psdus = stream_encode(message, 42, cfg, 512);
+  ASSERT_EQ(psdus.size(), 6u);
+  StreamReassembler rx;
+  for (std::size_t i = 0; i + 1 < psdus.size(); ++i) {
+    EXPECT_FALSE(rx.push(psdus[i], cfg).has_value());
+  }
+  const auto out = rx.push(psdus.back(), cfg);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+}
+
+TEST(Stream, OutOfOrderAndDuplicates) {
+  common::Rng rng(803);
+  const auto cfg = test_cfg();
+  const auto message = rng.bytes(2000);
+  auto psdus = stream_encode(message, 1, cfg, 300);
+  ASSERT_EQ(psdus.size(), 7u);
+
+  std::vector<std::size_t> order = {6, 2, 2, 0, 4, 1, 5, 0, 3};
+  StreamReassembler rx;
+  std::optional<common::Bytes> out;
+  for (std::size_t idx : order) {
+    auto result = rx.push(psdus[idx], cfg);
+    if (result) {
+      EXPECT_FALSE(out.has_value());  // completes exactly once
+      out = result;
+    }
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+}
+
+TEST(Stream, InterleavedStreams) {
+  common::Rng rng(804);
+  const auto cfg = test_cfg();
+  const auto msg_a = rng.bytes(700);
+  const auto msg_b = rng.bytes(900);
+  const auto psdus_a = stream_encode(msg_a, 10, cfg, 256);
+  const auto psdus_b = stream_encode(msg_b, 11, cfg, 256);
+
+  StreamReassembler rx;
+  std::optional<common::Bytes> out_a, out_b;
+  const std::size_t rounds = std::max(psdus_a.size(), psdus_b.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < psdus_a.size()) {
+      if (auto r = rx.push(psdus_a[i], cfg)) out_a = r;
+    }
+    if (i < psdus_b.size()) {
+      if (auto r = rx.push(psdus_b[i], cfg)) out_b = r;
+    }
+  }
+  ASSERT_TRUE(out_a.has_value());
+  ASSERT_TRUE(out_b.has_value());
+  EXPECT_EQ(*out_a, msg_a);
+  EXPECT_EQ(*out_b, msg_b);
+}
+
+TEST(Stream, EmptyMessage) {
+  const auto cfg = test_cfg();
+  const auto psdus = stream_encode({}, 3, cfg);
+  ASSERT_EQ(psdus.size(), 1u);
+  StreamReassembler rx;
+  const auto out = rx.push(psdus[0], cfg);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Stream, MissingChunkNeverCompletes) {
+  common::Rng rng(805);
+  const auto cfg = test_cfg();
+  const auto psdus = stream_encode(rng.bytes(1500), 5, cfg, 256);
+  StreamReassembler rx;
+  for (std::size_t i = 0; i < psdus.size(); ++i) {
+    if (i == 2) continue;  // drop one chunk
+    EXPECT_FALSE(rx.push(psdus[i], cfg).has_value());
+  }
+  EXPECT_EQ(rx.pending_streams(), 1u);
+  rx.abort_stream(5);
+  EXPECT_EQ(rx.pending_streams(), 0u);
+}
+
+TEST(Stream, ParseRejectsBadHeaders) {
+  EXPECT_FALSE(parse_stream_chunk({1, 2, 3}).has_value());  // too short
+  // total == 0:
+  EXPECT_FALSE(parse_stream_chunk({0, 0, 0, 0, 0, 0}).has_value());
+  // seq >= total:
+  EXPECT_FALSE(parse_stream_chunk({0, 0, 5, 0, 2, 0}).has_value());
+  // minimal valid:
+  EXPECT_TRUE(parse_stream_chunk({0, 0, 0, 0, 1, 0}).has_value());
+}
+
+TEST(Stream, RejectsDegenerateParams) {
+  const auto cfg = test_cfg();
+  EXPECT_THROW(stream_encode({1, 2, 3}, 0, cfg, 0), std::invalid_argument);
+  EXPECT_THROW(stream_encode(common::Bytes(70000, 0), 0, cfg, 1),
+               std::invalid_argument);
+}
+
+TEST(Stream, CorruptedChunkIgnored) {
+  common::Rng rng(806);
+  const auto cfg = test_cfg();
+  const auto message = rng.bytes(600);
+  auto psdus = stream_encode(message, 9, cfg, 256);
+  StreamReassembler rx;
+  // A chunk decoded with the wrong config (wrong channel) is rejected or at
+  // worst becomes an unrelated stream fragment; the true stream still
+  // completes.
+  auto wrong = cfg;
+  wrong.channel = OverlapChannel::kCh1;
+  (void)rx.push(psdus[0], wrong);
+  std::optional<common::Bytes> out;
+  for (const auto& p : psdus) {
+    if (auto r = rx.push(p, cfg)) out = r;
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+}
+
+}  // namespace
+}  // namespace sledzig::core

@@ -1,0 +1,140 @@
+// Integration tests: full WiFi transmitter -> (noisy) channel -> receiver.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+
+namespace sledzig::wifi {
+namespace {
+
+struct LoopbackParam {
+  Modulation modulation;
+  CodingRate rate;
+};
+
+class WifiLoopback : public ::testing::TestWithParam<LoopbackParam> {};
+
+TEST_P(WifiLoopback, CleanChannelExactRecovery) {
+  common::Rng rng(21);
+  const auto psdu = rng.bytes(200);
+  WifiTxConfig tx;
+  tx.modulation = GetParam().modulation;
+  tx.rate = GetParam().rate;
+  const auto packet = wifi_transmit(psdu, tx);
+
+  WifiRxConfig rx;
+  const auto result = wifi_receive(packet.samples, rx);
+  ASSERT_TRUE(result.detected);
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.signal.modulation, tx.modulation);
+  EXPECT_EQ(result.signal.rate, tx.rate);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+TEST_P(WifiLoopback, HighSnrRecovery) {
+  common::Rng rng(22);
+  const auto psdu = rng.bytes(120);
+  WifiTxConfig tx;
+  tx.modulation = GetParam().modulation;
+  tx.rate = GetParam().rate;
+  auto packet = wifi_transmit(psdu, tx);
+  // 35 dB SNR: above the minimum for every paper mode.
+  const double noise_power = common::db_to_linear(-35.0);
+  for (auto& s : packet.samples) s += rng.complex_gaussian(noise_power);
+
+  const auto result = wifi_receive(packet.samples, WifiRxConfig{});
+  ASSERT_TRUE(result.detected);
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+TEST_P(WifiLoopback, DetectionAtRandomOffset) {
+  common::Rng rng(23);
+  const auto psdu = rng.bytes(60);
+  WifiTxConfig tx;
+  tx.modulation = GetParam().modulation;
+  tx.rate = GetParam().rate;
+  const auto packet = wifi_transmit(psdu, tx);
+
+  const std::size_t offset = 500 + static_cast<std::size_t>(rng.uniform_int(0, 300));
+  common::CplxVec stream(offset, common::Cplx(0, 0));
+  const double noise_power = common::db_to_linear(-40.0);
+  for (auto& s : stream) s = rng.complex_gaussian(noise_power);
+  stream.insert(stream.end(), packet.samples.begin(), packet.samples.end());
+  for (std::size_t i = 0; i < 200; ++i) stream.push_back(rng.complex_gaussian(noise_power));
+
+  const auto result = wifi_receive(stream, WifiRxConfig{});
+  ASSERT_TRUE(result.detected);
+  EXPECT_NEAR(static_cast<double>(result.packet_start),
+              static_cast<double>(offset), 1.0);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModes, WifiLoopback,
+    ::testing::Values(LoopbackParam{Modulation::kQam16, CodingRate::kR12},
+                      LoopbackParam{Modulation::kQam16, CodingRate::kR34},
+                      LoopbackParam{Modulation::kQam64, CodingRate::kR23},
+                      LoopbackParam{Modulation::kQam64, CodingRate::kR34},
+                      LoopbackParam{Modulation::kQam64, CodingRate::kR56},
+                      LoopbackParam{Modulation::kQam256, CodingRate::kR34},
+                      LoopbackParam{Modulation::kQam256, CodingRate::kR56}),
+    [](const auto& info) {
+      return to_string(info.param.modulation).substr(0, 3) +
+             std::to_string(coded_bits_per_symbol(info.param.modulation)) +
+             "r" + std::to_string(rate_fraction(info.param.rate).num) +
+             std::to_string(rate_fraction(info.param.rate).den);
+    });
+
+TEST(WifiLoopback, NoiseOnlyInputNotDetected) {
+  common::Rng rng(24);
+  common::CplxVec noise(4000);
+  for (auto& s : noise) s = rng.complex_gaussian(1.0);
+  const auto result = wifi_receive(noise, WifiRxConfig{});
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(WifiLoopback, ServiceFieldModeRoundTrip) {
+  common::Rng rng(25);
+  const auto psdu = rng.bytes(90);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam64;
+  tx.rate = CodingRate::kR23;
+  tx.include_service_field = true;
+  const auto packet = wifi_transmit(psdu, tx);
+  WifiRxConfig rx;
+  rx.include_service_field = true;
+  const auto result = wifi_receive(packet.samples, rx);
+  ASSERT_TRUE(result.detected);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+TEST(WifiLoopback, PacketDurationAccounting) {
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam16;
+  tx.rate = CodingRate::kR12;  // 96 data bits per symbol
+  // 100 octets = 800 bits + 6 tail = 806 -> 9 symbols.
+  EXPECT_EQ(num_data_symbols(800, tx), 9u);
+  EXPECT_NEAR(packet_duration_us(100, tx), 16.0 + 4.0 + 36.0, 1e-9);
+  const auto packet = wifi_transmit(common::Bytes(100, 0xab), tx);
+  EXPECT_EQ(packet.samples.size(), 320u + 80u + 9u * 80u);
+}
+
+TEST(WifiLoopback, ScrambledStreamMatchesBetweenTxAndRx) {
+  common::Rng rng(26);
+  const auto psdu = rng.bytes(64);
+  WifiTxConfig tx;
+  tx.modulation = Modulation::kQam16;
+  tx.rate = CodingRate::kR12;
+  const auto packet = wifi_transmit(psdu, tx);
+  const auto result = wifi_receive(packet.samples, WifiRxConfig{});
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.scrambled_stream, packet.scrambled_stream);
+}
+
+}  // namespace
+}  // namespace sledzig::wifi

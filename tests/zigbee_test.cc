@@ -1,0 +1,266 @@
+// Unit and loopback tests for the 802.15.4 ZigBee PHY.
+#include <gtest/gtest.h>
+
+#include "common/dsp.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "zigbee/cc2420.h"
+#include "zigbee/chips.h"
+#include "zigbee/frame.h"
+#include "zigbee/oqpsk.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+namespace sledzig::zigbee {
+namespace {
+
+using common::Bits;
+using common::Bytes;
+
+// ------------------------------------------------------------------- chips
+
+TEST(Chips, Symbol0MatchesStandard) {
+  const char* expected = "11011001110000110101001000101110";
+  const auto& seq = chip_table()[0];
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    EXPECT_EQ(seq[i], expected[i] - '0') << i;
+  }
+}
+
+TEST(Chips, Symbol1IsRightRotation) {
+  const char* expected = "11101101100111000011010100100010";
+  const auto& seq = chip_table()[1];
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    EXPECT_EQ(seq[i], expected[i] - '0') << i;
+  }
+}
+
+TEST(Chips, Symbol8InvertsOddChips) {
+  const char* expected = "10001100100101100000011101111011";
+  const auto& seq = chip_table()[8];
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    EXPECT_EQ(seq[i], expected[i] - '0') << i;
+  }
+}
+
+TEST(Chips, SequencesHaveLargeMutualDistance) {
+  // DSSS processing gain rests on the near-orthogonality of the sequences.
+  const auto& table = chip_table();
+  for (std::size_t a = 0; a < kNumSymbols; ++a) {
+    for (std::size_t b = a + 1; b < kNumSymbols; ++b) {
+      std::size_t dist = 0;
+      for (std::size_t c = 0; c < kChipsPerSymbol; ++c) {
+        dist += (table[a][c] ^ table[b][c]) & 1u;
+      }
+      EXPECT_GE(dist, 12u) << "symbols " << a << "," << b;
+    }
+  }
+}
+
+TEST(Chips, SpreadDespreadRoundTrip) {
+  common::Rng rng(31);
+  const auto bits = rng.bits(4 * 50);
+  const auto chips = spread(bits);
+  EXPECT_EQ(chips.size(), 50u * kChipsPerSymbol);
+  const auto result = despread(chips);
+  EXPECT_EQ(result.bits, bits);
+  EXPECT_EQ(result.total_chip_errors, 0u);
+}
+
+TEST(Chips, DespreadToleratesChipErrors) {
+  common::Rng rng(32);
+  const auto bits = rng.bits(4 * 20);
+  auto chips = spread(bits);
+  // Flip 5 chips per symbol: still well below half the minimum distance.
+  for (std::size_t s = 0; s < 20; ++s) {
+    for (std::size_t e = 0; e < 5; ++e) {
+      chips[s * kChipsPerSymbol + e * 6] ^= 1;
+    }
+  }
+  const auto result = despread(chips);
+  EXPECT_EQ(result.bits, bits);
+  EXPECT_EQ(result.total_chip_errors, 100u);
+}
+
+// ------------------------------------------------------------------- OQPSK
+
+TEST(Oqpsk, ConstantEnvelopeInSteadyState) {
+  common::Rng rng(33);
+  const auto chips = rng.bits(64);
+  const auto wave = oqpsk_modulate(chips);
+  // After the first chip and before the tail the MSK envelope is constant 1.
+  for (std::size_t i = 2 * kSamplesPerChip; i + 2 * kSamplesPerChip < wave.size();
+       ++i) {
+    EXPECT_NEAR(std::abs(wave[i]), 1.0, 1e-9) << i;
+  }
+}
+
+TEST(Oqpsk, ChipDecisionsRoundTrip) {
+  common::Rng rng(34);
+  const auto chips = rng.bits(256);
+  const auto wave = oqpsk_modulate(chips);
+  const auto decided = oqpsk_demodulate_chips(wave, chips.size());
+  EXPECT_EQ(decided, chips);
+}
+
+TEST(Oqpsk, CorrelationSelectsMatchingSequence) {
+  common::Rng rng(35);
+  const auto chips_a = spread(Bits{1, 0, 1, 0});
+  const auto chips_b = spread(Bits{0, 1, 1, 1});
+  const auto wave = oqpsk_modulate(chips_a);
+  EXPECT_GT(oqpsk_correlate(wave, chips_a), 0.95);
+  EXPECT_LT(oqpsk_correlate(wave, chips_b), 0.6);
+}
+
+TEST(Oqpsk, SpectrumConcentratedWithin2MHz) {
+  common::Rng rng(36);
+  const auto chips = rng.bits(2048);
+  const auto wave = oqpsk_modulate(chips);
+  const auto psd = common::welch_psd(wave, kOqpskSampleRateHz, 256);
+  const double in_band = psd.band_power(-1e6, 1e6);
+  const double total = psd.band_power(-10e6, 10e6);
+  EXPECT_GT(in_band / total, 0.85);
+}
+
+// ------------------------------------------------------------------- frame
+
+TEST(Frame, Crc16KnownVector) {
+  // CRC-16/CCITT (Kermit-style, as used for the 802.15.4 FCS) of "123456789"
+  // is 0x2189.
+  const Bytes data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data), 0x2189);
+}
+
+TEST(Frame, BuildParseRoundTrip) {
+  common::Rng rng(37);
+  for (std::size_t len : {0u, 1u, 20u, 125u - 2u}) {
+    const auto payload = rng.bytes(len);
+    const auto ppdu = build_ppdu(payload);
+    const auto parsed = parse_ppdu(ppdu);
+    ASSERT_TRUE(parsed.has_value()) << len;
+    EXPECT_EQ(*parsed, payload);
+  }
+}
+
+TEST(Frame, CorruptionDetected) {
+  common::Rng rng(38);
+  const auto payload = rng.bytes(30);
+  auto ppdu = build_ppdu(payload);
+  ppdu[10] ^= 0x40;
+  EXPECT_FALSE(parse_ppdu(ppdu).has_value());
+}
+
+TEST(Frame, RejectsOversizedPayload) {
+  EXPECT_THROW(build_ppdu(Bytes(126, 0)), std::invalid_argument);
+}
+
+TEST(Frame, DurationMatchesPaperNumbers) {
+  // The preamble alone is 128 us (8 symbols), as used in section IV-F.
+  EXPECT_NEAR(kPreambleDurationUs, 128.0, 1e-12);
+  // A 100-octet payload: (4+2+100+2) octets * 32 us.
+  EXPECT_NEAR(frame_duration_us(100), 108.0 * 32.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ CC2420
+
+TEST(Cc2420, PowerTableEndpoints) {
+  EXPECT_NEAR(tx_power_dbm(31), 0.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(27), -1.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(15), -7.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(3), -25.0, 1e-12);
+  EXPECT_LT(tx_power_dbm(0), -25.0);
+  EXPECT_THROW(tx_power_dbm(32), std::invalid_argument);
+}
+
+TEST(Cc2420, PowerMonotonicInGain) {
+  for (unsigned g = 1; g <= 31; ++g) {
+    EXPECT_GE(tx_power_dbm(g), tx_power_dbm(g - 1)) << g;
+  }
+}
+
+TEST(Cc2420, ChannelFrequencies) {
+  EXPECT_NEAR(channel_frequency_hz(11), 2405e6, 1);
+  EXPECT_NEAR(channel_frequency_hz(23), 2465e6, 1);
+  EXPECT_NEAR(channel_frequency_hz(26), 2480e6, 1);
+  EXPECT_THROW(channel_frequency_hz(10), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- loopback
+
+TEST(ZigbeeLoopback, CleanChannel) {
+  common::Rng rng(39);
+  const auto payload = rng.bytes(40);
+  const auto tx = zigbee_transmit(payload);
+  const auto rx = zigbee_receive(tx.samples);
+  ASSERT_TRUE(rx.detected);
+  ASSERT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+  EXPECT_EQ(rx.chip_errors, 0u);
+}
+
+TEST(ZigbeeLoopback, NoisyChannelWithOffsetAndPhase) {
+  common::Rng rng(40);
+  const auto payload = rng.bytes(25);
+  const auto tx = zigbee_transmit(payload);
+
+  const std::size_t offset = 777;
+  const double noise_power = common::db_to_linear(-12.0);  // 12 dB SNR
+  const common::Cplx phase(std::cos(1.1), std::sin(1.1));
+  common::CplxVec stream;
+  for (std::size_t i = 0; i < offset; ++i) {
+    stream.push_back(rng.complex_gaussian(noise_power));
+  }
+  for (const auto& s : tx.samples) {
+    stream.push_back(s * phase + rng.complex_gaussian(noise_power));
+  }
+  for (std::size_t i = 0; i < 300; ++i) {
+    stream.push_back(rng.complex_gaussian(noise_power));
+  }
+
+  const auto rx = zigbee_receive(stream);
+  ASSERT_TRUE(rx.detected);
+  EXPECT_NEAR(static_cast<double>(rx.frame_start), static_cast<double>(offset),
+              2.0);
+  ASSERT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+}
+
+TEST(ZigbeeLoopback, DsssSurvivesLowSnr) {
+  // The DSSS processing gain (32 chips / 4 bits ~ 9 dB) lets frames decode
+  // at SNRs around 0 dB — the property SledZig leans on in section IV-E.
+  common::Rng rng(41);
+  const auto payload = rng.bytes(20);
+  const auto tx = zigbee_transmit(payload);
+  const double noise_power = common::db_to_linear(-1.0);
+  common::CplxVec noisy(tx.samples);
+  for (auto& s : noisy) s += rng.complex_gaussian(noise_power);
+  const auto rx = zigbee_receive(noisy);
+  ASSERT_TRUE(rx.detected);
+  EXPECT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+}
+
+TEST(ZigbeeLoopback, NoiseOnlyNotDetected) {
+  common::Rng rng(42);
+  common::CplxVec noise(8000);
+  for (auto& s : noise) s = rng.complex_gaussian(1.0);
+  const auto rx = zigbee_receive(noise);
+  EXPECT_FALSE(rx.detected);
+}
+
+class ZigbeePayloadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZigbeePayloadSizes, RoundTrip) {
+  common::Rng rng(43 + GetParam());
+  const auto payload = rng.bytes(GetParam());
+  const auto tx = zigbee_transmit(payload);
+  const auto rx = zigbee_receive(tx.samples);
+  ASSERT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZigbeePayloadSizes,
+                         ::testing::Values(1, 5, 16, 50, 80, 110, 125));
+
+}  // namespace
+}  // namespace sledzig::zigbee
