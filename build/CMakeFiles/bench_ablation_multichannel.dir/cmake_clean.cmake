@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multichannel.dir/bench/bench_ablation_multichannel.cc.o"
+  "CMakeFiles/bench_ablation_multichannel.dir/bench/bench_ablation_multichannel.cc.o.d"
+  "bench/bench_ablation_multichannel"
+  "bench/bench_ablation_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

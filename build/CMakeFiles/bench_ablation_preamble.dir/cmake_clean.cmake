@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preamble.dir/bench/bench_ablation_preamble.cc.o"
+  "CMakeFiles/bench_ablation_preamble.dir/bench/bench_ablation_preamble.cc.o.d"
+  "bench/bench_ablation_preamble"
+  "bench/bench_ablation_preamble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsss_sinr.dir/bench/bench_dsss_sinr.cc.o"
+  "CMakeFiles/bench_dsss_sinr.dir/bench/bench_dsss_sinr.cc.o.d"
+  "bench/bench_dsss_sinr"
+  "bench/bench_dsss_sinr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsss_sinr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

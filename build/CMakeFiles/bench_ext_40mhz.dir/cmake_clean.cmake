@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_40mhz.dir/bench/bench_ext_40mhz.cc.o"
+  "CMakeFiles/bench_ext_40mhz.dir/bench/bench_ext_40mhz.cc.o.d"
+  "bench/bench_ext_40mhz"
+  "bench/bench_ext_40mhz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_40mhz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_subcarrier_count.dir/bench/bench_fig11_subcarrier_count.cc.o"
+  "CMakeFiles/bench_fig11_subcarrier_count.dir/bench/bench_fig11_subcarrier_count.cc.o.d"
+  "bench/bench_fig11_subcarrier_count"
+  "bench/bench_fig11_subcarrier_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_subcarrier_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_rssi_decrease.dir/bench/bench_fig12_rssi_decrease.cc.o"
+  "CMakeFiles/bench_fig12_rssi_decrease.dir/bench/bench_fig12_rssi_decrease.cc.o.d"
+  "bench/bench_fig12_rssi_decrease"
+  "bench/bench_fig12_rssi_decrease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rssi_decrease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

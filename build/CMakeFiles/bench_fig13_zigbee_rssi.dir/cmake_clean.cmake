@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_zigbee_rssi.dir/bench/bench_fig13_zigbee_rssi.cc.o"
+  "CMakeFiles/bench_fig13_zigbee_rssi.dir/bench/bench_fig13_zigbee_rssi.cc.o.d"
+  "bench/bench_fig13_zigbee_rssi"
+  "bench/bench_fig13_zigbee_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_zigbee_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

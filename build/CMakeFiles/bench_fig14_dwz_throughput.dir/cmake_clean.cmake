@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dwz_throughput.dir/bench/bench_fig14_dwz_throughput.cc.o"
+  "CMakeFiles/bench_fig14_dwz_throughput.dir/bench/bench_fig14_dwz_throughput.cc.o.d"
+  "bench/bench_fig14_dwz_throughput"
+  "bench/bench_fig14_dwz_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dwz_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_traffic_ratio.dir/bench/bench_fig16_traffic_ratio.cc.o"
+  "CMakeFiles/bench_fig16_traffic_ratio.dir/bench/bench_fig16_traffic_ratio.cc.o.d"
+  "bench/bench_fig16_traffic_ratio"
+  "bench/bench_fig16_traffic_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_traffic_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

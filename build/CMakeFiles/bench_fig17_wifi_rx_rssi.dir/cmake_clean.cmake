@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_wifi_rx_rssi.dir/bench/bench_fig17_wifi_rx_rssi.cc.o"
+  "CMakeFiles/bench_fig17_wifi_rx_rssi.dir/bench/bench_fig17_wifi_rx_rssi.cc.o.d"
+  "bench/bench_fig17_wifi_rx_rssi"
+  "bench/bench_fig17_wifi_rx_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_wifi_rx_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

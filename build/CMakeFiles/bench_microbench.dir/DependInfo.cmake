@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_microbench.cc" "CMakeFiles/bench_microbench.dir/bench/bench_microbench.cc.o" "gcc" "CMakeFiles/bench_microbench.dir/bench/bench_microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coex/CMakeFiles/sledzig_coex.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/sledzig_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sledzig_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sledzig/CMakeFiles/sledzig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/sledzig_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/sledzig_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_snr.dir/bench/bench_min_snr.cc.o"
+  "CMakeFiles/bench_min_snr.dir/bench/bench_min_snr.cc.o.d"
+  "bench/bench_min_snr"
+  "bench/bench_min_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_min_snr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_theory.dir/bench/bench_power_theory.cc.o"
+  "CMakeFiles/bench_power_theory.dir/bench/bench_power_theory.cc.o.d"
+  "bench/bench_power_theory"
+  "bench/bench_power_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

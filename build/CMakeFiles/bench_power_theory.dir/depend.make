@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_power_theory.
+# This may be replaced when dependencies are built.

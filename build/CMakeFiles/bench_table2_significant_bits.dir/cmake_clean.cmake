@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_significant_bits.dir/bench/bench_table2_significant_bits.cc.o"
+  "CMakeFiles/bench_table2_significant_bits.dir/bench/bench_table2_significant_bits.cc.o.d"
+  "bench/bench_table2_significant_bits"
+  "bench/bench_table2_significant_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_significant_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_extra_bits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_throughput_loss.dir/bench/bench_table4_throughput_loss.cc.o"
+  "CMakeFiles/bench_table4_throughput_loss.dir/bench/bench_table4_throughput_loss.cc.o.d"
+  "bench/bench_table4_throughput_loss"
+  "bench/bench_table4_throughput_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_throughput_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_ap.dir/adaptive_ap.cpp.o"
+  "CMakeFiles/adaptive_ap.dir/adaptive_ap.cpp.o.d"
+  "adaptive_ap"
+  "adaptive_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

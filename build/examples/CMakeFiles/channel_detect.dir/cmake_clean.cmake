@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_detect.dir/channel_detect.cpp.o"
+  "CMakeFiles/channel_detect.dir/channel_detect.cpp.o.d"
+  "channel_detect"
+  "channel_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

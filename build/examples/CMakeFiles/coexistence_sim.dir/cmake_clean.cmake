@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexistence_sim.dir/coexistence_sim.cpp.o"
+  "CMakeFiles/coexistence_sim.dir/coexistence_sim.cpp.o.d"
+  "coexistence_sim"
+  "coexistence_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexistence_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

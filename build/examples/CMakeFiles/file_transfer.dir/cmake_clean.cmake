@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_transfer.dir/file_transfer.cpp.o"
+  "CMakeFiles/file_transfer.dir/file_transfer.cpp.o.d"
+  "file_transfer"
+  "file_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_scan.dir/spectrum_scan.cpp.o"
+  "CMakeFiles/spectrum_scan.dir/spectrum_scan.cpp.o.d"
+  "spectrum_scan"
+  "spectrum_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_channel.dir/medium.cc.o"
+  "CMakeFiles/sledzig_channel.dir/medium.cc.o.d"
+  "CMakeFiles/sledzig_channel.dir/pathloss.cc.o"
+  "CMakeFiles/sledzig_channel.dir/pathloss.cc.o.d"
+  "libsledzig_channel.a"
+  "libsledzig_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

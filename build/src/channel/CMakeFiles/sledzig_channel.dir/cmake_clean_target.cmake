@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsledzig_channel.a"
+)

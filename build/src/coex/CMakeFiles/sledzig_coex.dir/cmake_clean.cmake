@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_coex.dir/detector.cc.o"
+  "CMakeFiles/sledzig_coex.dir/detector.cc.o.d"
+  "CMakeFiles/sledzig_coex.dir/experiment.cc.o"
+  "CMakeFiles/sledzig_coex.dir/experiment.cc.o.d"
+  "CMakeFiles/sledzig_coex.dir/inband.cc.o"
+  "CMakeFiles/sledzig_coex.dir/inband.cc.o.d"
+  "libsledzig_coex.a"
+  "libsledzig_coex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_coex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

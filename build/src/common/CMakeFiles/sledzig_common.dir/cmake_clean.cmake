@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_common.dir/bits.cc.o"
+  "CMakeFiles/sledzig_common.dir/bits.cc.o.d"
+  "CMakeFiles/sledzig_common.dir/dsp.cc.o"
+  "CMakeFiles/sledzig_common.dir/dsp.cc.o.d"
+  "CMakeFiles/sledzig_common.dir/fft.cc.o"
+  "CMakeFiles/sledzig_common.dir/fft.cc.o.d"
+  "CMakeFiles/sledzig_common.dir/stats.cc.o"
+  "CMakeFiles/sledzig_common.dir/stats.cc.o.d"
+  "CMakeFiles/sledzig_common.dir/units.cc.o"
+  "CMakeFiles/sledzig_common.dir/units.cc.o.d"
+  "libsledzig_common.a"
+  "libsledzig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

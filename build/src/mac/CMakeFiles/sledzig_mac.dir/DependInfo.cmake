@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/wifi_timeline.cc" "src/mac/CMakeFiles/sledzig_mac.dir/wifi_timeline.cc.o" "gcc" "src/mac/CMakeFiles/sledzig_mac.dir/wifi_timeline.cc.o.d"
+  "/root/repo/src/mac/zigbee_csma.cc" "src/mac/CMakeFiles/sledzig_mac.dir/zigbee_csma.cc.o" "gcc" "src/mac/CMakeFiles/sledzig_mac.dir/zigbee_csma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/sledzig_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sledzig_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

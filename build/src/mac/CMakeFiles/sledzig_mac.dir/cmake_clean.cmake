@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_mac.dir/wifi_timeline.cc.o"
+  "CMakeFiles/sledzig_mac.dir/wifi_timeline.cc.o.d"
+  "CMakeFiles/sledzig_mac.dir/zigbee_csma.cc.o"
+  "CMakeFiles/sledzig_mac.dir/zigbee_csma.cc.o.d"
+  "libsledzig_mac.a"
+  "libsledzig_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sledzig/channels.cc" "src/sledzig/CMakeFiles/sledzig_core.dir/channels.cc.o" "gcc" "src/sledzig/CMakeFiles/sledzig_core.dir/channels.cc.o.d"
+  "/root/repo/src/sledzig/encoder.cc" "src/sledzig/CMakeFiles/sledzig_core.dir/encoder.cc.o" "gcc" "src/sledzig/CMakeFiles/sledzig_core.dir/encoder.cc.o.d"
+  "/root/repo/src/sledzig/power_analysis.cc" "src/sledzig/CMakeFiles/sledzig_core.dir/power_analysis.cc.o" "gcc" "src/sledzig/CMakeFiles/sledzig_core.dir/power_analysis.cc.o.d"
+  "/root/repo/src/sledzig/significant_bits.cc" "src/sledzig/CMakeFiles/sledzig_core.dir/significant_bits.cc.o" "gcc" "src/sledzig/CMakeFiles/sledzig_core.dir/significant_bits.cc.o.d"
+  "/root/repo/src/sledzig/stream.cc" "src/sledzig/CMakeFiles/sledzig_core.dir/stream.cc.o" "gcc" "src/sledzig/CMakeFiles/sledzig_core.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/sledzig_wifi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_core.dir/channels.cc.o"
+  "CMakeFiles/sledzig_core.dir/channels.cc.o.d"
+  "CMakeFiles/sledzig_core.dir/encoder.cc.o"
+  "CMakeFiles/sledzig_core.dir/encoder.cc.o.d"
+  "CMakeFiles/sledzig_core.dir/power_analysis.cc.o"
+  "CMakeFiles/sledzig_core.dir/power_analysis.cc.o.d"
+  "CMakeFiles/sledzig_core.dir/significant_bits.cc.o"
+  "CMakeFiles/sledzig_core.dir/significant_bits.cc.o.d"
+  "CMakeFiles/sledzig_core.dir/stream.cc.o"
+  "CMakeFiles/sledzig_core.dir/stream.cc.o.d"
+  "libsledzig_core.a"
+  "libsledzig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/convolutional.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/convolutional.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/convolutional.cc.o.d"
+  "/root/repo/src/wifi/interleaver.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/interleaver.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/interleaver.cc.o.d"
+  "/root/repo/src/wifi/ofdm.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/ofdm.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/ofdm.cc.o.d"
+  "/root/repo/src/wifi/phy_params.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/phy_params.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/phy_params.cc.o.d"
+  "/root/repo/src/wifi/preamble.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/preamble.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/preamble.cc.o.d"
+  "/root/repo/src/wifi/puncture.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/puncture.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/puncture.cc.o.d"
+  "/root/repo/src/wifi/qam.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/qam.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/qam.cc.o.d"
+  "/root/repo/src/wifi/receiver.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/receiver.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/receiver.cc.o.d"
+  "/root/repo/src/wifi/scrambler.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/scrambler.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/scrambler.cc.o.d"
+  "/root/repo/src/wifi/signal_field.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/signal_field.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/signal_field.cc.o.d"
+  "/root/repo/src/wifi/subcarriers.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/subcarriers.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/subcarriers.cc.o.d"
+  "/root/repo/src/wifi/transmitter.cc" "src/wifi/CMakeFiles/sledzig_wifi.dir/transmitter.cc.o" "gcc" "src/wifi/CMakeFiles/sledzig_wifi.dir/transmitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_wifi.dir/convolutional.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/convolutional.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/interleaver.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/interleaver.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/ofdm.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/ofdm.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/phy_params.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/phy_params.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/preamble.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/preamble.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/puncture.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/puncture.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/qam.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/qam.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/receiver.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/receiver.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/scrambler.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/scrambler.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/signal_field.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/signal_field.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/subcarriers.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/subcarriers.cc.o.d"
+  "CMakeFiles/sledzig_wifi.dir/transmitter.cc.o"
+  "CMakeFiles/sledzig_wifi.dir/transmitter.cc.o.d"
+  "libsledzig_wifi.a"
+  "libsledzig_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zigbee/cc2420.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/cc2420.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/cc2420.cc.o.d"
+  "/root/repo/src/zigbee/chips.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/chips.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/chips.cc.o.d"
+  "/root/repo/src/zigbee/frame.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/frame.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/frame.cc.o.d"
+  "/root/repo/src/zigbee/oqpsk.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/oqpsk.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/oqpsk.cc.o.d"
+  "/root/repo/src/zigbee/receiver.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/receiver.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/receiver.cc.o.d"
+  "/root/repo/src/zigbee/transmitter.cc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/transmitter.cc.o" "gcc" "src/zigbee/CMakeFiles/sledzig_zigbee.dir/transmitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

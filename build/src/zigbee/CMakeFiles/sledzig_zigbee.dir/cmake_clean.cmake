@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sledzig_zigbee.dir/cc2420.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/cc2420.cc.o.d"
+  "CMakeFiles/sledzig_zigbee.dir/chips.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/chips.cc.o.d"
+  "CMakeFiles/sledzig_zigbee.dir/frame.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/frame.cc.o.d"
+  "CMakeFiles/sledzig_zigbee.dir/oqpsk.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/oqpsk.cc.o.d"
+  "CMakeFiles/sledzig_zigbee.dir/receiver.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/receiver.cc.o.d"
+  "CMakeFiles/sledzig_zigbee.dir/transmitter.cc.o"
+  "CMakeFiles/sledzig_zigbee.dir/transmitter.cc.o.d"
+  "libsledzig_zigbee.a"
+  "libsledzig_zigbee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sledzig_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

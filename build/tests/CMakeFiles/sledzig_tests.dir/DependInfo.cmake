@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ble_window_test.cc" "tests/CMakeFiles/sledzig_tests.dir/ble_window_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/ble_window_test.cc.o.d"
+  "/root/repo/tests/cfo_test.cc" "tests/CMakeFiles/sledzig_tests.dir/cfo_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/cfo_test.cc.o.d"
+  "/root/repo/tests/channel_test.cc" "tests/CMakeFiles/sledzig_tests.dir/channel_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/channel_test.cc.o.d"
+  "/root/repo/tests/coex_test.cc" "tests/CMakeFiles/sledzig_tests.dir/coex_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/coex_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sledzig_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/detector_test.cc" "tests/CMakeFiles/sledzig_tests.dir/detector_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/detector_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/sledzig_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/full_stack_test.cc" "tests/CMakeFiles/sledzig_tests.dir/full_stack_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/full_stack_test.cc.o.d"
+  "/root/repo/tests/mac_test.cc" "tests/CMakeFiles/sledzig_tests.dir/mac_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/mac_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sledzig_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sledzig_core_test.cc" "tests/CMakeFiles/sledzig_tests.dir/sledzig_core_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/sledzig_core_test.cc.o.d"
+  "/root/repo/tests/soft_decision_test.cc" "tests/CMakeFiles/sledzig_tests.dir/soft_decision_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/soft_decision_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/sledzig_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/wide_channel_test.cc" "tests/CMakeFiles/sledzig_tests.dir/wide_channel_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/wide_channel_test.cc.o.d"
+  "/root/repo/tests/wifi_blocks_test.cc" "tests/CMakeFiles/sledzig_tests.dir/wifi_blocks_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/wifi_blocks_test.cc.o.d"
+  "/root/repo/tests/wifi_loopback_test.cc" "tests/CMakeFiles/sledzig_tests.dir/wifi_loopback_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/wifi_loopback_test.cc.o.d"
+  "/root/repo/tests/zigbee_test.cc" "tests/CMakeFiles/sledzig_tests.dir/zigbee_test.cc.o" "gcc" "tests/CMakeFiles/sledzig_tests.dir/zigbee_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coex/CMakeFiles/sledzig_coex.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/sledzig_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/sledzig_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sledzig/CMakeFiles/sledzig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/sledzig_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/sledzig_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sledzig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
