@@ -1,0 +1,164 @@
+// Decode success rate vs RF impairment severity for the WiFi modes the
+// paper evaluates and for the ZigBee link.  Not a paper figure: this bench
+// characterises the robustness envelope of the receivers against the
+// impairment chain (src/channel/impairments.h) so later fidelity/scale work
+// has a reference curve to regress against.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/impairments.h"
+#include "channel/medium.h"
+#include "common/rng.h"
+#include "wifi/receiver.h"
+#include "wifi/transmitter.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+using namespace sledzig;
+
+namespace {
+
+constexpr std::size_t kTrials = 25;
+
+double wifi_psr(const channel::ImpairmentConfig& imp, wifi::Modulation m,
+                wifi::CodingRate r) {
+  std::size_t ok = 0;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    const std::uint64_t seed = 1000 + t;
+    common::Rng rng(seed);
+    const auto psdu = rng.bytes(60);
+    wifi::WifiTxConfig tx;
+    tx.modulation = m;
+    tx.rate = r;
+    const auto packet = wifi::wifi_transmit(psdu, tx);
+    channel::Emission e{&packet.samples, -45.0, 0.0, 160, &imp, seed};
+    const auto rx_samples = channel::mix_at_receiver(
+        std::vector<channel::Emission>{e}, packet.samples.size() + 480, rng);
+    const auto rx = wifi::wifi_receive(rx_samples, wifi::WifiRxConfig{});
+    if (rx.ok() && rx.psdu == psdu) ++ok;
+  }
+  return static_cast<double>(ok) / kTrials;
+}
+
+double zigbee_psr(const channel::ImpairmentConfig& imp) {
+  std::size_t ok = 0;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    const std::uint64_t seed = 2000 + t;
+    common::Rng rng(seed);
+    const auto payload = rng.bytes(20);
+    const auto tx = zigbee::zigbee_transmit(payload);
+    channel::Emission e{&tx.samples, -60.0, 0.0, 320, &imp, seed};
+    const auto rx_samples = channel::mix_at_receiver(
+        std::vector<channel::Emission>{e}, tx.samples.size() + 960, rng);
+    const auto rx = zigbee::zigbee_receive(rx_samples);
+    if (rx.ok() && rx.payload == payload) ++ok;
+  }
+  return static_cast<double>(ok) / kTrials;
+}
+
+struct Mode {
+  const char* name;
+  wifi::Modulation m;
+  wifi::CodingRate r;
+};
+
+constexpr Mode kModes[] = {
+    {"QAM-16 1/2", wifi::Modulation::kQam16, wifi::CodingRate::kR12},
+    {"QAM-64 2/3", wifi::Modulation::kQam64, wifi::CodingRate::kR23},
+    {"QAM-256 3/4", wifi::Modulation::kQam256, wifi::CodingRate::kR34},
+};
+
+void sweep(const char* axis_name, const char* unit,
+           const std::vector<double>& severities,
+           channel::ImpairmentConfig (*make)(double)) {
+  std::printf("  %-22s", axis_name);
+  for (double s : severities) std::printf(" %8.3g", s);
+  std::printf("  (%s)\n", unit);
+  for (const auto& mode : kModes) {
+    std::printf("    %-20s", mode.name);
+    for (double s : severities) {
+      std::printf(" %8.2f", wifi_psr(make(s), mode.m, mode.r));
+    }
+    std::printf("\n");
+  }
+  std::printf("    %-20s", "ZigBee O-QPSK");
+  for (double s : severities) std::printf(" %8.2f", zigbee_psr(make(s)));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Impairment resilience: packet success rate vs severity");
+  bench::note("36 dB (WiFi) / 31 dB (ZigBee) clean SNR; 25 packets per point.");
+
+  sweep("PA clipping", "x RMS, smaller = harsher", {3.0, 1.5, 1.0, 0.7, 0.4},
+        [](double level) {
+          channel::ImpairmentConfig c;
+          c.clipping = true;
+          c.clip_level_rms = level;
+          return c;
+        });
+
+  sweep("CFO", "kHz", {0.0, 50.0, 100.0, 200.0, 400.0}, [](double khz) {
+    channel::ImpairmentConfig c;
+    c.cfo = true;
+    c.cfo_hz = khz * 1e3;
+    return c;
+  });
+
+  sweep("Phase noise", "mrad/sample walk", {0.0, 2.0, 5.0, 10.0, 20.0},
+        [](double mrad) {
+          channel::ImpairmentConfig c;
+          c.cfo = true;
+          c.phase_noise_std_rad = mrad * 1e-3;
+          return c;
+        });
+
+  sweep("In-band interferer", "dB rel. signal, duty 0.5",
+        {-30.0, -15.0, -5.0, 0.0, 10.0}, [](double db) {
+          channel::ImpairmentConfig c;
+          c.interference = true;
+          c.interferer_power_db = db;
+          c.interferer_bandwidth_hz = 0.0;
+          c.burst_duty = 0.5;
+          return c;
+        });
+
+  sweep("Multipath delay spread", "samples", {0.5, 1.0, 2.0, 4.0, 8.0},
+        [](double spread) {
+          channel::ImpairmentConfig c;
+          c.multipath = true;
+          c.multipath_taps = 8;
+          c.delay_spread_samples = spread;
+          return c;
+        });
+
+  sweep("Sample-clock offset", "ppm", {0.0, 50.0, 100.0, 200.0, 400.0},
+        [](double ppm) {
+          channel::ImpairmentConfig c;
+          c.clock_offset = true;
+          c.clock_offset_ppm = ppm;
+          return c;
+        });
+
+  sweep("ADC quantisation", "bits", {12.0, 8.0, 6.0, 4.0, 3.0},
+        [](double bits) {
+          channel::ImpairmentConfig c;
+          c.quantization = true;
+          c.quant_bits = static_cast<unsigned>(bits);
+          return c;
+        });
+
+  sweep("Sample drops", "probability", {0.0, 1e-4, 1e-3, 5e-3, 2e-2},
+        [](double p) {
+          channel::ImpairmentConfig c;
+          c.faults = true;
+          c.sample_drop_prob = p;
+          return c;
+        });
+
+  bench::note("Deterministic: every point reproduces from its (config, seed).");
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "channel/impairments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/dsp.h"
+#include "common/units.h"
+
+namespace sledzig::channel {
+
+namespace {
+
+/// Stage identifiers used to derive per-stage sub-seeds.  Each stage owns an
+/// independent RNG stream so toggling one stage never shifts the draws of
+/// another (required for axis-by-axis severity sweeps to be comparable).
+enum class Stage : std::uint64_t {
+  kMultipath = 1,
+  kInterferenceGate = 2,
+  kInterferenceNoise = 3,
+  kPhaseNoise = 4,
+  kFaults = 5,
+};
+
+/// splitmix64 finaliser: decorrelates the per-stage seeds derived from one
+/// user seed.
+std::uint64_t stage_seed(std::uint64_t seed, Stage stage) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(stage);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double rms(std::span<const common::Cplx> x) {
+  if (x.empty()) return 0.0;
+  double p = 0.0;
+  for (const auto& s : x) p += std::norm(s);
+  return std::sqrt(p / static_cast<double>(x.size()));
+}
+
+void apply_iq_imbalance(common::CplxVec& x, const ImpairmentConfig& cfg) {
+  const double gi = std::pow(10.0, cfg.iq_gain_mismatch_db / 40.0);
+  const double gq = 1.0 / gi;
+  const double phi = cfg.iq_phase_error_deg * std::numbers::pi / 180.0;
+  const double c = std::cos(phi), s = std::sin(phi);
+  for (auto& v : x) {
+    const double i = v.real(), q = v.imag();
+    v = common::Cplx(gi * i, gq * (q * c - i * s));
+  }
+}
+
+void apply_clipping(common::CplxVec& x, const ImpairmentConfig& cfg) {
+  const double level = cfg.clip_level_rms * rms(x);
+  if (level <= 0.0) return;
+  for (auto& v : x) {
+    const double mag = std::abs(v);
+    if (mag > level) v *= level / mag;
+  }
+}
+
+void apply_multipath(common::CplxVec& x, const ImpairmentConfig& cfg,
+                     std::uint64_t seed) {
+  const std::size_t taps = std::max<std::size_t>(cfg.multipath_taps, 1);
+  const double decay = std::max(cfg.delay_spread_samples, 1e-3);
+  // Exponential PDP, normalised to unit average channel power.
+  std::vector<double> pdp(taps);
+  double total = 0.0;
+  for (std::size_t k = 0; k < taps; ++k) {
+    pdp[k] = std::exp(-static_cast<double>(k) / decay);
+    total += pdp[k];
+  }
+  common::Rng rng(stage_seed(seed, Stage::kMultipath));
+  common::CplxVec h(taps);
+  for (std::size_t k = 0; k < taps; ++k) {
+    h[k] = rng.complex_gaussian(pdp[k] / total);  // Rayleigh block fading
+  }
+  common::CplxVec out(x.size(), common::Cplx(0.0, 0.0));
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    common::Cplx acc(0.0, 0.0);
+    const std::size_t kmax = std::min(taps - 1, n);
+    for (std::size_t k = 0; k <= kmax; ++k) acc += h[k] * x[n - k];
+    out[n] = acc;
+  }
+  x = std::move(out);
+}
+
+void apply_interference(common::CplxVec& x, const ImpairmentConfig& cfg,
+                        std::uint64_t seed) {
+  if (x.empty()) return;
+  const double signal_mean_power = rms(x) * rms(x);
+  const double burst_power =
+      signal_mean_power * common::db_to_linear(cfg.interferer_power_db);
+  if (burst_power <= 0.0) return;
+
+  // Gate: alternating geometric on/off runs with the requested duty cycle.
+  const double duty = std::clamp(cfg.burst_duty, 0.0, 1.0);
+  if (duty <= 0.0) return;
+  const double mean_on = std::max(cfg.mean_burst_samples, 1.0);
+  const double mean_off =
+      duty >= 1.0 ? 0.0 : mean_on * (1.0 - duty) / duty;
+  common::Rng gate_rng(stage_seed(seed, Stage::kInterferenceGate));
+  std::vector<bool> gate(x.size(), duty >= 1.0);
+  if (duty < 1.0) {
+    bool on = gate_rng.uniform() < duty;  // random initial phase of the cycle
+    std::size_t pos = 0;
+    while (pos < x.size()) {
+      const double mean = on ? mean_on : mean_off;
+      auto run = static_cast<std::size_t>(
+          std::ceil(-mean * std::log1p(-gate_rng.uniform())));
+      run = std::max<std::size_t>(run, 1);
+      for (std::size_t i = pos; i < std::min(pos + run, x.size()); ++i) {
+        gate[i] = on;
+      }
+      pos += run;
+      on = !on;
+    }
+  }
+
+  common::Rng noise_rng(stage_seed(seed, Stage::kInterferenceNoise));
+  common::CplxVec interferer(x.size(), common::Cplx(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (gate[i]) interferer[i] = noise_rng.complex_gaussian(burst_power);
+  }
+  // Band-limit to the requested bandwidth, then renormalise so the burst
+  // power survives the filter, and move to the in-band centre offset.
+  if (cfg.interferer_bandwidth_hz > 0.0 &&
+      cfg.interferer_bandwidth_hz < cfg.sample_rate_hz) {
+    const auto taps = common::fir_lowpass_taps(
+        63, cfg.interferer_bandwidth_hz / 2.0, cfg.sample_rate_hz);
+    interferer = common::fir_filter(interferer, taps);
+    const double p = rms(interferer) * rms(interferer);
+    const double target = burst_power * duty;
+    if (p > 0.0) {
+      const double scale = std::sqrt(target / p);
+      for (auto& v : interferer) v *= scale;
+    }
+  }
+  if (cfg.interferer_freq_offset_hz != 0.0) {
+    interferer = common::frequency_shift(
+        interferer, cfg.interferer_freq_offset_hz, cfg.sample_rate_hz);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += interferer[i];
+}
+
+void apply_cfo(common::CplxVec& x, const ImpairmentConfig& cfg,
+               std::uint64_t seed) {
+  const double fs = cfg.sample_rate_hz;
+  common::Rng rng(stage_seed(seed, Stage::kPhaseNoise));
+  double wiener = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double t = static_cast<double>(n) / fs;
+    const double det =
+        2.0 * std::numbers::pi * (cfg.cfo_hz + 0.5 * cfg.cfo_drift_hz_per_s * t) * t;
+    if (cfg.phase_noise_std_rad > 0.0) {
+      wiener += rng.gaussian(cfg.phase_noise_std_rad);
+    }
+    x[n] *= std::polar(1.0, det + wiener);
+  }
+}
+
+void apply_clock_offset(common::CplxVec& x, const ImpairmentConfig& cfg) {
+  const double eps = cfg.clock_offset_ppm * 1e-6;
+  if (eps == 0.0 || x.size() < 2) return;
+  const double step = 1.0 + eps;
+  common::CplxVec out;
+  out.reserve(x.size());
+  for (double p = 0.0;; p += step) {
+    const auto lo = static_cast<std::size_t>(p);
+    if (lo + 1 >= x.size()) break;
+    const double frac = p - static_cast<double>(lo);
+    out.push_back(x[lo] * (1.0 - frac) + x[lo + 1] * frac);
+  }
+  x = std::move(out);
+}
+
+void apply_quantization(common::CplxVec& x, const ImpairmentConfig& cfg) {
+  const unsigned bits = std::clamp(cfg.quant_bits, 1u, 24u);
+  const double full_scale = cfg.quant_full_scale_rms * rms(x);
+  if (full_scale <= 0.0) return;
+  const double levels = static_cast<double>(1u << bits);
+  const double step = 2.0 * full_scale / levels;
+  auto q = [&](double v) {
+    const double clamped = std::clamp(v, -full_scale, full_scale - step);
+    return std::round(clamped / step) * step;
+  };
+  for (auto& v : x) v = common::Cplx(q(v.real()), q(v.imag()));
+}
+
+void apply_faults(common::CplxVec& x, const ImpairmentConfig& cfg,
+                  std::uint64_t seed) {
+  const double frac = std::clamp(cfg.truncate_fraction, 0.0, 1.0);
+  if (frac < 1.0) {
+    x.resize(static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(x.size()))));
+  }
+  if (cfg.sample_drop_prob > 0.0) {
+    common::Rng rng(stage_seed(seed, Stage::kFaults));
+    common::CplxVec kept;
+    kept.reserve(x.size());
+    for (const auto& v : x) {
+      if (rng.uniform() >= cfg.sample_drop_prob) kept.push_back(v);
+    }
+    x = std::move(kept);
+  }
+}
+
+}  // namespace
+
+double ImpairmentConfig::snr_penalty_db() const {
+  // Sum the distortion-to-signal power ratios of the enabled stages as if
+  // each were independent additive noise at the receiver.
+  double d = 0.0;
+  if (clipping && clip_level_rms > 0.0) {
+    // Rayleigh-envelope tail power beyond a*RMS: exp(-a^2) * (1 + a^2).
+    const double a2 = clip_level_rms * clip_level_rms;
+    d += std::exp(-a2) * (1.0 + a2);
+  }
+  if (interference) {
+    d += std::clamp(burst_duty, 0.0, 1.0) *
+         common::db_to_linear(interferer_power_db);
+  }
+  if (cfo && phase_noise_std_rad > 0.0) {
+    // Phase-noise EVM over one 64-sample OFDM body of accumulated walk.
+    d += phase_noise_std_rad * phase_noise_std_rad * 64.0;
+  }
+  if (quantization) {
+    const unsigned bits = std::clamp(quant_bits, 1u, 24u);
+    const double delta = 2.0 * quant_full_scale_rms / static_cast<double>(1u << bits);
+    d += delta * delta / 6.0;  // both rails, uniform quantisation noise
+  }
+  return 10.0 * std::log10(1.0 + d);
+}
+
+common::CplxVec apply_impairments(std::span<const common::Cplx> samples,
+                                  const ImpairmentConfig& cfg,
+                                  std::uint64_t seed) {
+  common::CplxVec x(samples.begin(), samples.end());
+  if (x.empty() || cfg.is_identity()) return x;
+  if (cfg.iq_imbalance) apply_iq_imbalance(x, cfg);
+  if (cfg.clipping) apply_clipping(x, cfg);
+  if (cfg.multipath) apply_multipath(x, cfg, seed);
+  if (cfg.interference) apply_interference(x, cfg, seed);
+  if (cfg.cfo) apply_cfo(x, cfg, seed);
+  if (cfg.clock_offset) apply_clock_offset(x, cfg);
+  if (cfg.quantization) apply_quantization(x, cfg);
+  if (cfg.faults) apply_faults(x, cfg, seed);
+  return x;
+}
+
+}  // namespace sledzig::channel

@@ -1,6 +1,8 @@
 #include "channel/medium.h"
 
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "common/units.h"
@@ -25,7 +27,13 @@ common::CplxVec mix_at_receiver(std::span<const Emission> emissions,
       throw std::invalid_argument("mix_at_receiver: null emission");
     }
     const double amp = std::sqrt(common::dbm_to_mw(e.power_dbm));
-    const auto shifted = common::frequency_shift(*e.samples, e.freq_offset_hz,
+    std::span<const common::Cplx> waveform = *e.samples;
+    common::CplxVec impaired;
+    if (e.impairment != nullptr && !e.impairment->is_identity()) {
+      impaired = apply_impairments(waveform, *e.impairment, e.impairment_seed);
+      waveform = impaired;
+    }
+    const auto shifted = common::frequency_shift(waveform, e.freq_offset_hz,
                                                  kMediumSampleRateHz);
     for (std::size_t i = 0; i < shifted.size(); ++i) {
       const std::size_t t = e.start_sample + i;
@@ -36,21 +44,63 @@ common::CplxVec mix_at_receiver(std::span<const Emission> emissions,
   return out;
 }
 
+namespace {
+
+/// Mean |x|^2 counting only finite samples; nullopt when the span is empty
+/// or contains no finite sample.  Non-finite samples (a clipped front-end
+/// model gone wrong, a divide-by-zero upstream) must degrade to a clean
+/// "no power" reading, never propagate NaN into RSSI comparisons.
+std::optional<double> finite_mean_power(std::span<const common::Cplx> samples) {
+  double p = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) continue;
+    p += std::norm(s);
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return p / static_cast<double>(n);
+}
+
+constexpr double kNoPowerDbm = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
 double rssi_2mhz_dbm(std::span<const common::Cplx> samples,
                      double center_offset_hz) {
-  const double power = common::band_power(samples, kMediumSampleRateHz,
+  // band_power() needs at least one 2-sample Welch segment; shorter or
+  // NaN-polluted inputs report the "no signal" floor instead of throwing.
+  if (samples.size() < 2) return kNoPowerDbm;
+  common::CplxVec scrubbed;
+  std::span<const common::Cplx> input = samples;
+  for (const auto& s : samples) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) {
+      scrubbed.assign(samples.begin(), samples.end());
+      for (auto& v : scrubbed) {
+        if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+          v = common::Cplx(0.0, 0.0);
+        }
+      }
+      input = scrubbed;
+      break;
+    }
+  }
+  const double power = common::band_power(input, kMediumSampleRateHz,
                                           center_offset_hz - 1e6,
                                           center_offset_hz + 1e6);
   return common::mw_to_dbm(std::max(power, 1e-15));
 }
 
 double rssi_2mhz_slice_dbm(std::span<const common::Cplx> samples) {
-  const double total = common::mean_power(samples);
-  return common::mw_to_dbm(std::max(total / 10.0, 1e-15));
+  const auto total = finite_mean_power(samples);
+  if (!total) return kNoPowerDbm;
+  return common::mw_to_dbm(std::max(*total / 10.0, 1e-15));
 }
 
 double total_power_dbm(std::span<const common::Cplx> samples) {
-  return common::mw_to_dbm(std::max(common::mean_power(samples), 1e-15));
+  const auto total = finite_mean_power(samples);
+  if (!total) return kNoPowerDbm;
+  return common::mw_to_dbm(std::max(*total, 1e-15));
 }
 
 }  // namespace sledzig::channel

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "channel/impairments.h"
 #include "common/dsp.h"
 #include "common/fft.h"
 #include "common/rng.h"
@@ -26,6 +27,12 @@ struct Emission {
   double freq_offset_hz = 0.0;
   /// Start time in receiver samples.
   std::size_t start_sample = 0;
+  /// Optional per-emission RF impairment chain (nullptr = ideal front-ends
+  /// and flat channel).  Applied to the unit-power waveform before power
+  /// scaling and frequency placement; the waveform it produces is fully
+  /// determined by (*impairment, impairment_seed).
+  const ImpairmentConfig* impairment = nullptr;
+  std::uint64_t impairment_seed = 0;
 };
 
 /// Super-imposes all emissions over `total_samples` samples and adds AWGN

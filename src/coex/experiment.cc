@@ -40,6 +40,9 @@ mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {
   // Lognormal shadowing jitter per run (the paper's 1-3 dB RSSI variation);
   // the WiFi payload and preamble share one path, so one jitter draw.
   budget.signal_dbm += rng.gaussian(channel::kShadowingSigmaDb);
+  // No sample domain here: fold the impairment chain into the link budget
+  // as its first-order SNR penalty on the ZigBee signal.
+  budget.signal_dbm -= s.impairment.snr_penalty_db();
   const double wifi_jitter = rng.gaussian(channel::kShadowingSigmaDb);
   budget.wifi_payload_inband_dbm += wifi_jitter;
   budget.wifi_preamble_inband_dbm += wifi_jitter;
@@ -51,11 +54,15 @@ mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {
 namespace {
 
 /// Emits `samples` at received power `power_dbm`, centred `freq_offset_hz`
-/// from the receiver, over AWGN; returns the receiver baseband.
+/// from the receiver, over AWGN and the given impairment chain; returns the
+/// receiver baseband.
 common::CplxVec through_channel(const common::CplxVec& samples,
                                 double power_dbm, double freq_offset_hz,
-                                common::Rng& rng) {
-  channel::Emission e{&samples, power_dbm, freq_offset_hz, 0};
+                                common::Rng& rng,
+                                const channel::ImpairmentConfig& impairment = {},
+                                std::uint64_t impairment_seed = 0) {
+  channel::Emission e{&samples, power_dbm, freq_offset_hz, 0,
+                      &impairment, impairment_seed};
   return channel::mix_at_receiver(std::vector<channel::Emission>{e},
                                   samples.size(), rng);
 }
@@ -65,7 +72,8 @@ common::CplxVec through_channel(const common::CplxVec& samples,
 double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
                                    Scheme scheme, double wifi_gain,
                                    double distance_m, std::uint64_t seed,
-                                   std::size_t forced_subcarriers) {
+                                   std::size_t forced_subcarriers,
+                                   const channel::ImpairmentConfig& impairment) {
   common::Rng rng(seed);
   core::SledzigConfig sz = cfg;
   if (forced_subcarriers != 0) sz.forced_subcarriers = forced_subcarriers;
@@ -86,7 +94,8 @@ double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
       channel::wifi_link().received_power_dbm(
           channel::wifi_tx_power_dbm(wifi_gain), distance_m) +
       rng.gaussian(channel::kShadowingSigmaDb);
-  const auto rx = through_channel(packet.samples, rx_power, 0.0, rng);
+  const auto rx =
+      through_channel(packet.samples, rx_power, 0.0, rng, impairment, seed);
 
   // The CC2420 averages RSSI over the packet payload; skip preamble+SIGNAL.
   const std::size_t payload_start = wifi::kPreambleLen + wifi::kSymbolLen;
@@ -96,19 +105,22 @@ double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
 }
 
 double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           const channel::ImpairmentConfig& impairment) {
   common::Rng rng(seed);
   const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
   const double rx_power =
       channel::zigbee_link().received_power_dbm(
           zigbee::tx_power_dbm(zigbee_gain), distance_m) +
       rng.gaussian(channel::kShadowingSigmaDb);
-  const auto rx = through_channel(tx.samples, rx_power, 0.0, rng);
+  const auto rx =
+      through_channel(tx.samples, rx_power, 0.0, rng, impairment, seed);
   return channel::rssi_2mhz_dbm(rx, 0.0);
 }
 
 WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
-                                   double distance_m, std::uint64_t seed) {
+                                   double distance_m, std::uint64_t seed,
+                                   const channel::ImpairmentConfig& impairment) {
   common::Rng rng(seed);
   WifiRxRssi result{};
   {
@@ -120,7 +132,8 @@ WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
         channel::wifi_link().received_power_dbm(
             channel::wifi_tx_power_dbm(wifi_gain), distance_m) +
         rng.gaussian(channel::kShadowingSigmaDb);
-    const auto rx = through_channel(packet.samples, rx_power, 0.0, rng);
+    const auto rx =
+        through_channel(packet.samples, rx_power, 0.0, rng, impairment, seed);
     result.wifi_dbm = channel::rssi_2mhz_slice_dbm(rx);
   }
   {
@@ -131,7 +144,8 @@ WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
         rng.gaussian(channel::kShadowingSigmaDb);
     // The ZigBee device sits on channel 26 (+8 MHz from the WiFi centre in
     // the paper's setup); the USRP's wideband RSSI sees it wherever it is.
-    const auto rx = through_channel(tx.samples, rx_power, 8e6, rng);
+    const auto rx =
+        through_channel(tx.samples, rx_power, 8e6, rng, impairment, seed + 1);
     result.zigbee_dbm = channel::rssi_2mhz_slice_dbm(rx);
   }
   return result;

@@ -9,6 +9,7 @@
 // offsets.
 #pragma once
 
+#include "channel/impairments.h"
 #include "channel/medium.h"
 #include "channel/pathloss.h"
 #include "coex/inband.h"
@@ -33,6 +34,11 @@ struct Scenario {
   mac::WifiMacParams wifi_mac;      // airtime etc.
   mac::ZigbeeMacParams zigbee_mac;
   mac::SymbolErrorModel error_model;
+  /// RF impairments applied to the links.  Sample-domain experiments run
+  /// every waveform through the chain; the discrete-event MAC experiment
+  /// (no sample domain) degrades the ZigBee link budget by the chain's
+  /// first-order SNR penalty instead.
+  channel::ImpairmentConfig impairment;
 };
 
 /// Link budget at the ZigBee side for a scenario (shadowing not included —
@@ -49,11 +55,13 @@ mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s);
 double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
                                    Scheme scheme, double wifi_gain,
                                    double distance_m, std::uint64_t seed,
-                                   std::size_t forced_subcarriers = 0);
+                                   std::size_t forced_subcarriers = 0,
+                                   const channel::ImpairmentConfig& impairment = {});
 
 /// RSSI of a ZigBee frame at its receiver (Fig 13).
 double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
-                           std::uint64_t seed);
+                           std::uint64_t seed,
+                           const channel::ImpairmentConfig& impairment = {});
 
 /// "2 MHz-slice" RSSI of WiFi / ZigBee signals at the WiFi receiver
 /// (Fig 17).
@@ -62,7 +70,8 @@ struct WifiRxRssi {
   double zigbee_dbm;
 };
 WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
-                                   double distance_m, std::uint64_t seed);
+                                   double distance_m, std::uint64_t seed,
+                                   const channel::ImpairmentConfig& impairment = {});
 
 /// WiFi application throughput in Mbps for a mode, with or without the
 /// SledZig extra-bit overhead (Table IV's throughput-loss accounting).

@@ -1,0 +1,54 @@
+// Structured receiver failure reasons.
+//
+// Error-handling contract: every decode path that returns without a payload
+// must say *why* via an RxError, so robustness sweeps can distinguish "no
+// packet present" from "packet present but mangled" and assert on the exact
+// failure mode an injected impairment should produce.  kNone is reserved for
+// a fully successful decode; a receiver result carrying kNone with an empty
+// payload is a bug.
+#pragma once
+
+namespace sledzig::common {
+
+enum class RxError {
+  kNone = 0,
+  /// Input contained NaN/Inf samples; decoding was refused up front.
+  kNanSamples,
+  /// No preamble correlation exceeded the detection threshold.
+  kNoPreamble,
+  /// (WiFi) SIGNAL symbol failed parity / carried an unknown RATE code.
+  kSignalParity,
+  /// (WiFi) SIGNAL LENGTH exceeds the receiver's configured PSDU cap —
+  /// a hostile length must not drive a huge allocation or long decode.
+  kSignalLengthCap,
+  /// The buffer ends before the payload the header promises (mid-packet
+  /// cut, sample drops, truncation faults).
+  kTruncatedPayload,
+  /// (WiFi) The Viterbi-decoded stream is shorter than the payload span
+  /// the SIGNAL field implies (descrambled stream overrun).
+  kViterbiOverrun,
+  /// (ZigBee) Preamble locked but no SFD octet found in the scan window.
+  kNoSfd,
+  /// (ZigBee) Frame-length octet below the minimum (FCS would not fit).
+  kBadLength,
+  /// (ZigBee) Payload demodulated but the CRC-16 FCS check failed.
+  kCrcFailed,
+};
+
+constexpr const char* to_string(RxError e) {
+  switch (e) {
+    case RxError::kNone: return "none";
+    case RxError::kNanSamples: return "nan-samples";
+    case RxError::kNoPreamble: return "no-preamble";
+    case RxError::kSignalParity: return "signal-parity";
+    case RxError::kSignalLengthCap: return "signal-length-cap";
+    case RxError::kTruncatedPayload: return "truncated-payload";
+    case RxError::kViterbiOverrun: return "viterbi-overrun";
+    case RxError::kNoSfd: return "no-sfd";
+    case RxError::kBadLength: return "bad-length";
+    case RxError::kCrcFailed: return "crc-failed";
+  }
+  return "unknown";
+}
+
+}  // namespace sledzig::common

@@ -197,9 +197,20 @@ WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
   const auto& plan = channel_plan(cfg.width);
   WifiRxResult result;
 
+  // Impaired front-ends (clipping models, fault injection) can produce
+  // NaN/Inf; refuse up front rather than let them poison the correlators
+  // and Viterbi metrics into undefined comparisons.
+  for (const auto& s : raw_samples) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) {
+      result.error = common::RxError::kNanSamples;
+      return result;
+    }
+  }
+
   std::optional<std::size_t> start;
   common::CplxVec corrected;
   std::span<const common::Cplx> samples = raw_samples;
+  result.error = common::RxError::kNoPreamble;
   if (cfg.correct_cfo) {
     const auto sync =
         synchronize_packet(raw_samples, cfg.detection_threshold, cfg.width);
@@ -216,14 +227,27 @@ WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
 
   const std::size_t ltf_start = *start + stf_len(cfg.width);
   const std::size_t signal_start = *start + preamble_len(cfg.width);
-  if (signal_start + plan.symbol_len() > samples.size()) return result;
+  if (signal_start + plan.symbol_len() > samples.size()) {
+    result.error = common::RxError::kTruncatedPayload;
+    return result;
+  }
   const auto channel = estimate_channel(samples, ltf_start, cfg.width);
 
   const auto field = demodulate_signal_symbol(
       samples.subspan(signal_start, plan.symbol_len()), channel, plan);
-  if (!field) return result;
+  if (!field) {
+    result.error = common::RxError::kSignalParity;
+    return result;
+  }
   result.signal = *field;
   result.signal_valid = true;
+
+  // A hostile LENGTH that passed parity must still not drive an oversized
+  // decode: bound it before sizing any buffer or symbol count from it.
+  if (field->psdu_octets > cfg.max_psdu_octets) {
+    result.error = common::RxError::kSignalLengthCap;
+    return result;
+  }
 
   WifiTxConfig txcfg;
   txcfg.modulation = field->modulation;
@@ -232,7 +256,10 @@ WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
   txcfg.width = cfg.width;
   const std::size_t n_sym = num_data_symbols(field->psdu_octets * 8, txcfg);
   const std::size_t data_start = signal_start + plan.symbol_len();
-  if (data_start + n_sym * plan.symbol_len() > samples.size()) return result;
+  if (data_start + n_sym * plan.symbol_len() > samples.size()) {
+    result.error = common::RxError::kTruncatedPayload;
+    return result;
+  }
 
   const auto scrambled = decode_data_field(
       samples.subspan(data_start, n_sym * plan.symbol_len()),
@@ -243,10 +270,14 @@ WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
   auto raw = descramble(scrambled, cfg.scrambler_seed);
   const std::size_t offset = payload_bit_offset(txcfg);
   const std::size_t payload_bits = field->psdu_octets * 8;
-  if (offset + payload_bits > raw.size()) return result;
+  if (offset + payload_bits > raw.size()) {
+    result.error = common::RxError::kViterbiOverrun;
+    return result;
+  }
   common::Bits psdu_bits(raw.begin() + static_cast<long>(offset),
                          raw.begin() + static_cast<long>(offset + payload_bits));
   result.psdu = common::bits_to_bytes(psdu_bits);
+  result.error = common::RxError::kNone;
   return result;
 }
 

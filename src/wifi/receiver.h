@@ -8,6 +8,7 @@
 
 #include "common/bits.h"
 #include "common/fft.h"
+#include "common/rx_error.h"
 #include "wifi/phy_params.h"
 #include "wifi/signal_field.h"
 #include "wifi/transmitter.h"
@@ -30,6 +31,10 @@ struct WifiRxConfig {
   /// fine, the classic Schmidl-Cox style).  Real USRP/card oscillators are
   /// tens of kHz off at 2.4 GHz; disable only for idealised tests.
   bool correct_cfo = true;
+  /// Upper bound accepted from the SIGNAL LENGTH field.  The 12-bit field
+  /// caps at 4095 octets; a lower cap rejects hostile headers before they
+  /// drive long Viterbi runs over what is actually noise.
+  std::size_t max_psdu_octets = 4095;
 };
 
 /// Timing + CFO synchronisation result.
@@ -56,6 +61,11 @@ struct WifiRxResult {
   common::Bits scrambled_stream;
   /// Sample index where the packet (STF) starts.
   std::size_t packet_start = 0;
+  /// Why decoding stopped; kNone iff a PSDU was produced.  The PHY has no
+  /// CRC, so kNone means "pipeline completed", not "bits are correct".
+  common::RxError error = common::RxError::kNoPreamble;
+
+  bool ok() const { return error == common::RxError::kNone; }
 };
 
 /// Detects and decodes the first packet in `samples`.

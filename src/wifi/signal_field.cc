@@ -102,6 +102,7 @@ std::optional<SignalField> demodulate_signal_symbol(
   const auto deinterleaved = deinterleave(hard, Modulation::kBpsk, plan);
   std::vector<std::int8_t> soft(deinterleaved.begin(), deinterleaved.end());
   const auto decoded = viterbi_decode(soft, /*terminated=*/true);
+  if (decoded.size() < 24) return std::nullopt;
   common::Bits head(decoded.begin(), decoded.begin() + 24);
   return decode_signal_bits(head);
 }

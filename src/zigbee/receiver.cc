@@ -81,6 +81,14 @@ std::optional<SyncResult> synchronise(std::span<const common::Cplx> samples,
 ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
                               const ZigbeeRxConfig& cfg) {
   ZigbeeRxResult result;
+  // Non-finite samples would propagate through the FIR filter and the chip
+  // correlators into meaningless comparisons; refuse them up front.
+  for (const auto& s : raw_samples) {
+    if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) {
+      result.error = common::RxError::kNanSamples;
+      return result;
+    }
+  }
   // Channel-select filtering (see ZigbeeRxConfig).  The FIR group delay is
   // compensated when reporting frame_start.
   common::CplxVec filtered;
@@ -99,12 +107,13 @@ ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
     samples = filtered;
   }
   const auto sync = synchronise(samples, cfg);
-  if (!sync) return result;
+  if (!sync) return result;  // error stays kNoPreamble
   result.detected = true;
   result.frame_start =
       sync->offset >= group_delay ? sync->offset - group_delay : 0;
 
-  // Phase/amplitude correction from the preamble estimate.
+  // Phase/amplitude correction from the preamble estimate.  A vanishing
+  // gain means the correlator locked onto nothing usable.
   const double mag = std::abs(sync->gain);
   if (mag < 1e-12) return result;
   const common::Cplx inv = std::conj(sync->gain) / (mag * mag);
@@ -152,15 +161,27 @@ ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
       break;
     }
   }
-  if (!sfd_found) return result;
+  if (!sfd_found) {
+    result.error = common::RxError::kNoSfd;
+    return result;
+  }
 
   const auto len_octet = demod_octets(sfd_octet + 1, 1);
-  if (!len_octet) return result;
+  if (!len_octet) {
+    result.error = common::RxError::kTruncatedPayload;
+    return result;
+  }
   const std::size_t psdu_len = (*len_octet)[0] & 0x7f;
-  if (psdu_len < kFcsOctets) return result;
+  if (psdu_len < kFcsOctets) {
+    result.error = common::RxError::kBadLength;
+    return result;
+  }
 
   const auto psdu = demod_octets(sfd_octet + 2, psdu_len);
-  if (!psdu) return result;
+  if (!psdu) {
+    result.error = common::RxError::kTruncatedPayload;
+    return result;
+  }
 
   common::Bytes ppdu(kPreambleOctets, 0x00);
   ppdu.push_back(kSfd);
@@ -170,6 +191,9 @@ ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
   if (payload) {
     result.crc_ok = true;
     result.payload = *payload;
+    result.error = common::RxError::kNone;
+  } else {
+    result.error = common::RxError::kCrcFailed;
   }
   return result;
 }

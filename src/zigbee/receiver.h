@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "common/fft.h"
+#include "common/rx_error.h"
 
 namespace sledzig::zigbee {
 
@@ -31,6 +32,10 @@ struct ZigbeeRxResult {
   common::Bytes payload;
   std::size_t frame_start = 0;   // sample index of the first preamble chip
   std::size_t chip_errors = 0;   // despreading Hamming distance over the frame
+  /// Why decoding stopped; kNone iff crc_ok (the FCS is the success gate).
+  common::RxError error = common::RxError::kNoPreamble;
+
+  bool ok() const { return error == common::RxError::kNone; }
 };
 
 ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> samples,

@@ -3,12 +3,21 @@
 // silently wrong successes).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "channel/medium.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "mac/zigbee_csma.h"
 #include "sledzig/encoder.h"
+#include "wifi/convolutional.h"
+#include "wifi/interleaver.h"
+#include "wifi/ofdm.h"
+#include "wifi/preamble.h"
+#include "wifi/qam.h"
 #include "wifi/receiver.h"
+#include "wifi/signal_field.h"
 #include "wifi/transmitter.h"
 #include "zigbee/receiver.h"
 #include "zigbee/transmitter.h"
@@ -190,6 +199,197 @@ TEST(FailureInjection, MediumRejectsNullEmission) {
   std::vector<channel::Emission> bad = {{nullptr, -50.0, 0.0, 0}};
   EXPECT_THROW(channel::mix_at_receiver(bad, 1000, rng),
                std::invalid_argument);
+}
+
+// --- Hostile SIGNAL fields ------------------------------------------------
+
+TEST(FailureInjection, FuzzedSignalWordsParseInvalidWithoutBlowups) {
+  // Every 24-bit word must either parse to a mode in the RATE table with a
+  // 12-bit LENGTH, or cleanly return nullopt -- never throw or mis-size.
+  common::Rng rng(720);
+  std::size_t accepted = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto bits = rng.bits(24);
+    const auto field = wifi::decode_signal_bits(bits);
+    if (field) {
+      ++accepted;
+      EXPECT_LE(field->psdu_octets, 4095u);
+    }
+  }
+  // Parity + RATE-table screening rejects the bulk of random words.
+  EXPECT_LT(accepted, 2500u);
+}
+
+TEST(FailureInjection, SignalWordBadParityRejected) {
+  wifi::SignalField f;
+  f.modulation = wifi::Modulation::kQam64;
+  f.rate = wifi::CodingRate::kR23;
+  f.psdu_octets = 600;
+  auto bits = wifi::encode_signal_bits(f);
+  ASSERT_TRUE(wifi::decode_signal_bits(bits).has_value());
+  bits[17] ^= 1;  // parity bit
+  EXPECT_FALSE(wifi::decode_signal_bits(bits).has_value());
+  bits[17] ^= 1;
+  bits[3] ^= 1;  // RATE bit: parity now stale
+  EXPECT_FALSE(wifi::decode_signal_bits(bits).has_value());
+}
+
+TEST(FailureInjection, SignalWordUnknownRateRejected) {
+  // RATE codes 0x0 and 0xB..0xF have no table entry; build words with
+  // correct parity so only the RATE screening can reject them.
+  for (std::uint8_t code : {0x0, 0xB, 0xC, 0xD, 0xE, 0xF}) {
+    common::Bits bits;
+    common::append_uint(bits, code, 4);
+    bits.push_back(0);  // reserved
+    common::append_uint(bits, 1500, 12);
+    bits.push_back(common::parity(bits));
+    for (int i = 0; i < 6; ++i) bits.push_back(0);
+    EXPECT_FALSE(wifi::decode_signal_bits(bits).has_value()) << int(code);
+  }
+}
+
+TEST(FailureInjection, MaximalSignalLengthDoesNotBlowUpReceiver) {
+  // A parity-correct SIGNAL claiming the maximal 4095-octet LENGTH over a
+  // buffer that carries no data symbols: the receiver must classify it as
+  // truncated, not allocate for it.
+  wifi::SignalField f;
+  f.modulation = wifi::Modulation::kBpsk;  // largest symbol count per octet
+  f.rate = wifi::CodingRate::kR12;
+  f.psdu_octets = 4095;
+  const auto& preamble = wifi::full_preamble(wifi::ChannelWidth::k20MHz);
+  common::CplxVec samples(preamble.begin(), preamble.end());
+  const auto sig = wifi::modulate_signal_symbol(f);
+  samples.insert(samples.end(), sig.begin(), sig.end());
+
+  wifi::WifiRxConfig cfg;
+  cfg.correct_cfo = false;  // clean waveform; keep sync trivial
+  const auto rx = wifi::wifi_receive(samples, cfg);
+  EXPECT_TRUE(rx.detected);
+  EXPECT_TRUE(rx.signal_valid);
+  EXPECT_EQ(rx.signal.psdu_octets, 4095u);
+  EXPECT_EQ(rx.error, common::RxError::kTruncatedPayload);
+  EXPECT_TRUE(rx.psdu.empty());
+
+  // With a receiver-side cap below the claimed LENGTH the structured reason
+  // is the cap itself.
+  cfg.max_psdu_octets = 1024;
+  const auto capped = wifi::wifi_receive(samples, cfg);
+  EXPECT_EQ(capped.error, common::RxError::kSignalLengthCap);
+  EXPECT_TRUE(capped.psdu.empty());
+}
+
+TEST(FailureInjection, BadParitySignalSymbolReportsSignalParity) {
+  // Modulate a SIGNAL word whose parity bit is deliberately wrong (same
+  // chain as modulate_signal_symbol, bits corrupted before encoding): a
+  // clean channel then delivers exactly the bad word to the receiver.
+  const auto& plan = wifi::channel_plan(wifi::ChannelWidth::k20MHz);
+  wifi::SignalField f;
+  f.modulation = wifi::Modulation::kQam16;
+  f.rate = wifi::CodingRate::kR12;
+  f.psdu_octets = 100;
+  auto bits = wifi::encode_signal_bits(f);
+  bits[17] ^= 1;  // break even parity
+  bits.resize(wifi::coded_bits_per_symbol(wifi::Modulation::kBpsk, plan) / 2, 0);
+  const auto coded = wifi::convolutional_encode(bits);
+  const auto interleaved = wifi::interleave(coded, wifi::Modulation::kBpsk, plan);
+  const auto points = wifi::qam_map(interleaved, wifi::Modulation::kBpsk);
+  const auto symbol = wifi::modulate_ofdm_symbol(points, /*symbol_index=*/0, plan);
+
+  const auto& preamble = wifi::full_preamble(wifi::ChannelWidth::k20MHz);
+  common::CplxVec samples(preamble.begin(), preamble.end());
+  samples.insert(samples.end(), symbol.begin(), symbol.end());
+
+  wifi::WifiRxConfig cfg;
+  cfg.correct_cfo = false;
+  const auto rx = wifi::wifi_receive(samples, cfg);
+  EXPECT_TRUE(rx.detected);
+  EXPECT_FALSE(rx.signal_valid);
+  EXPECT_EQ(rx.error, common::RxError::kSignalParity);
+}
+
+// --- Structured RxError reasons -------------------------------------------
+
+TEST(FailureInjection, WifiTruncationReportsStructuredReason) {
+  common::Rng rng(721);
+  wifi::WifiTxConfig tx;
+  const auto packet = wifi::wifi_transmit(rng.bytes(200), tx);
+  const auto rx = wifi::wifi_receive(
+      std::span<const common::Cplx>(packet.samples)
+          .first(packet.samples.size() / 2),
+      wifi::WifiRxConfig{});
+  EXPECT_TRUE(rx.psdu.empty());
+  EXPECT_NE(rx.error, common::RxError::kNone);
+  if (rx.signal_valid) {
+    EXPECT_EQ(rx.error, common::RxError::kTruncatedPayload);
+  }
+}
+
+TEST(FailureInjection, NanSamplesRefusedUpFront) {
+  common::Rng rng(722);
+  wifi::WifiTxConfig tx;
+  auto packet = wifi::wifi_transmit(rng.bytes(50), tx);
+  packet.samples[123] = common::Cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  const auto rx = wifi::wifi_receive(packet.samples, wifi::WifiRxConfig{});
+  EXPECT_EQ(rx.error, common::RxError::kNanSamples);
+  EXPECT_FALSE(rx.detected);
+
+  auto ztx = zigbee::zigbee_transmit(rng.bytes(20));
+  ztx.samples[77] = common::Cplx(0.0, std::numeric_limits<double>::infinity());
+  const auto zrx = zigbee::zigbee_receive(ztx.samples);
+  EXPECT_EQ(zrx.error, common::RxError::kNanSamples);
+  EXPECT_FALSE(zrx.crc_ok);
+}
+
+TEST(FailureInjection, ZigbeeErrorsNameTheFailingStage) {
+  common::Rng rng(723);
+  // Noise only: no preamble.
+  common::CplxVec noise(4000);
+  for (auto& s : noise) s = rng.complex_gaussian(1.0);
+  EXPECT_EQ(zigbee::zigbee_receive(noise).error, common::RxError::kNoPreamble);
+
+  // Mid-frame cut after the header: payload truncated.
+  const auto tx = zigbee::zigbee_transmit(rng.bytes(60));
+  const auto cut = zigbee::zigbee_receive(
+      std::span<const common::Cplx>(tx.samples).first(tx.samples.size() / 2));
+  EXPECT_FALSE(cut.crc_ok);
+  EXPECT_NE(cut.error, common::RxError::kNone);
+
+  // Successful decode carries kNone.
+  const auto ok = zigbee::zigbee_receive(tx.samples);
+  EXPECT_TRUE(ok.crc_ok);
+  EXPECT_EQ(ok.error, common::RxError::kNone);
+  EXPECT_TRUE(ok.ok());
+}
+
+// --- Power-measurement guards ---------------------------------------------
+
+TEST(FailureInjection, PowerStatsSurviveEmptyAndNonFiniteInput) {
+  const common::CplxVec empty;
+  EXPECT_EQ(channel::total_power_dbm(empty),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(channel::rssi_2mhz_slice_dbm(empty),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(channel::rssi_2mhz_dbm(empty, 0.0),
+            -std::numeric_limits<double>::infinity());
+
+  common::CplxVec one{common::Cplx(1.0, 0.0)};
+  EXPECT_EQ(channel::rssi_2mhz_dbm(one, 0.0),
+            -std::numeric_limits<double>::infinity());
+
+  common::Rng rng(724);
+  common::CplxVec polluted(512);
+  for (auto& s : polluted) s = rng.complex_gaussian(1.0);
+  polluted[17] = common::Cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  polluted[400] = common::Cplx(std::numeric_limits<double>::infinity(), 1.0);
+  EXPECT_TRUE(std::isfinite(channel::total_power_dbm(polluted)));
+  EXPECT_TRUE(std::isfinite(channel::rssi_2mhz_slice_dbm(polluted)));
+  EXPECT_TRUE(std::isfinite(channel::rssi_2mhz_dbm(polluted, 0.0)));
+
+  common::CplxVec all_nan(
+      64, common::Cplx(std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(channel::total_power_dbm(all_nan),
+            -std::numeric_limits<double>::infinity());
 }
 
 }  // namespace
