@@ -2,12 +2,31 @@
 // subcarriers (QAM-64, WiFi gain 15, 1 m).  The paper finds 7 data
 // subcarriers optimal for CH1-CH3 and 5 for CH4 (adjacent-subcarrier
 // leakage), with RSSI flat beyond that.
+#include <array>
+
 #include "bench_util.h"
 #include "coex/experiment.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 using namespace sledzig;
 using coex::Scheme;
+
+namespace {
+
+struct Column {
+  Scheme scheme;
+  std::size_t count;
+};
+
+constexpr std::array<Column, 5> kColumns = {{{Scheme::kNormalWifi, 0},
+                                             {Scheme::kSledzig, 5},
+                                             {Scheme::kSledzig, 6},
+                                             {Scheme::kSledzig, 7},
+                                             {Scheme::kSledzig, 8}}};
+constexpr std::size_t kSeeds = 3;
+
+}  // namespace
 
 int main() {
   bench::title("Fig 11: RSSI at ZigBee vs forced data subcarriers (QAM-64)");
@@ -15,27 +34,34 @@ int main() {
   bench::note("Paper: CH1-CH3 improve up to 7 subcarriers then flatten;");
   bench::note("       CH4 is best at 5; normal-WiFi reference ~ -60 / -64 dBm.");
 
-  core::SledzigConfig base;
-  base.modulation = wifi::Modulation::kQam64;
-  base.rate = wifi::CodingRate::kR23;
+  const auto& channels = core::kAllOverlapChannels;
+  // Flat (channel, column, seed) grid over the pool; means printed serially.
+  const auto trials = common::parallel_map(
+      channels.size() * kColumns.size() * kSeeds, [&](std::size_t i) {
+        const std::size_t cell = i / kSeeds;
+        const Column& col = kColumns[cell % kColumns.size()];
+        core::SledzigConfig base;
+        base.modulation = wifi::Modulation::kQam64;
+        base.rate = wifi::CodingRate::kR23;
+        base.channel = channels[cell / kColumns.size()];
+        return coex::measure_wifi_rssi_at_zigbee(base, col.scheme, 15.0, 1.0,
+                                                 1 + i % kSeeds, col.count);
+      });
 
   bench::row("  %-5s %-12s %-8s %-8s %-8s %-8s", "CH", "normal(dBm)", "5 sc",
              "6 sc", "7 sc", "8 sc");
-  for (auto ch : core::kAllOverlapChannels) {
-    base.channel = ch;
-    auto avg = [&](Scheme scheme, std::size_t count) {
-      std::vector<double> vals;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        vals.push_back(coex::measure_wifi_rssi_at_zigbee(
-            base, scheme, 15.0, 1.0, seed, count));
-      }
-      return common::mean(vals);
-    };
-    const double normal = avg(Scheme::kNormalWifi, 0);
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    double mean[kColumns.size()];
+    for (std::size_t k = 0; k < kColumns.size(); ++k) {
+      const std::size_t cell = c * kColumns.size() + k;
+      std::vector<double> vals(trials.begin() + static_cast<long>(cell * kSeeds),
+                               trials.begin() +
+                                   static_cast<long>((cell + 1) * kSeeds));
+      mean[k] = common::mean(vals);
+    }
     bench::row("  %-5s %-12.1f %-8.1f %-8.1f %-8.1f %-8.1f",
-               core::to_string(ch).c_str(), normal,
-               avg(Scheme::kSledzig, 5), avg(Scheme::kSledzig, 6),
-               avg(Scheme::kSledzig, 7), avg(Scheme::kSledzig, 8));
+               core::to_string(channels[c]).c_str(), mean[0], mean[1], mean[2],
+               mean[3], mean[4]);
   }
   return 0;
 }

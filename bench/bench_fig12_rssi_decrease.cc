@@ -6,6 +6,7 @@
 // to about -70 / -75 / -78 dBm.
 #include "bench_util.h"
 #include "coex/experiment.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 using namespace sledzig;
@@ -13,14 +14,8 @@ using coex::Scheme;
 
 namespace {
 
-double avg_rssi(const core::SledzigConfig& cfg, Scheme scheme) {
-  std::vector<double> vals;
-  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    vals.push_back(
-        coex::measure_wifi_rssi_at_zigbee(cfg, scheme, 15.0, 1.0, seed));
-  }
-  return common::mean(vals);
-}
+constexpr std::size_t kColumns = 4;  // normal, QAM-16, QAM-64, QAM-256
+constexpr std::size_t kSeeds = 3;
 
 }  // namespace
 
@@ -43,22 +38,37 @@ int main() {
       {wifi::Modulation::kQam256, wifi::CodingRate::kR34},
   };
 
+  // Flat (channel, column, seed) grid over the pool; means printed serially.
+  // Column 0 is the normal-WiFi reference (measured with the QAM-64 config),
+  // columns 1..3 are SledZig under modes[0..2].
+  const auto trials = common::parallel_map(
+      std::size(refs) * kColumns * kSeeds, [&](std::size_t i) {
+        const std::size_t cell = i / kSeeds;
+        const std::size_t col = cell % kColumns;
+        const auto ch = refs[cell / kColumns].ch;
+        const auto& mode = modes[col == 0 ? 1 : col - 1];
+        const core::SledzigConfig cfg{mode.first, mode.second, ch};
+        const Scheme scheme =
+            col == 0 ? Scheme::kNormalWifi : Scheme::kSledzig;
+        return coex::measure_wifi_rssi_at_zigbee(cfg, scheme, 15.0, 1.0,
+                                                 1 + i % kSeeds);
+      });
+
   bench::row("  %-5s %-7s %-14s %-14s %-14s", "CH", "", "paper(dBm)",
              "ours(dBm)", "");
-  for (const auto& ref : refs) {
-    double ours[4] = {};
-    core::SledzigConfig cfg{modes[1].first, modes[1].second, ref.ch};
-    ours[0] = avg_rssi(cfg, Scheme::kNormalWifi);
-    for (int i = 0; i < 3; ++i) {
-      core::SledzigConfig c{modes[i].first, modes[i].second, ref.ch};
-      ours[i + 1] = avg_rssi(c, Scheme::kSledzig);
-    }
+  for (std::size_t r = 0; r < std::size(refs); ++r) {
+    const auto& ref = refs[r];
     const double paper[4] = {ref.normal, ref.q16, ref.q64, ref.q256};
     const char* labels[4] = {"normal", "QAM-16", "QAM-64", "QAM-256"};
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t col = 0; col < kColumns; ++col) {
+      const std::size_t cell = r * kColumns + col;
+      std::vector<double> vals(trials.begin() + static_cast<long>(cell * kSeeds),
+                               trials.begin() +
+                                   static_cast<long>((cell + 1) * kSeeds));
+      const double ours = common::mean(vals);
       bench::row("  %-5s %-7s %-14.0f %-14.1f %s",
-                 core::to_string(ref.ch).c_str(), labels[i], paper[i], ours[i],
-                 bench::bar(ours[i], -82.0, -58.0).c_str());
+                 core::to_string(ref.ch).c_str(), labels[col], paper[col], ours,
+                 bench::bar(ours, -82.0, -58.0).c_str());
     }
   }
   return 0;

@@ -3,6 +3,7 @@
 // at 1 m below gain ~15 and at >= 3 m even for gain 25.
 #include "bench_util.h"
 #include "coex/experiment.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 using namespace sledzig;
@@ -13,17 +14,27 @@ int main() {
 
   const double distances[] = {0.5, 1.0, 3.0, 5.0};
   const unsigned gains[] = {3, 7, 11, 15, 19, 23, 27, 31};
+  constexpr std::size_t kSeeds = 3;
+
+  // Flat (distance, gain, seed) grid over the pool; means printed serially.
+  const auto trials = common::parallel_map(
+      std::size(distances) * std::size(gains) * kSeeds, [&](std::size_t i) {
+        const std::size_t cell = i / kSeeds;
+        return coex::measure_zigbee_rssi(gains[cell % std::size(gains)],
+                                         distances[cell / std::size(gains)],
+                                         1 + i % kSeeds);
+      });
 
   std::printf("  %-6s", "d(m)");
   for (unsigned g : gains) std::printf(" g=%-5u", g);
   std::printf("\n");
-  for (double d : distances) {
-    std::printf("  %-6.1f", d);
-    for (unsigned g : gains) {
-      std::vector<double> vals;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        vals.push_back(coex::measure_zigbee_rssi(g, d, seed));
-      }
+  for (std::size_t di = 0; di < std::size(distances); ++di) {
+    std::printf("  %-6.1f", distances[di]);
+    for (std::size_t gi = 0; gi < std::size(gains); ++gi) {
+      const std::size_t cell = di * std::size(gains) + gi;
+      std::vector<double> vals(trials.begin() + static_cast<long>(cell * kSeeds),
+                               trials.begin() +
+                                   static_cast<long>((cell + 1) * kSeeds));
       std::printf(" %-7.1f", common::mean(vals));
     }
     std::printf("\n");

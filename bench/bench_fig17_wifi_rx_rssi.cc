@@ -2,27 +2,40 @@
 // distance.  Paper: ZigBee at 0.5 m reads ~-85 dBm (~30 dB below WiFi) and
 // approaches the noise floor by 1 m, which is why ZigBee never degrades the
 // WiFi link (section V-D2).
+#include <array>
+
 #include "bench_util.h"
 #include "coex/experiment.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 using namespace sledzig;
 
+namespace {
+constexpr std::array<double, 6> kDistances = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+constexpr std::size_t kSeeds = 3;
+}  // namespace
+
 int main() {
+  const auto trials =
+      common::parallel_map(kDistances.size() * kSeeds, [](std::size_t i) {
+        return coex::measure_rssi_at_wifi_rx(15.0, 31, kDistances[i / kSeeds],
+                                             1 + i % kSeeds);
+      });
+
   bench::title("Fig 17: RSSI at the WiFi receiver (2 MHz-slice estimator)");
   bench::note("Paper: WiFi ~-55 dBm @0.5 m; ZigBee ~-85 dBm @0.5 m, noise by 1 m.");
   bench::row("  %-6s %-11s %-12s %-8s", "d(m)", "WiFi(dBm)", "ZigBee(dBm)",
              "gap(dB)");
-  for (double d : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+  for (std::size_t di = 0; di < kDistances.size(); ++di) {
     std::vector<double> wifi_vals, zb_vals;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      const auto r = coex::measure_rssi_at_wifi_rx(15.0, 31, d, seed);
-      wifi_vals.push_back(r.wifi_dbm);
-      zb_vals.push_back(r.zigbee_dbm);
+    for (std::size_t s = 0; s < kSeeds; ++s) {
+      wifi_vals.push_back(trials[di * kSeeds + s].wifi_dbm);
+      zb_vals.push_back(trials[di * kSeeds + s].zigbee_dbm);
     }
     const double w = common::mean(wifi_vals);
     const double z = common::mean(zb_vals);
-    bench::row("  %-6.1f %-11.1f %-12.1f %-8.1f", d, w, z, w - z);
+    bench::row("  %-6.1f %-11.1f %-12.1f %-8.1f", kDistances[di], w, z, w - z);
   }
   bench::note("Minimum WiFi SNR for the paper's modes is 11-31 dB (Table IV);");
   bench::note("the ZigBee signal never gets within 20 dB of the WiFi signal.");

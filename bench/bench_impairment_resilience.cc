@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "channel/impairments.h"
 #include "channel/medium.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "wifi/receiver.h"
 #include "wifi/transmitter.h"
@@ -21,10 +22,12 @@ namespace {
 
 constexpr std::size_t kTrials = 25;
 
+// Both PSR estimators fan their trials out over the parallel sweep engine;
+// each trial derives everything from its own seed, so the rates are
+// identical for any SLEDZIG_THREADS value.
 double wifi_psr(const channel::ImpairmentConfig& imp, wifi::Modulation m,
                 wifi::CodingRate r) {
-  std::size_t ok = 0;
-  for (std::size_t t = 0; t < kTrials; ++t) {
+  const auto outcomes = common::parallel_map(kTrials, [&](std::size_t t) {
     const std::uint64_t seed = 1000 + t;
     common::Rng rng(seed);
     const auto psdu = rng.bytes(60);
@@ -36,14 +39,15 @@ double wifi_psr(const channel::ImpairmentConfig& imp, wifi::Modulation m,
     const auto rx_samples = channel::mix_at_receiver(
         std::vector<channel::Emission>{e}, packet.samples.size() + 480, rng);
     const auto rx = wifi::wifi_receive(rx_samples, wifi::WifiRxConfig{});
-    if (rx.ok() && rx.psdu == psdu) ++ok;
-  }
+    return rx.ok() && rx.psdu == psdu;
+  });
+  std::size_t ok = 0;
+  for (const bool delivered : outcomes) ok += delivered ? 1 : 0;
   return static_cast<double>(ok) / kTrials;
 }
 
 double zigbee_psr(const channel::ImpairmentConfig& imp) {
-  std::size_t ok = 0;
-  for (std::size_t t = 0; t < kTrials; ++t) {
+  const auto outcomes = common::parallel_map(kTrials, [&](std::size_t t) {
     const std::uint64_t seed = 2000 + t;
     common::Rng rng(seed);
     const auto payload = rng.bytes(20);
@@ -52,8 +56,10 @@ double zigbee_psr(const channel::ImpairmentConfig& imp) {
     const auto rx_samples = channel::mix_at_receiver(
         std::vector<channel::Emission>{e}, tx.samples.size() + 960, rng);
     const auto rx = zigbee::zigbee_receive(rx_samples);
-    if (rx.ok() && rx.payload == payload) ++ok;
-  }
+    return rx.ok() && rx.payload == payload;
+  });
+  std::size_t ok = 0;
+  for (const bool delivered : outcomes) ok += delivered ? 1 : 0;
   return static_cast<double>(ok) / kTrials;
 }
 

@@ -3,6 +3,8 @@
 // "can a driver afford to run SledZig per packet?"
 #include <benchmark/benchmark.h>
 
+#include "channel/medium.h"
+#include "common/dsp.h"
 #include "common/fft.h"
 #include "common/rng.h"
 #include "sledzig/encoder.h"
@@ -28,6 +30,84 @@ void BM_Fft64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fft64);
+
+void BM_Fft256InPlace(benchmark::State& state) {
+  common::Rng rng(14);
+  common::CplxVec x(256);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  common::CplxVec work;
+  for (auto _ : state) {
+    common::fft_into(x, work, /*inverse=*/false);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_Fft256InPlace);
+
+void BM_FrequencyShift(benchmark::State& state) {
+  common::Rng rng(15);
+  common::CplxVec x(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto y = common::frequency_shift(x, 3e6, channel::kMediumSampleRateHz);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrequencyShift)->Arg(4096)->Arg(65536);
+
+void BM_MixAtReceiver(benchmark::State& state) {
+  common::Rng rng(16);
+  wifi::WifiTxConfig cfg;
+  const auto packet = wifi::wifi_transmit(rng.bytes(500), cfg);
+  const channel::Emission e{&packet.samples, -50.0, 4e6, 256, nullptr, 1};
+  const std::vector<channel::Emission> emissions{e, e};
+  for (auto _ : state) {
+    common::Rng noise_rng(17);
+    auto mixed = channel::mix_at_receiver(emissions,
+                                          packet.samples.size() + 512,
+                                          noise_rng);
+    benchmark::DoNotOptimize(mixed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(packet.samples.size()));
+}
+BENCHMARK(BM_MixAtReceiver);
+
+void BM_BandPower(benchmark::State& state) {
+  common::Rng rng(18);
+  common::CplxVec x(16384);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    const double p = common::band_power(x, channel::kMediumSampleRateHz,
+                                        -1e6, 1e6, 256);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_BandPower);
+
+void BM_WifiRoundtrip(benchmark::State& state) {
+  // End-to-end hot path of every Monte-Carlo trial: transmit -> impaired
+  // medium -> receive.
+  common::Rng rng(19);
+  const auto psdu = rng.bytes(200);
+  wifi::WifiTxConfig cfg;
+  cfg.modulation = wifi::Modulation::kQam64;
+  cfg.rate = wifi::CodingRate::kR23;
+  for (auto _ : state) {
+    const auto packet = wifi::wifi_transmit(psdu, cfg);
+    common::Rng trial_rng(20);
+    const channel::Emission e{&packet.samples, -45.0, 0.0, 160, nullptr, 20};
+    const auto mixed = channel::mix_at_receiver(
+        std::vector<channel::Emission>{e}, packet.samples.size() + 480,
+        trial_rng);
+    auto rx = wifi::wifi_receive(mixed, wifi::WifiRxConfig{});
+    benchmark::DoNotOptimize(rx);
+  }
+  state.SetBytesProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_WifiRoundtrip);
 
 void BM_ConvolutionalEncode(benchmark::State& state) {
   common::Rng rng(2);

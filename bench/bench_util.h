@@ -4,6 +4,8 @@
 // paper-vs-measured report.
 #pragma once
 
+#include <algorithm>  // std::max / std::min in bar()
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <string>

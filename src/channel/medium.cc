@@ -33,13 +33,13 @@ common::CplxVec mix_at_receiver(std::span<const Emission> emissions,
       impaired = apply_impairments(waveform, *e.impairment, e.impairment_seed);
       waveform = impaired;
     }
-    const auto shifted = common::frequency_shift(waveform, e.freq_offset_hz,
-                                                 kMediumSampleRateHz);
-    for (std::size_t i = 0; i < shifted.size(); ++i) {
-      const std::size_t t = e.start_sample + i;
-      if (t >= total_samples) break;
-      out[t] += amp * shifted[i];
-    }
+    if (e.start_sample >= total_samples) continue;
+    // Fused shift + scale + accumulate straight into the receiver baseband:
+    // no shifted-waveform copy, and no rotator work at all when the
+    // emission is co-channel (freq_offset_hz == 0, the common case).
+    common::mix_frequency_shifted(
+        waveform, e.freq_offset_hz, kMediumSampleRateHz, amp,
+        std::span<common::Cplx>(out).subspan(e.start_sample));
   }
   return out;
 }
@@ -71,12 +71,17 @@ double rssi_2mhz_dbm(std::span<const common::Cplx> samples,
   // band_power() needs at least one 2-sample Welch segment; shorter or
   // NaN-polluted inputs report the "no signal" floor instead of throwing.
   if (samples.size() < 2) return kNoPowerDbm;
+  // Single scan; the all-finite common case touches no memory beyond the
+  // read.  On the first bad sample, copy once and scrub only the suffix
+  // (the prefix was just verified finite).
   common::CplxVec scrubbed;
   std::span<const common::Cplx> input = samples;
-  for (const auto& s : samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
     if (!std::isfinite(s.real()) || !std::isfinite(s.imag())) {
       scrubbed.assign(samples.begin(), samples.end());
-      for (auto& v : scrubbed) {
+      for (std::size_t j = i; j < scrubbed.size(); ++j) {
+        auto& v = scrubbed[j];
         if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
           v = common::Cplx(0.0, 0.0);
         }

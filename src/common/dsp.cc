@@ -1,5 +1,6 @@
 #include "common/dsp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -48,12 +49,13 @@ Psd welch_psd(std::span<const Cplx> x, double fs, std::size_t segment_size) {
 
   const std::size_t hop = segment_size / 2;
   std::size_t segments = 0;
+  const FftPlan& plan = FftPlan::get(segment_size);  // hoisted out of the loop
   CplxVec seg(segment_size);
   for (std::size_t start = 0; start + segment_size <= x.size(); start += hop) {
     for (std::size_t i = 0; i < segment_size; ++i) {
       seg[i] = x[start + i] * window[i];
     }
-    fft_inplace(seg, /*inverse=*/false);
+    plan.forward(seg.data());
     // FFT bin k maps to frequency k*fs/N for k < N/2 and (k-N)*fs/N above;
     // re-order into [-fs/2, fs/2).
     for (std::size_t k = 0; k < segment_size; ++k) {
@@ -119,6 +121,10 @@ CplxVec fir_filter(std::span<const Cplx> x, std::span<const double> taps) {
 
 CplxVec frequency_shift(std::span<const Cplx> x, double freq, double fs) {
   CplxVec out(x.size());
+  if (freq == 0.0) {
+    std::copy(x.begin(), x.end(), out.begin());
+    return out;
+  }
   const double step = 2.0 * std::numbers::pi * freq / fs;
   // Incremental rotation avoids a sin/cos per sample; renormalise
   // periodically to stop drift.
@@ -130,6 +136,23 @@ CplxVec frequency_shift(std::span<const Cplx> x, double freq, double fs) {
     if ((i & 0x3ff) == 0x3ff) rot /= std::abs(rot);
   }
   return out;
+}
+
+void mix_frequency_shifted(std::span<const Cplx> x, double freq, double fs,
+                           Cplx gain, std::span<Cplx> out) {
+  const std::size_t n = std::min(x.size(), out.size());
+  if (freq == 0.0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] += gain * x[i];
+    return;
+  }
+  const double step = 2.0 * std::numbers::pi * freq / fs;
+  Cplx rot(1.0, 0.0);
+  const Cplx inc(std::cos(step), std::sin(step));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] += gain * (x[i] * rot);
+    rot *= inc;
+    if ((i & 0x3ff) == 0x3ff) rot /= std::abs(rot);
+  }
 }
 
 }  // namespace sledzig::common

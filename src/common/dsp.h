@@ -37,7 +37,16 @@ double band_power(std::span<const Cplx> x, double fs, double f_lo, double f_hi,
                   std::size_t segment_size = 256);
 
 /// Multiplies x by exp(j*2*pi*freq*t): shifts the spectrum *up* by `freq` Hz.
+/// `freq == 0` degenerates to a plain copy (no rotator arithmetic).
 CplxVec frequency_shift(std::span<const Cplx> x, double freq, double fs);
+
+/// Fused shift-scale-accumulate: out[i] += gain * (x[i] * exp(j*2*pi*freq*t))
+/// for i < min(x.size(), out.size()).  This is the medium's mixing kernel —
+/// it avoids materialising the shifted waveform entirely, and skips the
+/// rotator when `freq == 0` (the common case for co-channel links).
+/// Bit-identical to shifting into a temporary and accumulating it.
+void mix_frequency_shifted(std::span<const Cplx> x, double freq, double fs,
+                           Cplx gain, std::span<Cplx> out);
 
 /// Hann window of length n (periodic form, suitable for Welch).
 std::vector<double> hann_window(std::size_t n);

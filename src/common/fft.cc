@@ -1,6 +1,10 @@
 #include "common/fft.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -8,44 +12,89 @@ namespace sledzig::common {
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-void fft_inplace(CplxVec& x, bool inverse) {
-  const std::size_t n = x.size();
-  if (!is_power_of_two(n)) {
-    throw std::invalid_argument("fft: size must be a power of two");
-  }
-  // Bit-reversal permutation.
+FftPlan::FftPlan(std::size_t n) : n_(n), bitrev_(n), twiddle_(n / 2) {
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_[k] = Cplx(std::cos(angle), std::sin(angle));
+  }
+}
+
+const FftPlan& FftPlan::get(std::size_t n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // One slot per log2(size); lock-free lookup once a plan exists.  Plans
+  // stay reachable through the static slots, so they are not leaks.
+  static std::array<std::atomic<const FftPlan*>, 32> slots{};
+  static std::mutex build_mutex;
+  const unsigned lg = static_cast<unsigned>(std::countr_zero(n));
+  if (lg >= slots.size()) {
+    throw std::invalid_argument("fft: size too large");
+  }
+  const FftPlan* plan = slots[lg].load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    std::scoped_lock lock(build_mutex);
+    plan = slots[lg].load(std::memory_order_relaxed);
+    if (plan == nullptr) {
+      plan = new FftPlan(n);
+      slots[lg].store(plan, std::memory_order_release);
+    }
+  }
+  return *plan;
+}
+
+void FftPlan::transform(Cplx* x, bool inverse) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-  const double sign = inverse ? 1.0 : -1.0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const Cplx wlen(std::cos(angle), std::sin(angle));
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      Cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Cplx w = twiddle_[k * stride];
+        if (inverse) w = std::conj(w);
         const Cplx u = x[i + k];
-        const Cplx v = x[i + k + len / 2] * w;
+        const Cplx v = x[i + k + half] * w;
         x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
+        x[i + k + half] = u - v;
       }
     }
   }
 }
 
+void fft_inplace(CplxVec& x, bool inverse) {
+  const FftPlan& plan = FftPlan::get(x.size());
+  if (inverse) {
+    plan.inverse(x.data());
+  } else {
+    plan.forward(x.data());
+  }
+}
+
+void fft_into(std::span<const Cplx> in, CplxVec& out, bool inverse) {
+  out.assign(in.begin(), in.end());
+  fft_inplace(out, inverse);
+}
+
 CplxVec fft(std::span<const Cplx> x) {
-  CplxVec out(x.begin(), x.end());
-  fft_inplace(out, /*inverse=*/false);
+  CplxVec out;
+  fft_into(x, out, /*inverse=*/false);
   return out;
 }
 
 CplxVec ifft(std::span<const Cplx> x) {
-  CplxVec out(x.begin(), x.end());
-  fft_inplace(out, /*inverse=*/true);
+  CplxVec out;
+  fft_into(x, out, /*inverse=*/true);
   const double scale = 1.0 / static_cast<double>(out.size());
   for (Cplx& c : out) c *= scale;
   return out;

@@ -1,7 +1,13 @@
 // Minimal radix-2 FFT used by the OFDM modem and the spectrum analyser.
+//
+// Transforms run through a cached FftPlan (precomputed bit-reversal
+// permutation + twiddle table per size, built once per process), so hot
+// loops — per-symbol OFDM, Welch segments, channel estimation — pay no
+// per-call trigonometry.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -10,10 +16,42 @@ namespace sledzig::common {
 using Cplx = std::complex<double>;
 using CplxVec = std::vector<Cplx>;
 
+/// Precomputed transform tables for one power-of-two size.
+///
+/// Plans are immutable after construction and cached for the lifetime of
+/// the process; `get()` is lock-free after first use of a size and safe to
+/// call from any thread.
+class FftPlan {
+ public:
+  /// Cached plan for size n (throws std::invalid_argument unless n is a
+  /// power of two).  The returned reference never dangles.
+  static const FftPlan& get(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT of x[0..n).
+  void forward(Cplx* x) const { transform(x, /*inverse=*/false); }
+  /// In-place unscaled inverse DFT of x[0..n) (divide by n for the true
+  /// inverse).
+  void inverse(Cplx* x) const { transform(x, /*inverse=*/true); }
+
+ private:
+  explicit FftPlan(std::size_t n);
+  void transform(Cplx* x, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> bitrev_;  // bitrev_[i] = bit-reversed i
+  std::vector<Cplx> twiddle_;          // exp(-2*pi*i*k/n) for k < n/2
+};
+
 /// In-place iterative radix-2 DIT FFT.  `x.size()` must be a power of two.
 /// `inverse = true` computes the unscaled inverse transform; divide by N
 /// yourself (ifft() below does it for you).
 void fft_inplace(CplxVec& x, bool inverse);
+
+/// Out-parameter transform: copies `in` into `out` (resizing it) and
+/// transforms in place — one copy, no temporary, reusable output buffer.
+void fft_into(std::span<const Cplx> in, CplxVec& out, bool inverse);
 
 /// Forward DFT (copying).  Size must be a power of two.
 CplxVec fft(std::span<const Cplx> x);

@@ -1,0 +1,163 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sledzig::common {
+
+namespace {
+
+/// Set while a thread is executing batch indices; nested parallel calls
+/// from inside a trial degrade to serial loops instead of deadlocking.
+thread_local bool tl_in_batch = false;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("SLEDZIG_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;   // workers wait for a new batch
+  std::condition_variable done;   // caller waits for batch completion
+  std::vector<std::thread> workers;
+
+  // Current batch (guarded by mutex except the atomics).
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::size_t job_n = 0;
+  std::uint64_t generation = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t active_workers = 0;
+  bool batch_in_flight = false;
+  std::exception_ptr error;
+  bool stop = false;
+
+  /// Claims indices until the batch is exhausted.  Called with no locks.
+  void run_indices(const std::function<void(std::size_t)>& fn, std::size_t n) {
+    tl_in_batch = true;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      completed.fetch_add(1, std::memory_order_acq_rel);
+    }
+    tl_in_batch = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock lock(mutex);
+    while (true) {
+      wake.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      const auto* fn = job;
+      const std::size_t n = job_n;
+      ++active_workers;
+      lock.unlock();
+      run_indices(*fn, n);
+      lock.lock();
+      --active_workers;
+      done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : impl_(new Impl), num_workers_(num_threads == 0 ? 0 : num_threads - 1) {
+  impl_->workers.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_workers_ == 0 || n == 1 || tl_in_batch) {
+    // Serial path: same call sequence fn(0..n-1), no pool interaction.
+    // Save/restore rather than clear: a thread still inside an outer batch
+    // must stay marked, or its next nested call would take the parallel
+    // path and wait on the very batch it is executing.
+    const bool was_in_batch = tl_in_batch;
+    tl_in_batch = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tl_in_batch = was_in_batch;
+      throw;
+    }
+    tl_in_batch = was_in_batch;
+    return;
+  }
+
+  std::unique_lock lock(impl_->mutex);
+  // One batch at a time: a second submitting thread queues behind the
+  // current batch.  Also drain workers that woke late for a previous batch
+  // before re-arming the shared state, so no worker can mix an old fn with
+  // new indices.
+  impl_->done.wait(lock, [&] {
+    return !impl_->batch_in_flight && impl_->active_workers == 0;
+  });
+  impl_->batch_in_flight = true;
+  impl_->job = &fn;
+  impl_->job_n = n;
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->completed.store(0, std::memory_order_relaxed);
+  impl_->error = nullptr;
+  ++impl_->generation;
+  lock.unlock();
+  impl_->wake.notify_all();
+
+  impl_->run_indices(fn, n);
+
+  lock.lock();
+  impl_->done.wait(lock, [&] {
+    return impl_->completed.load(std::memory_order_acquire) == n &&
+           impl_->active_workers == 0;
+  });
+  impl_->batch_in_flight = false;
+  const std::exception_ptr err = impl_->error;
+  impl_->error = nullptr;
+  lock.unlock();
+  impl_->done.notify_all();  // release any queued submitter
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  default_pool().for_each_index(n, fn);
+}
+
+}  // namespace sledzig::common

@@ -29,6 +29,40 @@ double zigbee_frame_airtime_us(std::size_t payload_octets) {
 
 namespace {
 
+/// Per-simulation precomputation: the link budget and error model are fixed
+/// for a whole run, so every dBm->mW conversion and — because a symbol sees
+/// exactly one of three interference states (idle, WiFi preamble, WiFi
+/// payload) — every symbol-error probability is evaluated once here instead
+/// of per symbol/CCA.  The cached values come from the same expressions the
+/// per-symbol code used, so simulation results are bit-identical.
+struct BudgetTables {
+  double noise_mw;
+  double signal_mw;
+  double payload_mw;
+  double preamble_mw;
+  double sensitivity_loss;
+  double p_err_idle;      // no WiFi overlap
+  double p_err_preamble;  // worst interferer = full-power preamble
+  double p_err_payload;   // worst interferer = (power-reduced) payload
+
+  BudgetTables(const ZigbeeLinkBudget& budget, const SymbolErrorModel& model) {
+    noise_mw = common::dbm_to_mw(budget.noise_dbm);
+    signal_mw = common::dbm_to_mw(budget.signal_dbm);
+    payload_mw = common::dbm_to_mw(budget.wifi_payload_inband_dbm);
+    preamble_mw = common::dbm_to_mw(budget.wifi_preamble_inband_dbm);
+    sensitivity_loss =
+        model.sensitivity_loss_prob(budget.signal_dbm, budget.sensitivity_dbm);
+    const auto p_err = [&](double interference_mw, bool preamble) {
+      const double sinr_db =
+          common::linear_to_db(signal_mw / (interference_mw + noise_mw));
+      return model.symbol_error_prob(sinr_db, preamble);
+    };
+    p_err_idle = p_err(0.0, false);
+    p_err_preamble = p_err(preamble_mw, true);
+    p_err_payload = p_err(payload_mw, false);
+  }
+};
+
 /// True when the CCA window [t0, t1] detects energy above threshold.
 ///
 /// CCA-ED *averages* energy over the 8-symbol window (802.15.4 6.9.9),
@@ -37,12 +71,9 @@ namespace {
 /// section IV-F argument.  We therefore integrate overlap-time-weighted
 /// power rather than peak-detecting.
 bool cca_busy(const WifiTimeline& wifi, const ZigbeeLinkBudget& budget,
-              double t0, double t1) {
+              const BudgetTables& tables, double t0, double t1) {
   const double window = t1 - t0;
   if (window <= 0.0) return false;
-  const double payload_mw = common::dbm_to_mw(budget.wifi_payload_inband_dbm);
-  const double preamble_mw =
-      common::dbm_to_mw(budget.wifi_preamble_inband_dbm);
   double energy = 0.0;  // mW * us
   const auto [lo, hi] = wifi.overlapping(t0, t1);
   for (std::size_t i = lo; i < hi; ++i) {
@@ -51,27 +82,18 @@ bool cca_busy(const WifiTimeline& wifi, const ZigbeeLinkBudget& budget,
         std::max(0.0, std::min(t1, b.payload_start_us) - std::max(t0, b.start_us));
     const double pay =
         std::max(0.0, std::min(t1, b.end_us) - std::max(t0, b.payload_start_us));
-    energy += pre * preamble_mw + pay * payload_mw;
+    energy += pre * tables.preamble_mw + pay * tables.payload_mw;
   }
-  const double noise_mw = common::dbm_to_mw(budget.noise_dbm);
-  const double avg_dbm = common::mw_to_dbm(energy / window + noise_mw);
+  const double avg_dbm = common::mw_to_dbm(energy / window + tables.noise_mw);
   return avg_dbm >= budget.cca_threshold_dbm;
 }
 
 /// Evaluates one transmitted frame at the receiver: symbol-by-symbol SINR
 /// against the overlapping WiFi bursts.
-bool frame_delivered(const WifiTimeline& wifi, const ZigbeeLinkBudget& budget,
-                     const SymbolErrorModel& model, double tx_start,
-                     double airtime, common::Rng& rng) {
-  const double noise_mw = common::dbm_to_mw(budget.noise_dbm);
-  const double signal_mw = common::dbm_to_mw(budget.signal_dbm);
-  const double payload_mw = common::dbm_to_mw(budget.wifi_payload_inband_dbm);
-  const double preamble_mw =
-      common::dbm_to_mw(budget.wifi_preamble_inband_dbm);
-
+bool frame_delivered(const WifiTimeline& wifi, const BudgetTables& tables,
+                     double tx_start, double airtime, common::Rng& rng) {
   // Frame-level sensitivity cliff (CC2420 practical sensitivity).
-  if (rng.uniform() <
-      model.sensitivity_loss_prob(budget.signal_dbm, budget.sensitivity_dbm)) {
+  if (rng.uniform() < tables.sensitivity_loss) {
     return false;
   }
 
@@ -87,19 +109,19 @@ bool frame_delivered(const WifiTimeline& wifi, const ZigbeeLinkBudget& budget,
     for (std::size_t i = lo; i < hi; ++i) {
       const auto& b = wifi.bursts()[i];
       if (std::min(s1, b.payload_start_us) > std::max(s0, b.start_us) &&
-          preamble_mw > interference_mw) {
-        interference_mw = preamble_mw;
+          tables.preamble_mw > interference_mw) {
+        interference_mw = tables.preamble_mw;
         preamble_hit = true;
       }
       if (std::min(s1, b.end_us) > std::max(s0, b.payload_start_us) &&
-          payload_mw > interference_mw) {
-        interference_mw = payload_mw;
+          tables.payload_mw > interference_mw) {
+        interference_mw = tables.payload_mw;
         preamble_hit = false;
       }
     }
-    const double sinr_db =
-        common::linear_to_db(signal_mw / (interference_mw + noise_mw));
-    const double p_err = model.symbol_error_prob(sinr_db, preamble_hit);
+    const double p_err = preamble_hit ? tables.p_err_preamble
+                         : interference_mw == 0.0 ? tables.p_err_idle
+                                                  : tables.p_err_payload;
     if (rng.uniform() < p_err) return false;
   }
   return true;
@@ -115,6 +137,7 @@ ZigbeeSimResult simulate_zigbee_link(const WifiTimeline& wifi,
   ZigbeeSimResult result;
   const double airtime = zigbee_frame_airtime_us(mac.payload_octets);
   const double duration = wifi.duration_us();
+  const BudgetTables tables(budget, error_model);
 
   double t = 0.0;
   while (t < duration) {
@@ -131,7 +154,7 @@ ZigbeeSimResult simulate_zigbee_link(const WifiTimeline& wifi,
       t += static_cast<double>(slots) * mac.backoff_period_us;
       const double cca_start = t;
       t += mac.cca_us;
-      if (!cca_busy(wifi, budget, cca_start, t)) {
+      if (!cca_busy(wifi, budget, tables, cca_start, t)) {
         channel_clear = true;
         break;
       }
@@ -149,7 +172,7 @@ ZigbeeSimResult simulate_zigbee_link(const WifiTimeline& wifi,
     const double tx_start = t;
     t += airtime;
     ++result.packets_sent;
-    if (frame_delivered(wifi, budget, error_model, tx_start, airtime, rng)) {
+    if (frame_delivered(wifi, tables, tx_start, airtime, rng)) {
       ++result.packets_delivered;
     }
   }

@@ -40,55 +40,63 @@ common::Bits convolutional_encode(const common::Bits& in) {
   return out;
 }
 
-common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
-                            bool terminated) {
-  if (coded.size() % 2 != 0) {
-    throw std::invalid_argument("viterbi_decode: odd coded length");
-  }
-  const std::size_t steps = coded.size() / 2;
-  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+namespace {
 
-  // Precompute branch outputs for (state, input).
-  struct Branch {
-    unsigned next;
-    common::Bit a, b;
-  };
-  static const auto kTrellis = [] {
-    std::array<std::array<Branch, 2>, kNumStates> t{};
+// Precomputed branch table for (state, input): successor state plus the two
+// output bits.  Shared by the hard- and soft-decision decoders.
+struct Branch {
+  std::uint8_t next;
+  std::uint8_t a, b;
+};
+
+const std::array<std::array<Branch, 2>, kNumStates>& trellis() {
+  static const auto t = [] {
+    std::array<std::array<Branch, 2>, kNumStates> out{};
     for (unsigned s = 0; s < kNumStates; ++s) {
       for (unsigned in = 0; in < 2; ++in) {
         const auto r = encode_step(s, static_cast<common::Bit>(in));
-        t[s][in] = Branch{r.next_state, r.out_a, r.out_b};
+        out[s][in] = Branch{static_cast<std::uint8_t>(r.next_state), r.out_a,
+                            r.out_b};
       }
     }
-    return t;
+    return out;
   }();
+  return t;
+}
 
-  std::vector<unsigned> metric(kNumStates, kInf);
-  std::vector<unsigned> next_metric(kNumStates, kInf);
-  metric[0] = 0;  // encoder starts in the all-zero state
+/// Shared add-compare-select sweep + traceback.
+///
+/// Survivor storage is one contiguous steps*kNumStates byte buffer (input
+/// bit in bit 6, predecessor state in bits 0..5 — kNumStates == 64), and
+/// per-step branch metrics are hoisted into two 2-entry tables filled by
+/// `fill_tables(t, ca, cb)` (cost contribution of output bit a resp. b
+/// being 0/1).  Costs accumulate as (metric + ca[a]) + cb[b], the same
+/// association order as the pre-flattening decoder, so decisions — and the
+/// decoded bits — are bit-identical to it.
+template <typename Metric, typename FillTables>
+common::Bits viterbi_sweep(std::size_t steps, Metric inf, bool terminated,
+                           FillTables&& fill_tables) {
+  const auto& tr = trellis();
+  std::array<Metric, kNumStates> metric;
+  std::array<Metric, kNumStates> next_metric;
+  metric.fill(inf);
+  metric[0] = Metric{};  // encoder starts in the all-zero state
 
-  // survivor[t][s] = input bit and predecessor state packed into one byte.
-  std::vector<std::vector<std::uint8_t>> survivor(
-      steps, std::vector<std::uint8_t>(kNumStates, 0));
-  std::vector<std::vector<std::uint8_t>> pred(
-      steps, std::vector<std::uint8_t>(kNumStates, 0));
+  std::vector<std::uint8_t> survivor(steps * kNumStates, 0);
 
   for (std::size_t t = 0; t < steps; ++t) {
-    std::fill(next_metric.begin(), next_metric.end(), kInf);
-    const std::int8_t ra = coded[2 * t];
-    const std::int8_t rb = coded[2 * t + 1];
+    next_metric.fill(inf);
+    Metric ca[2], cb[2];
+    fill_tables(t, ca, cb);
+    std::uint8_t* surv_t = survivor.data() + t * kNumStates;
     for (unsigned s = 0; s < kNumStates; ++s) {
-      if (metric[s] >= kInf) continue;
+      if (metric[s] >= inf) continue;
       for (unsigned in = 0; in < 2; ++in) {
-        const Branch& br = kTrellis[s][in];
-        unsigned cost = metric[s];
-        if (ra != kErased && br.a != static_cast<common::Bit>(ra)) ++cost;
-        if (rb != kErased && br.b != static_cast<common::Bit>(rb)) ++cost;
+        const Branch& br = tr[s][in];
+        const Metric cost = (metric[s] + ca[br.a]) + cb[br.b];
         if (cost < next_metric[br.next]) {
           next_metric[br.next] = cost;
-          survivor[t][br.next] = static_cast<std::uint8_t>(in);
-          pred[t][br.next] = static_cast<std::uint8_t>(s);
+          surv_t[br.next] = static_cast<std::uint8_t>((in << 6) | s);
         }
       }
     }
@@ -98,7 +106,7 @@ common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
   // Pick the end state: 0 when terminated, otherwise best metric.
   unsigned state = 0;
   if (!terminated) {
-    unsigned best = kInf;
+    Metric best = inf;
     for (unsigned s = 0; s < kNumStates; ++s) {
       if (metric[s] < best) {
         best = metric[s];
@@ -109,10 +117,33 @@ common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
 
   common::Bits decoded(steps);
   for (std::size_t t = steps; t-- > 0;) {
-    decoded[t] = survivor[t][state];
-    state = pred[t][state];
+    const std::uint8_t packed = survivor[t * kNumStates + state];
+    decoded[t] = static_cast<common::Bit>(packed >> 6);
+    state = packed & 0x3fu;
   }
   return decoded;
+}
+
+}  // namespace
+
+common::Bits viterbi_decode(const std::vector<std::int8_t>& coded,
+                            bool terminated) {
+  if (coded.size() % 2 != 0) {
+    throw std::invalid_argument("viterbi_decode: odd coded length");
+  }
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+  return viterbi_sweep(
+      coded.size() / 2, kInf, terminated,
+      [&](std::size_t t, unsigned (&ca)[2], unsigned (&cb)[2]) {
+        const std::int8_t ra = coded[2 * t];
+        const std::int8_t rb = coded[2 * t + 1];
+        // Hamming cost per output bit; an erased position costs nothing
+        // either way.
+        ca[0] = (ra != kErased && ra != 0) ? 1u : 0u;
+        ca[1] = (ra != kErased && ra != 1) ? 1u : 0u;
+        cb[0] = (rb != kErased && rb != 0) ? 1u : 0u;
+        cb[1] = (rb != kErased && rb != 1) ? 1u : 0u;
+      });
 }
 
 common::Bits viterbi_decode_soft(std::span<const double> llrs,
@@ -120,74 +151,20 @@ common::Bits viterbi_decode_soft(std::span<const double> llrs,
   if (llrs.size() % 2 != 0) {
     throw std::invalid_argument("viterbi_decode_soft: odd LLR length");
   }
-  const std::size_t steps = llrs.size() / 2;
   constexpr double kInf = 1e300;
-
-  struct Branch {
-    unsigned next;
-    common::Bit a, b;
-  };
-  static const auto kTrellis = [] {
-    std::array<std::array<Branch, 2>, kNumStates> t{};
-    for (unsigned s = 0; s < kNumStates; ++s) {
-      for (unsigned in = 0; in < 2; ++in) {
-        const auto r = encode_step(s, static_cast<common::Bit>(in));
-        t[s][in] = Branch{r.next_state, r.out_a, r.out_b};
-      }
-    }
-    return t;
-  }();
-
-  std::vector<double> metric(kNumStates, kInf);
-  std::vector<double> next_metric(kNumStates, kInf);
-  metric[0] = 0.0;
-
-  std::vector<std::vector<std::uint8_t>> survivor(
-      steps, std::vector<std::uint8_t>(kNumStates, 0));
-  std::vector<std::vector<std::uint8_t>> pred(
-      steps, std::vector<std::uint8_t>(kNumStates, 0));
-
-  for (std::size_t t = 0; t < steps; ++t) {
-    std::fill(next_metric.begin(), next_metric.end(), kInf);
-    const double la = llrs[2 * t];
-    const double lb = llrs[2 * t + 1];
-    for (unsigned s = 0; s < kNumStates; ++s) {
-      if (metric[s] >= kInf) continue;
-      for (unsigned in = 0; in < 2; ++in) {
-        const Branch& br = kTrellis[s][in];
+  return viterbi_sweep(
+      llrs.size() / 2, kInf, terminated,
+      [&](std::size_t t, double (&ca)[2], double (&cb)[2]) {
         // Cost: correlation against the LLRs — a bit of 1 prefers a
         // positive LLR.  Add llr when the branch bit disagrees with its
         // sign (equivalent up to a constant to -sum(llr * (2*bit - 1))).
-        double cost = metric[s];
-        cost += br.a ? -la : la;
-        cost += br.b ? -lb : lb;
-        if (cost < next_metric[br.next]) {
-          next_metric[br.next] = cost;
-          survivor[t][br.next] = static_cast<std::uint8_t>(in);
-          pred[t][br.next] = static_cast<std::uint8_t>(s);
-        }
-      }
-    }
-    metric.swap(next_metric);
-  }
-
-  unsigned state = 0;
-  if (!terminated) {
-    double best = kInf;
-    for (unsigned s = 0; s < kNumStates; ++s) {
-      if (metric[s] < best) {
-        best = metric[s];
-        state = s;
-      }
-    }
-  }
-
-  common::Bits decoded(steps);
-  for (std::size_t t = steps; t-- > 0;) {
-    decoded[t] = survivor[t][state];
-    state = pred[t][state];
-  }
-  return decoded;
+        const double la = llrs[2 * t];
+        const double lb = llrs[2 * t + 1];
+        ca[0] = la;
+        ca[1] = -la;
+        cb[0] = lb;
+        cb[1] = -lb;
+      });
 }
 
 }  // namespace sledzig::wifi

@@ -20,15 +20,18 @@ common::CplxVec modulate_ofdm_symbol(std::span<const common::Cplx> data_points,
         common::Cplx(polarity * plan.pilot_values[i], 0.0);
   }
 
-  auto time = common::ifft(bins);
+  // In-place IFFT on the bins buffer (no temporary waveform copy).
+  common::fft_inplace(bins, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(plan.fft_size);
+  for (auto& s : bins) s *= inv_n;
   const double scale = plan.time_scale();
-  for (auto& s : time) s *= scale;
+  for (auto& s : bins) s *= scale;
 
   common::CplxVec symbol;
   symbol.reserve(plan.symbol_len());
-  symbol.insert(symbol.end(), time.end() - static_cast<long>(plan.cp_len),
-                time.end());
-  symbol.insert(symbol.end(), time.begin(), time.end());
+  symbol.insert(symbol.end(), bins.end() - static_cast<long>(plan.cp_len),
+                bins.end());
+  symbol.insert(symbol.end(), bins.begin(), bins.end());
   return symbol;
 }
 
@@ -48,9 +51,9 @@ common::CplxVec demodulate_ofdm_symbol(std::span<const common::Cplx> samples,
   if (channel.size() != plan.fft_size) {
     throw std::invalid_argument("demodulate_ofdm_symbol: bad channel size");
   }
-  common::CplxVec body(samples.begin() + static_cast<long>(plan.cp_len),
-                       samples.begin() + static_cast<long>(plan.symbol_len()));
-  common::fft_inplace(body, /*inverse=*/false);
+  common::CplxVec body;
+  common::fft_into(samples.subspan(plan.cp_len, plan.fft_size), body,
+                   /*inverse=*/false);
   const double scale = plan.time_scale();
   for (auto& b : body) b /= scale;
 

@@ -140,12 +140,9 @@ common::CplxVec estimate_channel(std::span<const common::Cplx> samples,
   // The two LTS bodies start half a body (guard) into the LTF.
   const std::size_t lts1 = ltf_start + n / 2;
   const std::size_t lts2 = lts1 + n;
-  common::CplxVec y1(samples.begin() + static_cast<long>(lts1),
-                     samples.begin() + static_cast<long>(lts1 + n));
-  common::CplxVec y2(samples.begin() + static_cast<long>(lts2),
-                     samples.begin() + static_cast<long>(lts2 + n));
-  common::fft_inplace(y1, /*inverse=*/false);
-  common::fft_inplace(y2, /*inverse=*/false);
+  common::CplxVec y1, y2;
+  common::fft_into(samples.subspan(lts1, n), y1, /*inverse=*/false);
+  common::fft_into(samples.subspan(lts2, n), y2, /*inverse=*/false);
 
   const auto& ref = ltf_reference_bins(width);
   common::CplxVec channel(n, common::Cplx(1.0, 0.0));
