@@ -179,7 +179,7 @@ void apply_quantization(common::CplxVec& x, const ImpairmentConfig& cfg) {
   if (full_scale <= 0.0) return;
   const double levels = static_cast<double>(1u << bits);
   const double step = 2.0 * full_scale / levels;
-  auto q = [&](double v) {
+  const auto q = [&](double v) {
     const double clamped = std::clamp(v, -full_scale, full_scale - step);
     return std::round(clamped / step) * step;
   };

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "common/fft.h"
 #include "common/rng.h"
@@ -108,7 +109,7 @@ common::CplxVec apply_impairments(std::span<const common::Cplx> samples,
 class ImpairmentChain {
  public:
   ImpairmentChain() = default;
-  explicit ImpairmentChain(ImpairmentConfig cfg) : cfg_(cfg) {}
+  explicit ImpairmentChain(ImpairmentConfig cfg) : cfg_(std::move(cfg)) {}
 
   const ImpairmentConfig& config() const { return cfg_; }
   ImpairmentConfig& config() { return cfg_; }

@@ -58,7 +58,9 @@ InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
 InbandOffsets measure_inband_offsets(const core::SledzigConfig& cfg,
                                      bool sledzig) {
   using Key = std::tuple<int, int, int, unsigned, std::size_t, bool>;
+  // lint: allow(static-state): memo for a pure function; guarded by mutex
   static std::mutex mutex;
+  // lint: allow(static-state): memo for a pure function; guarded by mutex
   static std::map<Key, InbandOffsets> cache;
   unsigned extra_mask = 0;
   for (core::OverlapChannel ch : cfg.extra_channels) {
@@ -67,12 +69,20 @@ InbandOffsets measure_inband_offsets(const core::SledzigConfig& cfg,
   const Key key{static_cast<int>(cfg.modulation), static_cast<int>(cfg.rate),
                 static_cast<int>(cfg.channel), extra_mask, cfg.forced_count(),
                 sledzig};
-  std::scoped_lock lock(mutex);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, measure_uncached(cfg, sledzig)).first;
+  {
+    std::scoped_lock lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
   }
-  return it->second;
+  // Miss: run the full transmit/measure pipeline with no lock held, so
+  // parallel sweeps hitting distinct configs do not serialize behind one
+  // another.  measure_uncached is a pure function of (cfg, sledzig); if two
+  // threads race on the same key they compute identical values and
+  // emplace keeps the first — determinism is unaffected, only a little
+  // duplicate work on a cold cache.
+  const InbandOffsets computed = measure_uncached(cfg, sledzig);
+  std::scoped_lock lock(mutex);
+  return cache.emplace(key, computed).first->second;
 }
 
 }  // namespace sledzig::coex

@@ -32,7 +32,9 @@ const FftPlan& FftPlan::get(std::size_t n) {
   }
   // One slot per log2(size); lock-free lookup once a plan exists.  Plans
   // stay reachable through the static slots, so they are not leaks.
+  // lint: allow(static-state): plan cache; atomic acquire/release + build mutex
   static std::array<std::atomic<const FftPlan*>, 32> slots{};
+  // lint: allow(static-state): guards first-build of each plan slot
   static std::mutex build_mutex;
   const unsigned lg = static_cast<unsigned>(std::countr_zero(n));
   if (lg >= slots.size()) {

@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -18,13 +21,26 @@ thread_local bool tl_in_batch = false;
 }  // namespace
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("SLEDZIG_THREADS")) {
+  // Read once, before any pool thread exists; nothing in the library writes
+  // the environment, so the mt-unsafe getenv cannot race here.
+  if (const char* env = std::getenv("SLEDZIG_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
+    errno = 0;
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+    // Accept only a fully-numeric value (trailing whitespace tolerated);
+    // anything else — garbage, empty, 0, negative, or out-of-range — falls
+    // back to the hardware default rather than a surprise pool size.
+    bool clean = end != env && errno != ERANGE;
+    for (const char* p = end; clean && *p != '\0'; ++p) {
+      clean = std::isspace(static_cast<unsigned char>(*p)) != 0;
+    }
+    if (clean && v >= 1) {
+      return std::min<std::size_t>(static_cast<std::size_t>(v),
+                                   kMaxThreadCount);
+    }
   }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  return hc == 0 ? 1 : std::min<std::size_t>(hc, kMaxThreadCount);
 }
 
 struct ThreadPool::Impl {
@@ -81,7 +97,8 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads)
-    : impl_(new Impl), num_workers_(num_threads == 0 ? 0 : num_threads - 1) {
+    : impl_(std::make_unique<Impl>()),
+      num_workers_(num_threads == 0 ? 0 : num_threads - 1) {
   impl_->workers.reserve(num_workers_);
   for (std::size_t i = 0; i < num_workers_; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
@@ -95,7 +112,6 @@ ThreadPool::~ThreadPool() {
   }
   impl_->wake.notify_all();
   for (auto& w : impl_->workers) w.join();
-  delete impl_;
 }
 
 void ThreadPool::for_each_index(std::size_t n,
@@ -152,6 +168,8 @@ void ThreadPool::for_each_index(std::size_t n,
 }
 
 ThreadPool& default_pool() {
+  // Magic-static init is thread-safe; the pool synchronises internally.
+  // lint: allow(static-state): process-wide default pool, created once
   static ThreadPool pool(default_thread_count());
   return pool;
 }

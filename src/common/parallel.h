@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -39,8 +40,15 @@ inline std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
   return a ^ (b << 1 | b >> 63);
 }
 
-/// Thread count the default pool uses: SLEDZIG_THREADS when set and >= 1,
-/// otherwise std::thread::hardware_concurrency() (min 1).
+/// Hard ceiling on the pool size.  SLEDZIG_THREADS=1000000 (or a hardware
+/// report gone wrong) must not try to spawn a million threads; oversized
+/// requests clamp here instead.
+inline constexpr std::size_t kMaxThreadCount = 256;
+
+/// Thread count the default pool uses: SLEDZIG_THREADS when it parses as a
+/// whole positive number (clamped to kMaxThreadCount), otherwise
+/// std::thread::hardware_concurrency() (min 1, same clamp).  Garbage, empty,
+/// zero, negative, or out-of-range values fall back to the hardware default.
 std::size_t default_thread_count();
 
 /// A small fixed-size worker pool executing index ranges.  The calling
@@ -68,7 +76,8 @@ class ThreadPool {
 
  private:
   struct Impl;
-  Impl* impl_;        // pimpl keeps <thread>/<condition_variable> out of line
+  // pimpl keeps <thread>/<condition_variable> out of line.
+  std::unique_ptr<Impl> impl_;
   std::size_t num_workers_;
 };
 

@@ -32,7 +32,7 @@ common::Bit known_tap_sum(const common::Bits& x, std::size_t step,
     if (step < i) continue;                      // before stream start: 0
     const std::size_t pos = step - i;
     if (x[pos] == kUnset) continue;
-    acc ^= (x[pos] & 1u);
+    acc = static_cast<common::Bit>(acc ^ (x[pos] & 1u));
   }
   return acc;
 }

@@ -127,7 +127,7 @@ void solve_cluster_positions(Cluster& cluster, std::size_t payload_begin,
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  auto candidate_index = [&](std::size_t pos) -> int {
+  const auto candidate_index = [&](std::size_t pos) -> int {
     const auto it = std::lower_bound(candidates.begin(), candidates.end(), pos);
     if (it == candidates.end() || *it != pos) return -1;
     return static_cast<int>(it - candidates.begin());

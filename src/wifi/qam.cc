@@ -128,7 +128,7 @@ std::vector<double> qam_demap_soft(common::Cplx point, Modulation m) {
   };
   static const auto tables = [] {
     std::array<std::vector<Entry>, 5> all;
-    for (auto mod : {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+    for (const auto mod : {Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
                      Modulation::kQam64, Modulation::kQam256}) {
       const std::size_t bits = bits_per_subcarrier(mod);
       auto& table = all[static_cast<std::size_t>(mod)];

@@ -40,7 +40,7 @@ std::optional<SyncResult> synchronise(std::span<const common::Cplx> samples,
   const std::size_t stride = std::max<std::size_t>(cfg.search_stride, 1);
   const std::size_t last = samples.size() - ref.size();
 
-  auto corr_at = [&](std::size_t t) {
+  const auto corr_at = [&](std::size_t t) {
     common::Cplx acc(0.0, 0.0);
     double e = 0.0;
     for (std::size_t i = 0; i < ref.size(); ++i) {
@@ -120,7 +120,7 @@ ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
 
   // Demodulate octet by octet: first the SFD + length (2 octets after the
   // preamble), then the PSDU.
-  auto demod_octets = [&](std::size_t octet_index,
+  const auto demod_octets = [&](std::size_t octet_index,
                           std::size_t count) -> std::optional<common::Bytes> {
     // Each octet = 2 symbols = 64 chips = 640 samples.
     const std::size_t start =

@@ -1,0 +1,248 @@
+// Concurrency stress harness for the `analysis` ctest label.
+//
+// These tests exist to be run under ThreadSanitizer (SLEDZIG_TSAN=ON): they
+// hammer every piece of shared mutable state in the library — the FFT plan
+// cache, the default thread pool, the in-band offset memo cache — from many
+// threads at once, and simultaneously assert that the results are
+// bit-identical to a serial run.  In a plain build they double as cheap
+// determinism/regression checks, so they run in tier-1 as well.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coex/inband.h"
+#include "common/fft.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "sledzig/significant_bits.h"
+
+namespace sledzig {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SLEDZIG_THREADS parsing hardening (satellite: garbage / 0 / negative /
+// huge values must clamp to a sane pool size, never UB).
+// ---------------------------------------------------------------------------
+
+class ThreadEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("SLEDZIG_THREADS");
+    if (prev != nullptr) saved_ = prev;
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      ::unsetenv("SLEDZIG_THREADS");
+    } else {
+      ::setenv("SLEDZIG_THREADS", saved_.c_str(), 1);
+    }
+  }
+  static std::size_t count_with(const char* value) {
+    ::setenv("SLEDZIG_THREADS", value, 1);
+    return common::default_thread_count();
+  }
+  static std::size_t hardware_default() {
+    ::unsetenv("SLEDZIG_THREADS");
+    return common::default_thread_count();
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST_F(ThreadEnvTest, ValidValuesAreHonoured) {
+  EXPECT_EQ(count_with("1"), 1u);
+  EXPECT_EQ(count_with("7"), 7u);
+  EXPECT_EQ(count_with("16"), 16u);
+  EXPECT_EQ(count_with("16\n"), 16u);  // trailing whitespace tolerated
+}
+
+TEST_F(ThreadEnvTest, HugeValuesClampToCeiling) {
+  EXPECT_EQ(count_with("1000000"), common::kMaxThreadCount);
+  // Out of long range entirely.
+  EXPECT_EQ(count_with("999999999999999999999999"), hardware_default());
+}
+
+TEST_F(ThreadEnvTest, GarbageFallsBackToHardwareDefault) {
+  const std::size_t fallback = hardware_default();
+  EXPECT_GE(fallback, 1u);
+  EXPECT_LE(fallback, common::kMaxThreadCount);
+  EXPECT_EQ(count_with(""), fallback);
+  EXPECT_EQ(count_with("abc"), fallback);
+  EXPECT_EQ(count_with("8abc"), fallback);  // partial parse rejected
+  EXPECT_EQ(count_with("0"), fallback);
+  EXPECT_EQ(count_with("-4"), fallback);
+  EXPECT_EQ(count_with("0x10"), fallback);
+}
+
+// ---------------------------------------------------------------------------
+// FFT plan cache: concurrent first-touch of every size, concurrent
+// transforms, and bit-identical results vs a serial run.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisStressTest, FftPlanCacheConcurrentFirstTouch) {
+  // Serial reference transforms, computed before the hammering so every
+  // thread races on plan construction for at least the larger sizes.
+  const std::vector<std::size_t> sizes{8, 16, 32, 64, 128, 256, 512, 1024};
+  std::vector<common::CplxVec> inputs;
+  inputs.reserve(sizes.size());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    common::Rng rng(common::derive_seed(0xff7a11, s));
+    common::CplxVec v(sizes[s]);
+    for (auto& c : v) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    inputs.push_back(std::move(v));
+  }
+  std::vector<common::CplxVec> reference;
+  reference.reserve(sizes.size());
+  for (const auto& v : inputs) reference.push_back(common::fft(v));
+
+  const unsigned n_threads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 16; ++rep) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+          const common::CplxVec out = common::fft(inputs[s]);
+          if (out != reference[s]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool: many submitter threads sharing the default pool, nested
+// parallel calls, and thread-count invariance of a mixed workload.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A deterministic per-index workload touching the FFT cache and RNG
+/// derivation — the same shape the Monte-Carlo sweeps have.
+double trial_value(std::uint64_t base_seed, std::size_t i) {
+  common::Rng rng(common::derive_seed(base_seed, i));
+  common::CplxVec v(64);
+  for (auto& c : v) c = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const common::CplxVec spec = common::fft(v);
+  double acc = 0.0;
+  for (const auto& c : spec) acc += std::norm(c);
+  return acc;
+}
+
+}  // namespace
+
+TEST(AnalysisStressTest, ParallelMapMatchesSerialForAnyThreadCount) {
+  constexpr std::size_t kTrials = 200;
+  constexpr std::uint64_t kSeed = 0x5eed;
+  common::ThreadPool serial(1);
+  const auto reference = common::parallel_map(
+      serial, kTrials, [&](std::size_t i) { return trial_value(kSeed, i); });
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    common::ThreadPool pool(threads);
+    const auto out = common::parallel_map(
+        pool, kTrials, [&](std::size_t i) { return trial_value(kSeed, i); });
+    EXPECT_EQ(out, reference) << "thread count " << threads;
+  }
+}
+
+TEST(AnalysisStressTest, ConcurrentSubmittersShareOnePool) {
+  // Multiple external threads queueing batches on one pool exercises the
+  // batch_in_flight hand-off path that a single-submitter run never hits.
+  common::ThreadPool pool(4);
+  constexpr std::size_t kTrials = 64;
+  const auto reference = [&] {
+    common::ThreadPool serial(1);
+    return common::parallel_map(serial, kTrials, [&](std::size_t i) {
+      return trial_value(0xabcd, i);
+    });
+  }();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto out = common::parallel_map(pool, kTrials, [&](std::size_t i) {
+          return trial_value(0xabcd, i);
+        });
+        if (out != reference) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(AnalysisStressTest, NestedParallelCallsStayDeterministic) {
+  common::ThreadPool pool(4);
+  const auto run = [&](common::ThreadPool& p) {
+    return common::parallel_map(p, 16, [&](std::size_t i) {
+      // Inner parallel_map degrades to a serial loop on the same thread.
+      const auto inner = common::parallel_map(p, 8, [&](std::size_t j) {
+        return trial_value(i, j);
+      });
+      double acc = 0.0;
+      for (const double v : inner) acc += v;
+      return acc;
+    });
+  };
+  common::ThreadPool serial(1);
+  EXPECT_EQ(run(pool), run(serial));
+}
+
+// ---------------------------------------------------------------------------
+// In-band offset memo cache: concurrent misses on identical and distinct
+// keys must neither race nor change the cached values.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisStressTest, InbandOffsetsCacheConcurrentAccess) {
+  std::vector<core::SledzigConfig> configs(4);
+  configs[0].channel = core::OverlapChannel::kCh1;
+  configs[1].channel = core::OverlapChannel::kCh2;
+  configs[2].channel = core::OverlapChannel::kCh3;
+  configs[3].channel = core::OverlapChannel::kCh4;
+
+  // Serial reference first — this also warms the cache for configs[0..3]
+  // with sledzig=true, so the threads below mix warm hits (same keys) with
+  // cold misses (sledzig=false) under contention.
+  std::vector<coex::InbandOffsets> reference;
+  reference.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    reference.push_back(coex::measure_inband_offsets(cfg, /*sledzig=*/true));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t s = 0; s < configs.size(); ++s) {
+        // Half the threads start on the cold (sledzig=false) keys.
+        const bool cold_first = (t % 2) == 0;
+        (void)coex::measure_inband_offsets(configs[s], !cold_first);
+        const auto warm =
+            coex::measure_inband_offsets(configs[s], /*sledzig=*/true);
+        if (warm.payload_offset_db != reference[s].payload_offset_db ||
+            warm.preamble_offset_db != reference[s].preamble_offset_db) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sledzig

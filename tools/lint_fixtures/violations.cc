@@ -1,0 +1,53 @@
+// Seeded violations for lint_determinism.py --self-test.  Every marked line
+// MUST be flagged (linted with the strict 'src' profile); the self-test
+// fails if any marker is missed or anything unmarked fires.  This file is
+// never compiled — it only has to look like C++ to the linter.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+unsigned banned_rng_sources() {
+  std::random_device rd;                         // expect: banned-rng
+  std::srand(42);                                // expect: banned-rng
+  unsigned x = static_cast<unsigned>(rand());    // expect: banned-rng
+  return x + rd();
+}
+
+double wall_clock_reads() {
+  const auto t0 = std::chrono::steady_clock::now();       // expect: wall-clock
+  const auto t1 = std::chrono::system_clock::now();       // expect: wall-clock
+  const std::time_t t2 = time(nullptr);                   // expect: wall-clock
+  const std::clock_t t3 = clock();                        // expect: wall-clock
+  return double(t2) + double(t3);
+}
+
+int unordered_on_result_path() {
+  std::unordered_map<int, double> acc;           // expect: unordered
+  double total = 0.0;
+  for (const auto& [k, v] : acc) total += v;
+  return static_cast<int>(total);
+}
+
+void raw_engines() {
+  std::mt19937 gen32(123);                       // expect: raw-engine
+  std::mt19937_64 gen64(456);                    // expect: raw-engine
+  std::default_random_engine eng(7);             // expect: raw-engine
+}
+
+void underived_seeds(std::uint64_t base, std::size_t i) {
+  Rng trial_rng(base + i);                       // expect: underived-seed
+  Rng xor_rng(base ^ i);                         // expect: underived-seed
+  common::Rng scaled(base * 31 + i);             // expect: underived-seed
+}
+
+int mutable_static_state() {
+  static int call_count = 0;                     // expect: static-state
+  static std::unordered_map<int, int> memo;      // expect: static-state, unordered
+  return ++call_count + static_cast<int>(memo.size());
+}
+
+}  // namespace fixture
