@@ -1,0 +1,92 @@
+// Machine-readable discrete-event engine benchmark: events/second versus
+// node count, written as JSON (default BENCH_sim.json, override with
+// argv[1]).  Committed snapshots let later PRs regress the event loop's
+// wall-time without re-reading bench logs.
+//
+// Each scenario is run twice and the trace digests compared, so a speed
+// fix can never silently trade the engine's determinism away.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+using namespace sledzig;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+sim::ScenarioConfig grid_scenario(std::size_t n_wifi, std::size_t n_zigbee) {
+  sim::ScenarioConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.seed = 9;
+  for (std::size_t i = 0; i < n_wifi; ++i) {
+    sim::WifiNodeConfig ap;
+    ap.tx = {2.0 * static_cast<double>(i), 0.0};
+    ap.rx = {2.0 * static_cast<double>(i), 3.0};
+    cfg.wifi.push_back(ap);
+  }
+  for (std::size_t j = 0; j < n_zigbee; ++j) {
+    sim::ZigbeeNodeConfig mote;
+    mote.tx = {1.0 + 2.0 * static_cast<double>(j), 4.0};
+    mote.rx = {1.0 + 2.0 * static_cast<double>(j), 5.0};
+    cfg.zigbee.push_back(mote);
+  }
+  return cfg;
+}
+
+struct Point {
+  std::size_t nodes;
+  double events_per_s;
+  std::uint64_t events;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const std::size_t counts[][2] = {{1, 1}, {2, 2}, {4, 4}, {8, 8}};
+  std::vector<Point> points;
+
+  for (const auto& c : counts) {
+    const auto cfg = grid_scenario(c[0], c[1]);
+    const auto warm = sim::run_scenario(cfg);  // warms allocator + tables
+
+    const auto t0 = Clock::now();
+    const auto r = sim::run_scenario(cfg);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    if (r.trace_digest != warm.trace_digest) {
+      std::fprintf(stderr, "FATAL: repeated run diverged at %zu+%zu nodes\n",
+                   c[0], c[1]);
+      return 1;
+    }
+    points.push_back({c[0] + c[1],
+                      static_cast<double>(r.events_processed) / s,
+                      r.events_processed});
+    std::printf("%2zu nodes: %8llu events, %10.0f events/s\n", c[0] + c[1],
+                static_cast<unsigned long long>(r.events_processed),
+                points.back().events_per_s);
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"duration_s\": 2.0,\n  \"deterministic\": true,\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "  \"nodes_%zu\": {\"events\": %llu, \"events_per_s\": "
+                 "%.0f}%s\n",
+                 points[i].nodes,
+                 static_cast<unsigned long long>(points[i].events),
+                 points[i].events_per_s,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

@@ -1,58 +1,85 @@
-// Smart-home coexistence scenario: a WiFi access point streams video next
-// to a ZigBee sensor network.  Sweeps the AP's distance and compares the
-// sensor network's delivery with and without SledZig — the Fig 4
-// motivation of the paper, end to end.
+// Multi-node smart-home coexistence, on the discrete-event engine: N WiFi
+// links contend with each other (CSMA backoff, energy-detect deferral)
+// while M ZigBee sensor pairs run 802.15.4 CSMA/CA against the actual
+// energy on the air.  Runs the whole scenario twice — normal WiFi vs
+// SledZig — and prints per-node PRR, throughput and airtime.
 //
-//   $ ./coexistence_sim [d_wz_metres]
+//   $ ./coexistence_sim [n_wifi] [n_zigbee] [d_wz_metres]
 #include <cstdio>
 #include <cstdlib>
 
-#include "coex/experiment.h"
+#include "sim/engine.h"
 
 using namespace sledzig;
-using coex::Scenario;
-using coex::Scheme;
 
 namespace {
 
-void report(const char* label, const mac::ZigbeeSimResult& r) {
-  std::printf("  %-22s %7.1f Kbps   sent %-5zu delivered %-5zu "
-              "CCA-dropped %zu\n",
-              label, r.throughput_kbps, r.packets_sent, r.packets_delivered,
-              r.packets_dropped_cca);
+sim::ScenarioConfig smart_home(int n_wifi, int n_zigbee, double d_wz,
+                               bool sledzig_on) {
+  sim::ScenarioConfig cfg;
+  cfg.sledzig.modulation = wifi::Modulation::kQam64;
+  cfg.sledzig.rate = wifi::CodingRate::kR23;
+  cfg.sledzig.channel = core::OverlapChannel::kCh4;  // ZigBee channel 26
+  cfg.sledzig_enabled = sledzig_on;
+  cfg.duration_s = 10.0;
+  cfg.seed = 7;
+
+  // WiFi APs along a wall, each serving a station 3 m into the room.
+  for (int i = 0; i < n_wifi; ++i) {
+    sim::WifiNodeConfig ap;
+    ap.tx = {2.0 * i, 0.0};
+    ap.rx = {2.0 * i, 3.0};
+    ap.traffic = {sim::TrafficKind::kSaturated, 0.0, 1.0};
+    cfg.wifi.push_back(ap);
+  }
+  // ZigBee sensor pairs across the room, d_wz metres from the wall.
+  for (int j = 0; j < n_zigbee; ++j) {
+    sim::ZigbeeNodeConfig mote;
+    mote.tx = {1.0 + 2.0 * j, d_wz};
+    mote.rx = {1.0 + 2.0 * j, d_wz + 1.0};
+    mote.traffic = {sim::TrafficKind::kCbr, 6346.0, 1.0};
+    cfg.zigbee.push_back(mote);
+  }
+  return cfg;
+}
+
+void report(const char* label, const sim::SimResult& r) {
+  std::printf("%s  (%llu events)\n", label,
+              static_cast<unsigned long long>(r.events_processed));
+  for (std::size_t i = 0; i < r.wifi.size(); ++i) {
+    const auto& s = r.wifi[i];
+    std::printf("  wifi[%zu]    %8.2f Mbps   PRR %.3f   airtime %4.1f%%   "
+                "sent %zu\n",
+                i, s.throughput_kbps / 1e3, s.prr,
+                s.airtime_fraction * 100.0, s.sent);
+  }
+  for (std::size_t j = 0; j < r.zigbee.size(); ++j) {
+    const auto& s = r.zigbee[j];
+    std::printf("  zigbee[%zu]  %8.2f Kbps   PRR %.3f   airtime %4.1f%%   "
+                "sent %zu  cca-drop %zu  queue-drop %zu\n",
+                j, s.throughput_kbps, s.prr, s.airtime_fraction * 100.0,
+                s.sent, s.cca_dropped, s.queue_dropped);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double d_wz = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const int n_wifi = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int n_zigbee = argc > 2 ? std::atoi(argv[2]) : 2;
+  const double d_wz = argc > 3 ? std::atof(argv[3]) : 4.0;
 
-  std::printf("Smart-home scenario: WiFi AP %.1f m from a ZigBee sensor "
-              "pair (d_Z = 1 m), saturated video traffic.\n\n", d_wz);
+  std::printf("Smart home: %d WiFi link(s) vs %d ZigBee pair(s), %.1f m "
+              "apart, 10 s simulated.\n"
+              "ZigBee interference-free ceiling ~63 Kbps per pair.\n\n",
+              n_wifi, n_zigbee, d_wz);
 
-  Scenario s;
-  s.sledzig.modulation = wifi::Modulation::kQam64;
-  s.sledzig.rate = wifi::CodingRate::kR23;
-  s.sledzig.channel = core::OverlapChannel::kCh4;  // ZigBee channel 26
-  s.d_wz_m = d_wz;
-  s.d_z_m = 1.0;
-  s.duration_s = 20.0;
+  report("normal WiFi",
+         sim::run_scenario(smart_home(n_wifi, n_zigbee, d_wz, false)));
+  std::printf("\n");
+  report("SledZig (QAM-64 2/3)",
+         sim::run_scenario(smart_home(n_wifi, n_zigbee, d_wz, true)));
 
-  std::printf("ZigBee sensor throughput (interference-free ceiling ~63 Kbps):\n");
-  s.scheme = Scheme::kNormalWifi;
-  report("normal WiFi", coex::run_throughput_experiment(s));
-  s.scheme = Scheme::kSledzig;
-  report("SledZig (QAM-64 2/3)", coex::run_throughput_experiment(s));
-
-  std::printf("\nWiFi cost of running SledZig:\n");
-  const double normal_mbps =
-      coex::wifi_throughput_mbps(s.sledzig, Scheme::kNormalWifi);
-  const double sled_mbps =
-      coex::wifi_throughput_mbps(s.sledzig, Scheme::kSledzig);
-  std::printf("  WiFi PHY throughput: %.1f -> %.1f Mbps (%.2f%% loss)\n",
-              normal_mbps, sled_mbps,
-              (normal_mbps - sled_mbps) / normal_mbps * 100.0);
-
-  std::printf("\nTry closer/farther APs: ./coexistence_sim 2.0\n");
+  std::printf("\nTry more nodes or closer APs: ./coexistence_sim 3 4 2.0\n");
   return 0;
 }

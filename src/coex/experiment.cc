@@ -12,7 +12,6 @@
 namespace sledzig::coex {
 
 mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s) {
-  const auto wifi_link = channel::wifi_link();
   const auto zigbee_link = channel::zigbee_link();
 
   mac::ZigbeeLinkBudget budget;
@@ -21,13 +20,22 @@ mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s) {
   budget.noise_dbm = channel::kNoiseFloor2MhzDbm;
   budget.cca_threshold_dbm = channel::kZigbeeCcaThresholdDbm;
 
-  const double wifi_total = wifi_link.received_power_dbm(
-      channel::wifi_tx_power_dbm(s.wifi_gain), s.d_wz_m);
-  const auto offsets =
-      measure_inband_offsets(s.sledzig, s.scheme == Scheme::kSledzig);
-  budget.wifi_payload_inband_dbm = wifi_total + offsets.payload_offset_db;
-  budget.wifi_preamble_inband_dbm = wifi_total + offsets.preamble_offset_db;
+  const auto inband =
+      wifi_inband_power(s.sledzig, s.scheme, s.wifi_gain, s.d_wz_m);
+  budget.wifi_payload_inband_dbm = inband.payload_dbm;
+  budget.wifi_preamble_inband_dbm = inband.preamble_dbm;
   return budget;
+}
+
+WifiInbandPower wifi_inband_power(const core::SledzigConfig& cfg,
+                                  Scheme scheme, double wifi_gain,
+                                  double distance_m) {
+  const double wifi_total = channel::wifi_link().received_power_dbm(
+      channel::wifi_tx_power_dbm(wifi_gain), distance_m);
+  const auto offsets =
+      measure_inband_offsets(cfg, scheme == Scheme::kSledzig);
+  return {wifi_total + offsets.payload_offset_db,
+          wifi_total + offsets.preamble_offset_db};
 }
 
 mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {

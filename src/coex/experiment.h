@@ -45,6 +45,19 @@ struct Scenario {
 /// the MAC simulation is run repeatedly with jittered budgets for spread).
 mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s);
 
+/// In-band WiFi interference inside the protected 2 MHz channel at
+/// `distance_m` from the WiFi transmitter: total received power folded
+/// through the PHY-measured offsets for the payload (reduced under
+/// SledZig) and the always-full-power preamble, in dBm.  Shared by the
+/// closed-form MAC experiment and the discrete-event engine (src/sim).
+struct WifiInbandPower {
+  double payload_dbm = 0.0;
+  double preamble_dbm = 0.0;
+};
+WifiInbandPower wifi_inband_power(const core::SledzigConfig& cfg,
+                                  Scheme scheme, double wifi_gain,
+                                  double distance_m);
+
 /// Runs the MAC-level coexistence simulation.
 mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s);
 

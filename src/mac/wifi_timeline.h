@@ -1,10 +1,15 @@
-// WiFi transmission timeline for the coexistence simulation.
+// WiFi MAC for the coexistence simulation, in two forms:
 //
-// In every scenario of the paper the ZigBee signal at the WiFi device is
-// 20-30 dB below the 802.11 energy-detect threshold (Fig 17), so the WiFi
-// transmitter never defers to ZigBee and its channel activity can be
-// generated up-front: bursts of [preamble+SIGNAL | payload] separated by
-// DIFS, contention backoff and (for duty ratios < 1) queue idle time.
+//  * WifiTimeline — the paper's closed-form generator.  In every scenario
+//    of the paper the ZigBee signal at the WiFi device is 20-30 dB below
+//    the 802.11 energy-detect threshold (Fig 17), so a single WiFi
+//    transmitter never defers and its channel activity can be generated
+//    up-front: bursts of [preamble+SIGNAL | payload] separated by DIFS,
+//    contention backoff and (for duty ratios < 1) queue idle time.
+//
+//  * WifiCsmaMachine — the event-driven promotion of the same MAC for the
+//    multi-node discrete-event engine (src/sim), where several WiFi nodes
+//    contend and energy-detect deferral actually matters.
 #pragma once
 
 #include <vector>
@@ -28,6 +33,74 @@ struct WifiBurst {
   double start_us = 0.0;         // preamble start
   double payload_start_us = 0.0; // preamble end
   double end_us = 0.0;
+};
+
+/// Event-driven 802.11 CSMA state machine, advanced by an external
+/// discrete-event scheduler (src/sim).  Where WifiTimeline pre-generates a
+/// whole schedule assuming a single unopposed transmitter, this machine
+/// reacts to what the shared medium actually does: it defers behind other
+/// transmissions it can hear (energy detect), freezes its backoff when the
+/// medium turns busy mid-countdown, and resumes with the remaining slots —
+/// so WiFi/WiFi contention emerges from the timeline instead of being
+/// assumed away.
+///
+/// The machine owns protocol state and its own backoff RNG; the scheduler
+/// owns time and the medium.  Every transition returns a `Step` telling the
+/// scheduler what to do next: arm a timer, start transmitting now, or wait
+/// for a medium notification.  Timers invalidated by a medium transition
+/// must be discarded by the caller (the sim engine uses a per-node token).
+class WifiCsmaMachine {
+ public:
+  struct Step {
+    enum class Kind {
+      kNone,     ///< nothing to schedule (idle or waiting for medium_idle)
+      kTimerAt,  ///< call timer_fired() at time `at`
+      kTransmit, ///< begin the frame's transmission now
+    };
+    Kind kind = Kind::kNone;
+    double at = 0.0;
+  };
+
+  WifiCsmaMachine(const WifiMacParams& params, std::uint64_t seed);
+
+  /// A frame reached the head of the queue while the machine was idle.
+  /// `medium_busy_now` is the scheduler's energy-detect verdict at `now`.
+  Step frame_ready(double now, bool medium_busy_now);
+
+  /// The armed timer fired (and was not invalidated): DIFS + backoff
+  /// completed on an idle medium, so the frame transmits.
+  Step timer_fired(double now);
+
+  /// An audible transmission started at `now`.  Freezes the countdown,
+  /// keeping the slots not yet consumed.  If the countdown was due to
+  /// complete exactly at `now`, the machine transmits anyway — two nodes
+  /// picking the same slot collide instead of politely serialising.
+  Step medium_busy(double now);
+
+  /// A transmission ended and the medium is idle at this node: resume
+  /// DIFS + remaining slots if frozen.  If the countdown is running (the
+  /// ended transmission was inaudible here), re-arms the countdown timer —
+  /// callers invalidate all pending timers on every notification.
+  Step medium_idle(double now);
+
+  /// The transmission completed; the machine returns to idle.
+  void tx_done();
+
+  bool idle() const { return state_ == State::kIdle; }
+  /// Backoff slots not yet consumed (test hook for the freeze semantics).
+  unsigned slots_left() const { return slots_left_; }
+
+ private:
+  enum class State { kIdle, kWaitIdle, kDefer, kTx };
+
+  Step start_defer(double now);
+
+  WifiMacParams params_;
+  common::Rng rng_;
+  State state_ = State::kIdle;
+  double wait_start_ = 0.0;  // when the current DIFS+backoff wait began
+  double defer_until_ = 0.0; // when the armed countdown completes
+  unsigned slots_left_ = 0;
 };
 
 class WifiTimeline {

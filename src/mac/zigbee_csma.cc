@@ -27,6 +27,56 @@ double zigbee_frame_airtime_us(std::size_t payload_octets) {
   return zigbee::frame_duration_us(payload_octets);
 }
 
+ZigbeeCsmaMachine::ZigbeeCsmaMachine(const ZigbeeMacParams& params,
+                                     std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::begin_csma(double now) {
+  nb_ = 0;
+  be_ = std::min(params_.min_be, params_.max_be);
+  return schedule_cca(now);
+}
+
+ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::schedule_cca(double now) {
+  const auto slots =
+      rng_.uniform_int(0, (std::int64_t{1} << be_) - 1);
+  awaiting_ = Awaiting::kCca;
+  return {Step::Kind::kCcaEndAt,
+          now + static_cast<double>(slots) * params_.backoff_period_us +
+              params_.cca_us};
+}
+
+ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::frame_ready(double now) {
+  retries_left_ = params_.max_frame_retries;
+  return begin_csma(now);
+}
+
+ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::cca_result(double now, bool busy) {
+  if (!busy) {
+    awaiting_ = Awaiting::kTxStart;
+    return {Step::Kind::kTxStartAt, now + params_.turnaround_us};
+  }
+  ++nb_;
+  be_ = std::min(be_ + 1, params_.max_be);
+  if (nb_ > params_.max_backoffs) {
+    awaiting_ = Awaiting::kNone;
+    return {Step::Kind::kDropCca, now};
+  }
+  return schedule_cca(now);
+}
+
+void ZigbeeCsmaMachine::tx_started() { awaiting_ = Awaiting::kNone; }
+
+ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::tx_done(double now,
+                                                   bool delivered) {
+  if (!delivered && retries_left_ > 0) {
+    --retries_left_;
+    return begin_csma(now);
+  }
+  awaiting_ = Awaiting::kNone;
+  return {};
+}
+
 namespace {
 
 /// Per-simulation precomputation: the link budget and error model are fixed
@@ -145,9 +195,10 @@ ZigbeeSimResult simulate_zigbee_link(const WifiTimeline& wifi,
     t += mac.processing_us;
     ++result.packets_attempted;
 
-    // Unslotted CSMA/CA.
+    // Unslotted CSMA/CA.  BE starts clamped into [macMinBE, macMaxBE]
+    // (802.15.4 6.2.5.1; a misconfigured macMinBE > macMaxBE clamps down).
     unsigned nb = 0;
-    unsigned be = mac.min_be;
+    unsigned be = std::min(mac.min_be, mac.max_be);
     bool channel_clear = false;
     while (t < duration) {
       const auto slots = rng.uniform_int(0, (1 << be) - 1);

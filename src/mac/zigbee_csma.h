@@ -19,9 +19,13 @@ struct ZigbeeMacParams {
   double backoff_period_us = 320.0;  // aUnitBackoffPeriod
   double cca_us = 128.0;             // 8 symbols
   double turnaround_us = 192.0;      // aTurnaroundTime
-  unsigned min_be = 3;
-  unsigned max_be = 5;
-  unsigned max_backoffs = 4;
+  unsigned min_be = 3;       // macMinBE
+  unsigned max_be = 5;       // macMaxBE
+  unsigned max_backoffs = 4; // macMaxCSMABackoffs
+  /// macMaxFrameRetries: CSMA re-runs after a frame is transmitted but not
+  /// delivered.  0 matches the paper's open-loop accounting (no ACKs); the
+  /// event-driven machine honours any value.
+  unsigned max_frame_retries = 0;
   std::size_t payload_octets = 50;
   /// Per-packet application overhead (serial link to the host etc.) that
   /// limits the paper's interference-free throughput to ~63 Kbps:
@@ -74,6 +78,66 @@ struct SymbolErrorModel {
   /// Probability the whole frame is lost because the signal sits at or
   /// below the receiver sensitivity.
   double sensitivity_loss_prob(double signal_dbm, double sensitivity_dbm) const;
+};
+
+/// Event-driven 802.15.4 unslotted CSMA/CA state machine, advanced by an
+/// external discrete-event scheduler (src/sim).  The machine owns protocol
+/// state (NB, BE, retries) and the backoff RNG; the scheduler owns time and
+/// answers each CCA from the actual power on the medium.  Unlike the WiFi
+/// machine, this one never listens between CCAs — unslotted CSMA/CA is
+/// oblivious to the medium outside its 8-symbol windows.
+///
+/// 802.15.4 boundary behaviour (6.2.5.1): BE is clamped to
+/// [macMinBE, macMaxBE] at every step (including a misconfigured
+/// macMinBE > macMaxBE, which clamps down to macMaxBE), and channel access
+/// fails once NB exceeds macMaxCSMABackoffs — i.e. after exactly
+/// macMaxCSMABackoffs + 1 busy CCAs.
+class ZigbeeCsmaMachine {
+ public:
+  struct Step {
+    enum class Kind {
+      kNone,      ///< machine is idle (frame finished or dropped)
+      kCcaEndAt,  ///< evaluate CCA over [at - cca_us, at] and call cca_result
+      kTxStartAt, ///< turnaround ends at `at`: start transmitting then
+      kDropCca,   ///< channel-access failure (NB exceeded macMaxCSMABackoffs)
+    };
+    Kind kind = Kind::kNone;
+    double at = 0.0;
+  };
+
+  /// What the next timer_fired-style callback should be, for dispatch.
+  enum class Awaiting { kNone, kCca, kTxStart };
+
+  ZigbeeCsmaMachine(const ZigbeeMacParams& params, std::uint64_t seed);
+
+  /// A frame reached the head of the queue: start CSMA/CA round 1.
+  Step frame_ready(double now);
+
+  /// CCA verdict for the window that ended at `now`.
+  Step cca_result(double now, bool busy);
+
+  /// The turnaround timer fired; the caller starts the transmission.
+  void tx_started();
+
+  /// Transmission finished.  Returns a retry Step (re-entering CSMA) when
+  /// the frame was lost and retries remain, kNone otherwise.
+  Step tx_done(double now, bool delivered);
+
+  Awaiting awaiting() const { return awaiting_; }
+  unsigned backoff_exponent() const { return be_; }  // test hooks
+  unsigned backoffs() const { return nb_; }
+  unsigned retries_left() const { return retries_left_; }
+
+ private:
+  Step begin_csma(double now);
+  Step schedule_cca(double now);
+
+  ZigbeeMacParams params_;
+  common::Rng rng_;
+  Awaiting awaiting_ = Awaiting::kNone;
+  unsigned nb_ = 0;
+  unsigned be_ = 0;
+  unsigned retries_left_ = 0;
 };
 
 struct ZigbeeSimResult {

@@ -1,0 +1,77 @@
+#include "sim/arbiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace sledzig::sim {
+
+Arbiter::Arbiter(ArbiterTables tables) : tables_(std::move(tables)) {}
+
+std::uint32_t Arbiter::begin_tx(std::uint32_t node, NodeKind kind,
+                                double start_us, double payload_start_us,
+                                double end_us) {
+  const auto id = static_cast<std::uint32_t>(txs_.size());
+  txs_.push_back(
+      Transmission{node, kind, start_us, payload_start_us, end_us, true});
+  active_.push_back(id);
+  max_duration_us_ = std::max(max_duration_us_, end_us - start_us);
+  return id;
+}
+
+void Arbiter::end_tx(std::uint32_t tx_id) {
+  txs_[tx_id].active = false;
+  active_.erase(std::remove(active_.begin(), active_.end(), tx_id),
+                active_.end());
+}
+
+bool Arbiter::busy_at(std::uint32_t listener, double t_us) const {
+  for (const auto id : active_) {
+    const auto& x = txs_[id];
+    if (x.node == listener) continue;
+    if (!audible(listener, x.node)) continue;
+    if (x.start_us <= t_us && t_us < x.end_us) return true;
+  }
+  return false;
+}
+
+std::pair<std::size_t, std::size_t> Arbiter::overlap_range(
+    double t0_us, double t1_us) const {
+  // Starts are sorted but ends are not (transmissions overlap), so scan
+  // back by the longest duration seen: any transmission overlapping t0
+  // must have started within that window.
+  const double lo_start = t0_us - max_duration_us_;
+  const auto lo = std::lower_bound(
+      txs_.begin(), txs_.end(), lo_start,
+      [](const Transmission& x, double t) { return x.start_us < t; });
+  const auto hi = std::upper_bound(
+      lo, txs_.end(), t1_us,
+      [](double t, const Transmission& x) { return t < x.start_us; });
+  return {static_cast<std::size_t>(lo - txs_.begin()),
+          static_cast<std::size_t>(hi - txs_.begin())};
+}
+
+bool Arbiter::zigbee_cca_busy(std::uint32_t listener, double t0_us,
+                              double t1_us) const {
+  const double window = t1_us - t0_us;
+  if (window <= 0.0) return false;
+  double energy = 0.0;  // mW * us
+  const auto [lo, hi] = overlap_range(t0_us, t1_us);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& x = txs_[i];
+    if (x.node == listener) continue;
+    const auto& p = cca_power(listener, x.node);
+    const double pre =
+        std::max(0.0, std::min(t1_us, x.payload_start_us) -
+                          std::max(t0_us, x.start_us));
+    const double pay = std::max(
+        0.0, std::min(t1_us, x.end_us) - std::max(t0_us, x.payload_start_us));
+    energy += pre * p.preamble_mw + pay * p.payload_mw;
+  }
+  const double avg_dbm =
+      common::mw_to_dbm(energy / window + tables_.cca_noise_mw[listener]);
+  return avg_dbm >= tables_.cca_threshold_dbm[listener];
+}
+
+}  // namespace sledzig::sim

@@ -1,0 +1,673 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "channel/pathloss.h"
+#include "coex/experiment.h"
+#include "common/units.h"
+#include "sim/arbiter.h"
+#include "sim/event_queue.h"
+#include "sim/traffic.h"
+#include "sledzig/encoder.h"
+#include "wifi/phy_params.h"
+#include "zigbee/cc2420.h"
+#include "zigbee/chips.h"
+
+namespace sledzig::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest = (digest ^ (value & 0xffu)) * kFnvPrime;
+    value >>= 8;
+  }
+  return digest;
+}
+
+/// Everything one run owns.  Constructed per call, so run_scenario holds
+/// no global state and replications can fan out freely.
+class Engine {
+ public:
+  explicit Engine(const ScenarioConfig& cfg);
+  SimResult run();
+
+ private:
+  struct WifiNode {
+    WifiNodeConfig cfg;
+    mac::WifiCsmaMachine machine;
+    TrafficSource traffic;
+    std::deque<double> queue;  // arrival times of queued frames
+    std::uint64_t token = 0;
+    bool serving = false;  // a frame is between frame_ready and completion
+    NodeStats stats;
+    double burst_us = 0.0;
+    double bits_per_frame = 0.0;
+    double signal_mw = 0.0;  // own frame's power at the served station
+  };
+
+  struct ZigbeeNode {
+    ZigbeeNodeConfig cfg;
+    mac::ZigbeeCsmaMachine machine;
+    TrafficSource traffic;
+    common::Rng delivery_rng;
+    std::deque<double> queue;
+    std::uint64_t token = 0;
+    bool serving = false;
+    NodeStats stats;
+    double airtime_us = 0.0;  // frame duration
+    double bits_per_frame = 0.0;
+    double signal_mw = 0.0;
+    double sensitivity_loss = 0.0;
+    double p_err_idle = 0.0;
+  };
+
+  std::uint32_t global(std::size_t wifi_i) const {
+    return static_cast<std::uint32_t>(wifi_i);
+  }
+  std::uint32_t global_z(std::size_t zig_j) const {
+    return static_cast<std::uint32_t>(num_wifi_ + zig_j);
+  }
+
+  void trace(double t, std::uint32_t node, TraceType type,
+             std::int32_t aux = 0);
+  void push_arrival(std::uint32_t node, double t);
+  void push_timer(std::uint32_t node, double t, std::uint64_t token);
+
+  void on_arrival(std::uint32_t node, double t);
+  void on_wifi_timer(std::size_t i, double t);
+  void on_zigbee_timer(std::size_t j, double t);
+  void on_tx_end(std::uint32_t tx_id, double t);
+
+  void apply_wifi_step(std::size_t i, mac::WifiCsmaMachine::Step step,
+                       double now);
+  void apply_zigbee_step(std::size_t j, mac::ZigbeeCsmaMachine::Step step,
+                         double now);
+  void serve_next(std::uint32_t node, double t);
+  void start_wifi_tx(std::size_t i, double now);
+  void start_zigbee_tx(std::size_t j, double now);
+  void notify_busy(std::uint32_t tx_node, double now);
+  void notify_idle(double now);
+
+  bool wifi_frame_delivered(std::size_t i, const Transmission& tx) const;
+  bool zigbee_frame_delivered(std::size_t j, const Transmission& tx);
+
+  double perr(std::size_t zig_j, std::uint32_t tx_node, bool preamble) const {
+    return perr_[(zig_j * num_nodes_ + tx_node) * 2 + (preamble ? 1 : 0)];
+  }
+
+  ScenarioConfig cfg_;
+  double duration_us_;
+  std::size_t num_wifi_;
+  std::size_t num_zigbee_;
+  std::size_t num_nodes_;
+  std::vector<WifiNode> wifi_;
+  std::vector<ZigbeeNode> zigbee_;
+  std::vector<double> perr_;  // M x N x {payload, preamble segment}
+  double noise20_mw_;
+  Arbiter arbiter_;
+  EventQueue queue_;
+  std::uint64_t digest_ = kFnvOffset;
+  std::uint64_t events_ = 0;
+  std::vector<TraceEvent> trace_;
+};
+
+Engine::Engine(const ScenarioConfig& cfg)
+    : cfg_(cfg),
+      duration_us_(cfg.duration_s * 1e6),
+      num_wifi_(cfg.wifi.size()),
+      num_zigbee_(cfg.zigbee.size()),
+      num_nodes_(num_wifi_ + num_zigbee_),
+      noise20_mw_(common::dbm_to_mw(channel::kNoiseFloor20MhzDbm)),
+      arbiter_(ArbiterTables{}) {
+  if (!(cfg_.duration_s > 0.0)) {
+    throw std::invalid_argument("ScenarioConfig: duration_s must be > 0");
+  }
+  if (cfg_.queue_capacity < 1) {
+    throw std::invalid_argument("ScenarioConfig: queue_capacity must be >= 1");
+  }
+
+  const coex::Scheme scheme =
+      cfg_.sledzig_enabled ? coex::Scheme::kSledzig : coex::Scheme::kNormalWifi;
+  const double impair_penalty_db = cfg_.impairment.snr_penalty_db();
+
+  // --- nodes, their machines and RNG streams (all index-derived) ---
+  wifi_.reserve(num_wifi_);
+  for (std::size_t i = 0; i < num_wifi_; ++i) {
+    const auto& nc = cfg_.wifi[i];
+    const std::uint64_t g = global(i);
+    const double burst = nc.mac.preamble_us + nc.mac.airtime_us;
+    const double csma_gap =
+        nc.mac.difs_us +
+        nc.mac.slot_us * static_cast<double>(nc.mac.cw - 1) / 2.0;
+    double bits = static_cast<double>(wifi::data_bits_per_symbol(
+                      cfg_.sledzig.modulation, cfg_.sledzig.rate)) *
+                  (nc.mac.airtime_us / wifi::kSymbolDurationUs);
+    if (cfg_.sledzig_enabled) bits *= 1.0 - core::throughput_loss(cfg_.sledzig);
+    wifi_.push_back(WifiNode{
+        nc,
+        mac::WifiCsmaMachine(nc.mac, common::derive_seed(cfg_.seed, 4 * g)),
+        TrafficSource(nc.traffic, burst, csma_gap,
+                      common::derive_seed(cfg_.seed, 4 * g + 2)),
+        {},
+        0,
+        false,
+        {},
+        burst,
+        bits,
+        0.0});
+  }
+  zigbee_.reserve(num_zigbee_);
+  for (std::size_t j = 0; j < num_zigbee_; ++j) {
+    const auto& nc = cfg_.zigbee[j];
+    const std::uint64_t g = global_z(j);
+    const double airtime = mac::zigbee_frame_airtime_us(nc.mac.payload_octets);
+    zigbee_.push_back(ZigbeeNode{
+        nc,
+        mac::ZigbeeCsmaMachine(nc.mac, common::derive_seed(cfg_.seed, 4 * g)),
+        TrafficSource(nc.traffic, airtime, 0.0,
+                      common::derive_seed(cfg_.seed, 4 * g + 2)),
+        common::Rng(common::derive_seed(cfg_.seed, 4 * g + 1)),
+        {},
+        0,
+        false,
+        {},
+        airtime,
+        static_cast<double>(nc.mac.payload_octets) * 8.0,
+        0.0,
+        0.0,
+        0.0});
+  }
+
+  // --- power tables: every transmitter heard at every listening point ---
+  // Point p in [0, N) is node p's transmitter position (CCA); point N + p
+  // is its receiver position (delivery).  One lognormal shadowing draw per
+  // (point, transmitter) path, in fixed iteration order.
+  common::Rng shadow_rng(
+      common::derive_seed(cfg_.seed, 4 * num_nodes_ + 3));
+  const auto wifi_link = channel::wifi_link();
+  const auto zigbee_link = channel::zigbee_link();
+  ArbiterTables tables;
+  tables.num_nodes = num_nodes_;
+  tables.power.resize(2 * num_nodes_ * num_nodes_);
+  tables.audible.assign(num_nodes_ * num_nodes_, 0);
+  tables.cca_noise_mw.resize(num_nodes_);
+  tables.cca_threshold_dbm.resize(num_nodes_);
+
+  for (std::size_t p = 0; p < 2 * num_nodes_; ++p) {
+    const std::size_t listener = p % num_nodes_;
+    const bool rx_point = p >= num_nodes_;
+    Position pos;
+    if (listener < num_wifi_) {
+      pos = rx_point ? cfg_.wifi[listener].rx : cfg_.wifi[listener].tx;
+    } else {
+      const auto& z = cfg_.zigbee[listener - num_wifi_];
+      pos = rx_point ? z.rx : z.tx;
+    }
+    const bool listener_is_wifi = listener < num_wifi_;
+    for (std::size_t t = 0; t < num_nodes_; ++t) {
+      const double jitter = shadow_rng.gaussian(cfg_.shadowing_sigma_db);
+      SegmentPower sp;
+      if (t == listener && !rx_point) {
+        // A node never interferes with its own CCA; leave 0.
+        tables.power[p * num_nodes_ + t] = sp;
+        continue;
+      }
+      if (t < num_wifi_) {
+        const auto& w = cfg_.wifi[t];
+        const double d = distance_m(w.tx, pos);
+        if (listener_is_wifi) {
+          // Full-band energy: payload and preamble carry the same total
+          // power (SledZig redistributes within the band, it does not
+          // shed power).
+          const double total =
+              wifi_link.received_power_dbm(
+                  channel::wifi_tx_power_dbm(w.usrp_gain), d) +
+              jitter;
+          sp.payload_mw = common::dbm_to_mw(total);
+          sp.preamble_mw = sp.payload_mw;
+        } else {
+          // 2 MHz slice through the PHY-measured offsets: the SledZig
+          // payload is 20+ dB down, the preamble never is.
+          const auto inband =
+              coex::wifi_inband_power(cfg_.sledzig, scheme, w.usrp_gain, d);
+          sp.payload_mw = common::dbm_to_mw(inband.payload_dbm + jitter);
+          sp.preamble_mw = common::dbm_to_mw(inband.preamble_dbm + jitter);
+        }
+      } else {
+        const auto& z = cfg_.zigbee[t - num_wifi_];
+        const double d = distance_m(z.tx, pos);
+        // A 2 MHz ZigBee frame fits inside either measurement band at
+        // full received power.
+        const double total =
+            zigbee_link.received_power_dbm(zigbee::tx_power_dbm(z.gain), d) +
+            jitter;
+        sp.payload_mw = common::dbm_to_mw(total);
+        sp.preamble_mw = sp.payload_mw;
+      }
+      tables.power[p * num_nodes_ + t] = sp;
+    }
+  }
+
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    const bool is_wifi = n < num_wifi_;
+    tables.cca_noise_mw[n] = common::dbm_to_mw(
+        is_wifi ? channel::kNoiseFloor20MhzDbm : channel::kNoiseFloor2MhzDbm);
+    tables.cca_threshold_dbm[n] = is_wifi ? channel::kWifiCcaThresholdDbm
+                                          : channel::kZigbeeCcaThresholdDbm;
+    const double threshold_mw =
+        common::dbm_to_mw(tables.cca_threshold_dbm[n]);
+    for (std::size_t t = 0; t < num_nodes_; ++t) {
+      if (t == n) continue;
+      // Energy-detect audibility (WiFi listeners defer on this; ZigBee
+      // listeners use the averaged-energy CCA instead).
+      tables.audible[n * num_nodes_ + t] =
+          tables.power[n * num_nodes_ + t].payload_mw >= threshold_mw ? 1 : 0;
+    }
+  }
+
+  // --- own-link budgets and cached per-interferer symbol error probs ---
+  for (std::size_t i = 0; i < num_wifi_; ++i) {
+    wifi_[i].signal_mw =
+        tables.power[(num_nodes_ + i) * num_nodes_ + i].payload_mw;
+  }
+  const double noise2_mw = common::dbm_to_mw(channel::kNoiseFloor2MhzDbm);
+  perr_.assign(num_zigbee_ * num_nodes_ * 2, 0.0);
+  for (std::size_t j = 0; j < num_zigbee_; ++j) {
+    auto& zn = zigbee_[j];
+    const std::size_t g = global_z(j);
+    const double signal_dbm =
+        common::mw_to_dbm(
+            tables.power[(num_nodes_ + g) * num_nodes_ + g].payload_mw) -
+        impair_penalty_db;
+    zn.signal_mw = common::dbm_to_mw(signal_dbm);
+    zn.sensitivity_loss = cfg_.error_model.sensitivity_loss_prob(
+        signal_dbm, zn.cfg.sensitivity_dbm);
+    const auto p_err = [&](double interference_mw, bool preamble) {
+      const double sinr_db = common::linear_to_db(
+          zn.signal_mw / (interference_mw + noise2_mw));
+      return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
+    };
+    zn.p_err_idle = p_err(0.0, false);
+    for (std::size_t t = 0; t < num_nodes_; ++t) {
+      if (t == g) continue;
+      const auto& sp = tables.power[(num_nodes_ + g) * num_nodes_ + t];
+      // The "preamble" shape of the error model is calibrated for the
+      // bursty WiFi preamble; a ZigBee interferer's whole frame behaves
+      // like payload.
+      const bool wifi_tx = t < num_wifi_;
+      perr_[(j * num_nodes_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
+      perr_[(j * num_nodes_ + t) * 2 + 1] = p_err(sp.preamble_mw, wifi_tx);
+    }
+  }
+
+  arbiter_ = Arbiter(std::move(tables));
+}
+
+void Engine::trace(double t, std::uint32_t node, TraceType type,
+                   std::int32_t aux) {
+  digest_ = fnv_mix(digest_, std::bit_cast<std::uint64_t>(t));
+  digest_ = fnv_mix(digest_,
+                    (static_cast<std::uint64_t>(node) << 40) |
+                        (static_cast<std::uint64_t>(type) << 32) |
+                        static_cast<std::uint32_t>(aux));
+  if (cfg_.record_trace) trace_.push_back(TraceEvent{t, node, type, aux});
+}
+
+void Engine::push_arrival(std::uint32_t node, double t) {
+  if (t < duration_us_) queue_.push(t, EventType::kArrival, node);
+}
+
+void Engine::push_timer(std::uint32_t node, double t, std::uint64_t token) {
+  if (t < duration_us_) queue_.push(t, EventType::kTimer, node, token);
+}
+
+void Engine::apply_wifi_step(std::size_t i, mac::WifiCsmaMachine::Step step,
+                             double now) {
+  using Kind = mac::WifiCsmaMachine::Step::Kind;
+  switch (step.kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kTimerAt:
+      push_timer(global(i), step.at, wifi_[i].token);
+      break;
+    case Kind::kTransmit:
+      start_wifi_tx(i, now);
+      break;
+  }
+}
+
+void Engine::apply_zigbee_step(std::size_t j,
+                               mac::ZigbeeCsmaMachine::Step step,
+                               double now) {
+  using Kind = mac::ZigbeeCsmaMachine::Step::Kind;
+  auto& n = zigbee_[j];
+  const std::uint32_t g = global_z(j);
+  switch (step.kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kCcaEndAt:
+    case Kind::kTxStartAt:
+      push_timer(g, step.at, n.token);
+      break;
+    case Kind::kDropCca:
+      ++n.stats.cca_dropped;
+      trace(now, g, TraceType::kCcaDrop,
+            static_cast<std::int32_t>(n.machine.backoffs()));
+      n.queue.pop_front();
+      n.serving = false;
+      serve_next(g, now);
+      break;
+  }
+}
+
+void Engine::serve_next(std::uint32_t node, double t) {
+  if (node < num_wifi_) {
+    auto& n = wifi_[node];
+    if (!n.queue.empty()) {
+      n.serving = true;
+      ++n.token;
+      apply_wifi_step(node, n.machine.frame_ready(t, arbiter_.busy_at(node, t)),
+                      t);
+    } else if (n.traffic.completion_clocked()) {
+      push_arrival(node, n.traffic.next_after(t));
+    }
+  } else {
+    const std::size_t j = node - num_wifi_;
+    auto& n = zigbee_[j];
+    if (!n.queue.empty()) {
+      n.serving = true;
+      ++n.token;
+      apply_zigbee_step(j, n.machine.frame_ready(t), t);
+    } else if (n.traffic.completion_clocked()) {
+      push_arrival(node, n.traffic.next_after(t));
+    }
+  }
+}
+
+void Engine::on_arrival(std::uint32_t node, double t) {
+  auto& stats =
+      node < num_wifi_ ? wifi_[node].stats : zigbee_[node - num_wifi_].stats;
+  auto& queue =
+      node < num_wifi_ ? wifi_[node].queue : zigbee_[node - num_wifi_].queue;
+  auto& traffic = node < num_wifi_ ? wifi_[node].traffic
+                                   : zigbee_[node - num_wifi_].traffic;
+  const bool serving =
+      node < num_wifi_ ? wifi_[node].serving : zigbee_[node - num_wifi_].serving;
+
+  ++stats.arrivals;
+  trace(t, node, TraceType::kArrival);
+  if (!traffic.completion_clocked()) {
+    push_arrival(node, traffic.next_after(t));
+  }
+  if (queue.size() >= cfg_.queue_capacity) {
+    ++stats.queue_dropped;
+    trace(t, node, TraceType::kQueueDrop);
+    return;
+  }
+  queue.push_back(t);
+  if (!serving) serve_next(node, t);
+}
+
+void Engine::on_wifi_timer(std::size_t i, double t) {
+  auto& n = wifi_[i];
+  ++n.token;
+  apply_wifi_step(i, n.machine.timer_fired(t), t);
+}
+
+void Engine::on_zigbee_timer(std::size_t j, double t) {
+  auto& n = zigbee_[j];
+  const std::uint32_t g = global_z(j);
+  switch (n.machine.awaiting()) {
+    case mac::ZigbeeCsmaMachine::Awaiting::kCca: {
+      const bool busy =
+          arbiter_.zigbee_cca_busy(g, t - n.cfg.mac.cca_us, t);
+      trace(t, g, busy ? TraceType::kCcaBusy : TraceType::kCcaClear,
+            static_cast<std::int32_t>(n.machine.backoffs()));
+      ++n.token;
+      apply_zigbee_step(j, n.machine.cca_result(t, busy), t);
+      break;
+    }
+    case mac::ZigbeeCsmaMachine::Awaiting::kTxStart:
+      ++n.token;
+      start_zigbee_tx(j, t);
+      break;
+    case mac::ZigbeeCsmaMachine::Awaiting::kNone:
+      break;  // unreachable with valid tokens
+  }
+}
+
+void Engine::start_wifi_tx(std::size_t i, double now) {
+  auto& n = wifi_[i];
+  const std::uint32_t g = global(i);
+  ++n.stats.sent;
+  n.stats.airtime_us += n.burst_us;
+  trace(now, g, TraceType::kTxStart);
+  const std::uint32_t tx_id =
+      arbiter_.begin_tx(g, NodeKind::kWifi, now, now + n.cfg.mac.preamble_us,
+                        now + n.burst_us);
+  queue_.push(now + n.burst_us, EventType::kTxEnd, g, 0, tx_id);
+  notify_busy(g, now);
+}
+
+void Engine::start_zigbee_tx(std::size_t j, double now) {
+  auto& n = zigbee_[j];
+  const std::uint32_t g = global_z(j);
+  n.machine.tx_started();
+  ++n.stats.sent;
+  n.stats.airtime_us += n.airtime_us;
+  trace(now, g, TraceType::kTxStart);
+  const std::uint32_t tx_id =
+      arbiter_.begin_tx(g, NodeKind::kZigbee, now, now, now + n.airtime_us);
+  queue_.push(now + n.airtime_us, EventType::kTxEnd, g, 0, tx_id);
+  notify_busy(g, now);
+}
+
+void Engine::notify_busy(std::uint32_t tx_node, double now) {
+  // Only WiFi nodes carrier-sense between their own transmissions;
+  // unslotted 802.15.4 is oblivious outside its CCA windows.
+  for (std::size_t w = 0; w < num_wifi_; ++w) {
+    const auto g = global(w);
+    if (g == tx_node || !arbiter_.audible(g, tx_node)) continue;
+    ++wifi_[w].token;
+    apply_wifi_step(w, wifi_[w].machine.medium_busy(now), now);
+  }
+}
+
+void Engine::notify_idle(double now) {
+  for (std::size_t w = 0; w < num_wifi_; ++w) {
+    const auto g = global(w);
+    if (arbiter_.busy_at(g, now)) continue;
+    ++wifi_[w].token;
+    apply_wifi_step(w, wifi_[w].machine.medium_idle(now), now);
+  }
+}
+
+bool Engine::wifi_frame_delivered(std::size_t i, const Transmission& tx) const {
+  const auto& n = wifi_[i];
+  const std::uint32_t g = global(i);
+  const auto [lo, hi] = arbiter_.overlap_range(tx.start_us, tx.end_us);
+  for (std::size_t k = lo; k < hi; ++k) {
+    const auto& x = arbiter_.tx(static_cast<std::uint32_t>(k));
+    if (x.node == g) continue;
+    const auto& sp = arbiter_.rx_power(g, x.node);
+    const bool pre_overlap =
+        std::min(tx.end_us, x.payload_start_us) >
+        std::max(tx.start_us, x.start_us);
+    const bool pay_overlap =
+        std::min(tx.end_us, x.end_us) > std::max(tx.start_us, x.payload_start_us);
+    const double worst_mw = std::max(pre_overlap ? sp.preamble_mw : 0.0,
+                                     pay_overlap ? sp.payload_mw : 0.0);
+    if (worst_mw <= 0.0) continue;
+    const double sinr_db =
+        common::linear_to_db(n.signal_mw / (worst_mw + noise20_mw_));
+    if (sinr_db < cfg_.wifi_capture_sinr_db) return false;
+  }
+  return true;
+}
+
+bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
+  auto& n = zigbee_[j];
+  const std::uint32_t g = global_z(j);
+  // Frame-level sensitivity cliff (CC2420 practical sensitivity).
+  if (n.delivery_rng.uniform() < n.sensitivity_loss) return false;
+
+  const double symbol_us = zigbee::kSymbolDurationUs;
+  const auto num_symbols =
+      static_cast<std::size_t>((tx.end_us - tx.start_us) / symbol_us);
+  const auto [lo, hi] = arbiter_.overlap_range(tx.start_us, tx.end_us);
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    const double s0 = tx.start_us + static_cast<double>(s) * symbol_us;
+    const double s1 = s0 + symbol_us;
+    // Worst interferer over this symbol (same precedence as the
+    // closed-form model: a payload segment displaces a preamble hit only
+    // at strictly higher power).
+    double worst_mw = 0.0;
+    bool preamble_seg = false;
+    std::uint32_t worst_tx = UINT32_MAX;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto& x = arbiter_.tx(static_cast<std::uint32_t>(k));
+      if (x.node == g) continue;
+      const auto& sp = arbiter_.rx_power(g, x.node);
+      if (std::min(s1, x.payload_start_us) > std::max(s0, x.start_us) &&
+          sp.preamble_mw > worst_mw) {
+        worst_mw = sp.preamble_mw;
+        preamble_seg = true;
+        worst_tx = x.node;
+      }
+      if (std::min(s1, x.end_us) > std::max(s0, x.payload_start_us) &&
+          sp.payload_mw > worst_mw) {
+        worst_mw = sp.payload_mw;
+        preamble_seg = false;
+        worst_tx = x.node;
+      }
+    }
+    const double p =
+        worst_tx == UINT32_MAX ? n.p_err_idle : perr(j, worst_tx, preamble_seg);
+    if (n.delivery_rng.uniform() < p) return false;
+  }
+  return true;
+}
+
+void Engine::on_tx_end(std::uint32_t tx_id, double t) {
+  const Transmission tx = arbiter_.tx(tx_id);
+  arbiter_.end_tx(tx_id);
+  if (tx.kind == NodeKind::kWifi) {
+    const std::size_t i = tx.node;
+    auto& n = wifi_[i];
+    const bool ok = wifi_frame_delivered(i, tx);
+    if (ok) ++n.stats.delivered;
+    trace(t, tx.node, ok ? TraceType::kTxDelivered : TraceType::kTxLost);
+    n.machine.tx_done();
+    ++n.token;
+    n.queue.pop_front();
+    n.serving = false;
+    serve_next(tx.node, t);
+  } else {
+    const std::size_t j = tx.node - num_wifi_;
+    auto& n = zigbee_[j];
+    const bool ok = zigbee_frame_delivered(j, tx);
+    if (ok) ++n.stats.delivered;
+    trace(t, tx.node, ok ? TraceType::kTxDelivered : TraceType::kTxLost);
+    ++n.token;
+    const auto step = n.machine.tx_done(t, ok);
+    if (step.kind != mac::ZigbeeCsmaMachine::Step::Kind::kNone) {
+      ++n.stats.retries;
+      trace(t, tx.node, TraceType::kRetry,
+            static_cast<std::int32_t>(n.machine.retries_left()));
+      apply_zigbee_step(j, step, t);
+    } else {
+      n.queue.pop_front();
+      n.serving = false;
+      serve_next(tx.node, t);
+    }
+  }
+  notify_idle(t);
+}
+
+SimResult Engine::run() {
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    auto& traffic =
+        n < num_wifi_ ? wifi_[n].traffic : zigbee_[n - num_wifi_].traffic;
+    push_arrival(static_cast<std::uint32_t>(n), traffic.first_arrival());
+  }
+
+  while (!queue_.empty()) {
+    const Event e = queue_.pop();
+    ++events_;
+    switch (e.type) {
+      case EventType::kArrival:
+        on_arrival(e.node, e.time_us);
+        break;
+      case EventType::kTimer: {
+        const std::uint64_t current = e.node < num_wifi_
+                                          ? wifi_[e.node].token
+                                          : zigbee_[e.node - num_wifi_].token;
+        if (e.token != current) break;  // invalidated by a later transition
+        if (e.node < num_wifi_) {
+          on_wifi_timer(e.node, e.time_us);
+        } else {
+          on_zigbee_timer(e.node - num_wifi_, e.time_us);
+        }
+        break;
+      }
+      case EventType::kTxEnd:
+        on_tx_end(e.tx_id, e.time_us);
+        break;
+    }
+  }
+
+  SimResult result;
+  result.events_processed = events_;
+  result.trace_digest = digest_;
+  result.trace = std::move(trace_);
+  const auto finalize = [&](NodeStats& s, double bits_per_frame) {
+    s.airtime_fraction = s.airtime_us / duration_us_;
+    s.prr = s.sent > 0
+                ? static_cast<double>(s.delivered) / static_cast<double>(s.sent)
+                : 0.0;
+    s.throughput_kbps =
+        static_cast<double>(s.delivered) * bits_per_frame / duration_us_ * 1e3;
+  };
+  result.wifi.reserve(num_wifi_);
+  for (auto& n : wifi_) {
+    finalize(n.stats, n.bits_per_frame);
+    result.wifi.push_back(n.stats);
+  }
+  result.zigbee.reserve(num_zigbee_);
+  for (auto& n : zigbee_) {
+    finalize(n.stats, n.bits_per_frame);
+    result.zigbee.push_back(n.stats);
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult run_scenario(const ScenarioConfig& config) {
+  return Engine(config).run();
+}
+
+std::vector<SimResult> run_replications(common::ThreadPool& pool,
+                                        const ScenarioConfig& config,
+                                        std::size_t replications) {
+  return common::parallel_map(pool, replications, [&](std::size_t rep) {
+    ScenarioConfig c = config;
+    c.seed = common::derive_seed(config.seed, rep);
+    return run_scenario(c);
+  });
+}
+
+std::vector<SimResult> run_replications(const ScenarioConfig& config,
+                                        std::size_t replications) {
+  return run_replications(common::default_pool(), config, replications);
+}
+
+}  // namespace sledzig::sim

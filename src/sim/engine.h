@@ -1,0 +1,83 @@
+// Discrete-event multi-node coexistence engine.
+//
+// A ScenarioConfig goes in; a deterministic timeline of arrivals, CCAs,
+// deferrals, transmissions and deliveries comes out.  The scheduler
+// (src/sim/event_queue.h) advances the event-driven MAC state machines in
+// src/mac; the airtime arbiter (src/sim/arbiter.h) resolves concurrent
+// transmissions through the calibrated path-loss model and the
+// PHY-measured in-band offsets, so CCA outcomes and capture are driven by
+// actual received power — including SledZig's reduced in-band payload.
+//
+// Determinism contract: run_scenario is a pure function of its config
+// (seed included).  Event order is fixed by the (time, sequence) queue
+// key, every RNG stream is derived per node with common::derive_seed, and
+// replication fan-out is index-addressed — so results are bit-identical
+// across repeated runs and for any SLEDZIG_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "sim/scenario.h"
+
+namespace sledzig::sim {
+
+enum class TraceType : std::uint8_t {
+  kArrival = 0,   ///< traffic source delivered a frame
+  kQueueDrop,     ///< FIFO full, frame discarded
+  kCcaClear,      ///< ZigBee CCA found the channel idle (aux = NB)
+  kCcaBusy,       ///< ZigBee CCA found the channel busy (aux = NB)
+  kCcaDrop,       ///< channel-access failure after macMaxCSMABackoffs + 1
+  kTxStart,       ///< frame on air
+  kTxDelivered,   ///< frame evaluated clean at its receiver
+  kTxLost,        ///< frame corrupted (SINR) or below sensitivity
+  kRetry,         ///< frame lost, CSMA re-entered (macMaxFrameRetries)
+};
+
+struct TraceEvent {
+  double time_us = 0.0;
+  std::uint32_t node = 0;  ///< global index: WiFi nodes first, then ZigBee
+  TraceType type = TraceType::kArrival;
+  std::int32_t aux = 0;
+};
+
+struct NodeStats {
+  std::size_t arrivals = 0;
+  std::size_t queue_dropped = 0;
+  std::size_t cca_dropped = 0;
+  std::size_t sent = 0;       ///< transmissions put on air (retries included)
+  std::size_t delivered = 0;  ///< clean at the receiver
+  std::size_t retries = 0;
+  double airtime_us = 0.0;
+  double airtime_fraction = 0.0;
+  double prr = 0.0;              ///< delivered / sent
+  double throughput_kbps = 0.0;  ///< delivered payload bits / duration
+};
+
+struct SimResult {
+  std::vector<NodeStats> wifi;
+  std::vector<NodeStats> zigbee;
+  std::uint64_t events_processed = 0;
+  /// FNV-1a over every state transition of the run.  Two runs are
+  /// bit-identical iff their digests match, whether or not the full trace
+  /// was recorded.
+  std::uint64_t trace_digest = 0;
+  std::vector<TraceEvent> trace;  ///< populated when config.record_trace
+};
+
+/// Runs one scenario to completion.
+SimResult run_scenario(const ScenarioConfig& config);
+
+/// Runs `replications` independent copies of the scenario with seeds
+/// derive_seed(config.seed, rep), fanned out over the pool into
+/// index-addressed slots: bit-identical for any thread count.
+std::vector<SimResult> run_replications(common::ThreadPool& pool,
+                                        const ScenarioConfig& config,
+                                        std::size_t replications);
+
+/// Same, over the process-wide default pool (SLEDZIG_THREADS).
+std::vector<SimResult> run_replications(const ScenarioConfig& config,
+                                        std::size_t replications);
+
+}  // namespace sledzig::sim

@@ -1,0 +1,62 @@
+// Deterministic event scheduler for the discrete-event coexistence engine.
+//
+// Events pop in (time, insertion sequence) order: two events at the same
+// instant dequeue in the order they were pushed, on every platform and for
+// every thread count.  That sequence key is what makes whole-run event
+// traces bit-identical — std::priority_queue alone leaves equal-time
+// ordering to heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace sledzig::sim {
+
+enum class EventType : std::uint8_t {
+  kArrival,  ///< the node's traffic source delivers a frame
+  kTimer,    ///< a MAC state-machine timer (validated against the node token)
+  kTxEnd,    ///< a transmission leaves the air; delivery is evaluated
+};
+
+struct Event {
+  double time_us = 0.0;
+  std::uint64_t seq = 0;    ///< global insertion order: deterministic ties
+  EventType type = EventType::kArrival;
+  std::uint32_t node = 0;   ///< owning node (global index)
+  std::uint64_t token = 0;  ///< staleness guard for kTimer
+  std::uint32_t tx_id = 0;  ///< ledger id for kTxEnd
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.seq > b.seq;
+  }
+};
+
+/// Min-heap on (time_us, seq).
+class EventQueue {
+ public:
+  void push(double time_us, EventType type, std::uint32_t node,
+            std::uint64_t token = 0, std::uint32_t tx_id = 0) {
+    heap_.push(Event{time_us, next_seq_++, type, node, token, tx_id});
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  /// Total events ever pushed (monotone; used for run accounting).
+  std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sledzig::sim

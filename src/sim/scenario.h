@@ -1,0 +1,100 @@
+// One struct describes a full multi-node coexistence experiment: node
+// placements, traffic loads, SledZig on/off, impairments, duration, seed.
+//
+// The engine (src/sim/engine.h) turns a ScenarioConfig into a timeline:
+// every CCA verdict, deferral and packet overlap follows from the actual
+// received power between the placed nodes, so the paper's headline effects
+// (more ZigBee transmission opportunities, fewer corrupted packets under
+// SledZig) emerge from the event sequence instead of closed-form loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/impairments.h"
+#include "channel/pathloss.h"
+#include "mac/wifi_timeline.h"
+#include "mac/zigbee_csma.h"
+#include "sledzig/significant_bits.h"
+
+namespace sledzig::sim {
+
+/// Planar placement in metres (the paper's 10 m x 15 m office).
+struct Position {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// Euclidean distance, floored at 10 cm — the log-distance path-loss model
+/// diverges for co-located nodes.
+double distance_m(const Position& a, const Position& b);
+
+enum class TrafficKind : std::uint8_t {
+  kSaturated,  ///< always backlogged: next frame arrives at completion
+  kCbr,        ///< open loop, fixed inter-arrival `interval_us`
+  kPoisson,    ///< open loop, exponential inter-arrival, mean `interval_us`
+  kDutyCycle,  ///< closed loop: idle gaps sized to hit `duty_ratio` airtime
+};
+
+struct TrafficConfig {
+  TrafficKind kind = TrafficKind::kSaturated;
+  /// kCbr period / kPoisson mean, microseconds.
+  double interval_us = 10000.0;
+  /// kDutyCycle target airtime fraction in (0, 1] (Fig 16's traffic ratio).
+  double duty_ratio = 1.0;
+};
+
+/// One WiFi transmitter and the station it serves.
+struct WifiNodeConfig {
+  Position tx{};
+  Position rx{};
+  double usrp_gain = 15.0;  // maps to dBm via channel::wifi_tx_power_dbm
+  mac::WifiMacParams mac{};
+  TrafficConfig traffic{};
+};
+
+/// One ZigBee transmitter/receiver pair.
+struct ZigbeeNodeConfig {
+  Position tx{};
+  Position rx{};
+  unsigned gain = 31;  // CC2420 PA level
+  double sensitivity_dbm = -85.0;
+  mac::ZigbeeMacParams mac{};
+  TrafficConfig traffic{TrafficKind::kCbr, 6346.0, 1.0};
+};
+
+struct ScenarioConfig {
+  std::vector<WifiNodeConfig> wifi;
+  std::vector<ZigbeeNodeConfig> zigbee;
+  /// Modulation / rate / protected channel the WiFi nodes use; the
+  /// protected 2 MHz window is the one the ZigBee nodes occupy.
+  core::SledzigConfig sledzig{};
+  bool sledzig_enabled = true;
+  /// RF impairment chain, folded into link budgets as its first-order SNR
+  /// penalty (same treatment as coex::run_throughput_experiment).
+  channel::ImpairmentConfig impairment{};
+  mac::SymbolErrorModel error_model{};
+  double shadowing_sigma_db = channel::kShadowingSigmaDb;
+  /// Minimum SINR at a WiFi receiver below which an overlapped WiFi frame
+  /// is lost (simple capture model for WiFi/WiFi collisions).
+  double wifi_capture_sinr_db = 10.0;
+  /// Per-node FIFO depth; arrivals beyond it are counted as queue drops.
+  std::size_t queue_capacity = 64;
+  double duration_s = 10.0;
+  std::uint64_t seed = 1;
+  /// Record the full per-transition trace in SimResult (the run digest is
+  /// always computed, trace or not).
+  bool record_trace = false;
+};
+
+/// The paper's Fig 14-16 testbed as a two-node ScenarioConfig: one WiFi
+/// link at `d_wz_m` from a ZigBee pair spaced `d_z_m`, the WiFi node
+/// loaded at `wifi_duty_ratio` and the ZigBee mote running the paper's
+/// ~63 Kbps closed-loop source.
+ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
+                                       bool sledzig_on,
+                                       double wifi_duty_ratio, double d_wz_m,
+                                       double d_z_m, double duration_s,
+                                       std::uint64_t seed);
+
+}  // namespace sledzig::sim

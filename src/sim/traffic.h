@@ -1,0 +1,48 @@
+// Deterministic traffic generators for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/scenario.h"
+
+namespace sledzig::sim {
+
+/// Arrival process for one node.  Open-loop kinds (CBR, Poisson) are
+/// arrival-clocked: each arrival schedules the next, independent of how
+/// the MAC is doing — queues grow and drop under outage.  Closed-loop
+/// kinds (saturated, duty-cycle) are completion-clocked: the next frame
+/// appears relative to the previous frame's completion, which is how the
+/// paper's sources behave.
+///
+/// All randomness comes from the per-node seed, so the process is a pure
+/// function of (config, seed).
+class TrafficSource {
+ public:
+  /// `burst_us` is the node's on-air time per frame and `csma_gap_us` its
+  /// mean channel-access overhead; kDutyCycle uses both to size the idle
+  /// gap that hits the target airtime fraction.
+  TrafficSource(const TrafficConfig& cfg, double burst_us,
+                double csma_gap_us, std::uint64_t seed);
+
+  bool completion_clocked() const {
+    return cfg_.kind == TrafficKind::kSaturated ||
+           cfg_.kind == TrafficKind::kDutyCycle;
+  }
+
+  /// Time of the run's first arrival.
+  double first_arrival();
+
+  /// Open loop: next arrival after the arrival at `now`.
+  /// Closed loop: next arrival after the completion at `now`.
+  double next_after(double now);
+
+ private:
+  double gap();
+
+  TrafficConfig cfg_;
+  double mean_idle_us_ = 0.0;  // kDutyCycle queue-idle mean
+  common::Rng rng_;
+};
+
+}  // namespace sledzig::sim

@@ -207,5 +207,191 @@ TEST(ZigbeeCsma, FrameAirtimeMatchesPhy) {
   EXPECT_NEAR(zigbee_frame_airtime_us(100), 3456.0, 1e-9);
 }
 
+// --- event-driven machines (the src/sim promotion) ---
+
+TEST(ZigbeeCsmaMachine, InitialBackoffExponentIsMacMinBE) {
+  ZigbeeMacParams p;  // min_be 3, max_be 5
+  ZigbeeCsmaMachine m(p, 42);
+  const auto step = m.frame_ready(0.0);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  EXPECT_EQ(m.backoff_exponent(), 3u);
+  // First CCA ends within [cca, (2^3 - 1) * backoff + cca].
+  EXPECT_GE(step.at, p.cca_us);
+  EXPECT_LE(step.at, 7.0 * p.backoff_period_us + p.cca_us);
+}
+
+TEST(ZigbeeCsmaMachine, BackoffExponentClampsToMacMaxBE) {
+  ZigbeeMacParams p;
+  p.max_backoffs = 10;  // enough busy rounds to hit the ceiling
+  ZigbeeCsmaMachine m(p, 43);
+  double t = 0.0;
+  auto step = m.frame_ready(t);
+  // BE sequence on busy CCAs: 3, 4, 5, 5, 5, ... (clamped, never 6).
+  for (unsigned round = 0; round < 6; ++round) {
+    t = step.at;
+    step = m.cca_result(t, /*busy=*/true);
+    ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+    EXPECT_EQ(m.backoff_exponent(), std::min(3u + round + 1, 5u));
+  }
+}
+
+TEST(ZigbeeCsmaMachine, MisconfiguredMinBEAboveMaxBEClampsDown) {
+  // 802.15.4 6.2.5.1: BE lives in [macMinBE, macMaxBE]; a config with
+  // macMinBE > macMaxBE must not start above the ceiling.
+  ZigbeeMacParams p;
+  p.min_be = 7;
+  p.max_be = 5;
+  ZigbeeCsmaMachine m(p, 44);
+  const auto step = m.frame_ready(0.0);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  EXPECT_EQ(m.backoff_exponent(), 5u);
+  m.cca_result(step.at, /*busy=*/true);
+  EXPECT_EQ(m.backoff_exponent(), 5u);
+}
+
+TEST(ZigbeeCsmaMachine, DropsAfterExactlyMaxBackoffsPlusOneBusyCcas) {
+  ZigbeeMacParams p;  // max_backoffs 4
+  ZigbeeCsmaMachine m(p, 45);
+  double t = 0.0;
+  auto step = m.frame_ready(t);
+  // Busy CCAs 1..4 keep retrying; the 5th (== macMaxCSMABackoffs + 1)
+  // declares channel-access failure.
+  for (unsigned cca = 1; cca <= p.max_backoffs; ++cca) {
+    t = step.at;
+    step = m.cca_result(t, /*busy=*/true);
+    ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt)
+        << "busy CCA " << cca;
+  }
+  step = m.cca_result(step.at, /*busy=*/true);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kDropCca);
+  EXPECT_EQ(m.awaiting(), ZigbeeCsmaMachine::Awaiting::kNone);
+}
+
+TEST(ZigbeeCsmaMachine, ZeroMaxBackoffsDropsOnFirstBusyCca) {
+  ZigbeeMacParams p;
+  p.max_backoffs = 0;
+  ZigbeeCsmaMachine m(p, 46);
+  const auto cca = m.frame_ready(0.0);
+  const auto step = m.cca_result(cca.at, /*busy=*/true);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kDropCca);
+}
+
+TEST(ZigbeeCsmaMachine, ClearCcaLeadsToTurnaroundThenTx) {
+  ZigbeeMacParams p;
+  ZigbeeCsmaMachine m(p, 47);
+  const auto cca = m.frame_ready(0.0);
+  const auto step = m.cca_result(cca.at, /*busy=*/false);
+  ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kTxStartAt);
+  EXPECT_DOUBLE_EQ(step.at, cca.at + p.turnaround_us);
+  EXPECT_EQ(m.awaiting(), ZigbeeCsmaMachine::Awaiting::kTxStart);
+  m.tx_started();
+  const auto done = m.tx_done(step.at + 1856.0, /*delivered=*/true);
+  EXPECT_EQ(done.kind, ZigbeeCsmaMachine::Step::Kind::kNone);
+}
+
+TEST(ZigbeeCsmaMachine, LostFrameRetriesThroughFreshCsma) {
+  ZigbeeMacParams p;
+  p.max_frame_retries = 2;
+  ZigbeeCsmaMachine m(p, 48);
+  auto step = m.frame_ready(0.0);
+  step = m.cca_result(step.at, false);
+  m.tx_started();
+  // Loss 1 and 2 re-enter CSMA (with NB and BE reset); loss 3 gives up.
+  step = m.tx_done(step.at + 1856.0, /*delivered=*/false);
+  ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  EXPECT_EQ(m.backoff_exponent(), 3u);
+  EXPECT_EQ(m.retries_left(), 1u);
+  step = m.cca_result(step.at, false);
+  m.tx_started();
+  step = m.tx_done(step.at + 1856.0, false);
+  ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  step = m.cca_result(step.at, false);
+  m.tx_started();
+  step = m.tx_done(step.at + 1856.0, false);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kNone);
+}
+
+WifiCsmaMachine wifi_machine_with_slots(unsigned min_slots,
+                                        const WifiMacParams& p) {
+  // Seed-hunt for a first backoff draw with at least `min_slots` slots —
+  // deterministic, and keeps the tests independent of the RNG mapping.
+  for (std::uint64_t seed = 1;; ++seed) {
+    WifiCsmaMachine m(p, seed);
+    if (m.frame_ready(0.0, false).kind == WifiCsmaMachine::Step::Kind::kTimerAt &&
+        m.slots_left() >= min_slots) {
+      return m;
+    }
+  }
+}
+
+TEST(WifiCsmaMachine, IdleMediumArmsDifsPlusBackoffTimer) {
+  WifiMacParams p;
+  WifiCsmaMachine fresh(p, 1);
+  const auto step = fresh.frame_ready(0.0, false);
+  ASSERT_EQ(step.kind, WifiCsmaMachine::Step::Kind::kTimerAt);
+  EXPECT_DOUBLE_EQ(step.at,
+                   p.difs_us + p.slot_us * static_cast<double>(fresh.slots_left()));
+  EXPECT_EQ(fresh.timer_fired(step.at).kind,
+            WifiCsmaMachine::Step::Kind::kTransmit);
+}
+
+TEST(WifiCsmaMachine, FreezeKeepsUnconsumedSlots) {
+  WifiMacParams p;  // difs 28, slot 9
+  WifiCsmaMachine m = wifi_machine_with_slots(3, p);
+  const unsigned s0 = m.slots_left();
+  // Medium turns busy 1.5 slots into the countdown: exactly 1 whole slot
+  // was consumed; the partial slot and the DIFS are repeated on resume.
+  const double busy_at = p.difs_us + 1.5 * p.slot_us;
+  EXPECT_EQ(m.medium_busy(busy_at).kind, WifiCsmaMachine::Step::Kind::kNone);
+  EXPECT_EQ(m.slots_left(), s0 - 1);
+  const auto resume = m.medium_idle(5000.0);
+  ASSERT_EQ(resume.kind, WifiCsmaMachine::Step::Kind::kTimerAt);
+  EXPECT_DOUBLE_EQ(resume.at,
+                   5000.0 + p.difs_us + p.slot_us * static_cast<double>(s0 - 1));
+}
+
+TEST(WifiCsmaMachine, BusyDuringDifsConsumesNoSlots) {
+  WifiMacParams p;
+  WifiCsmaMachine m = wifi_machine_with_slots(2, p);
+  const unsigned s0 = m.slots_left();
+  m.medium_busy(p.difs_us / 2.0);
+  EXPECT_EQ(m.slots_left(), s0);
+}
+
+TEST(WifiCsmaMachine, SameSlotNotificationCollidesInsteadOfDeferring) {
+  // Another node's transmission starting exactly when this countdown
+  // completes means both picked the same slot: this node transmits too.
+  WifiMacParams p;
+  WifiCsmaMachine m = wifi_machine_with_slots(1, p);
+  const double defer_until =
+      p.difs_us + p.slot_us * static_cast<double>(m.slots_left());
+  EXPECT_EQ(m.medium_busy(defer_until).kind,
+            WifiCsmaMachine::Step::Kind::kTransmit);
+}
+
+TEST(WifiCsmaMachine, IdleNotificationMidCountdownRearmsSameDeadline) {
+  // An inaudible transmission ending elsewhere must not disturb a running
+  // countdown — but the engine invalidates timers on every notification,
+  // so the machine re-arms the same deadline.
+  WifiMacParams p;
+  WifiCsmaMachine m = wifi_machine_with_slots(2, p);
+  const double defer_until =
+      p.difs_us + p.slot_us * static_cast<double>(m.slots_left());
+  const auto rearm = m.medium_idle(defer_until / 2.0);
+  ASSERT_EQ(rearm.kind, WifiCsmaMachine::Step::Kind::kTimerAt);
+  EXPECT_DOUBLE_EQ(rearm.at, defer_until);
+  EXPECT_EQ(m.timer_fired(rearm.at).kind,
+            WifiCsmaMachine::Step::Kind::kTransmit);
+}
+
+TEST(WifiCsmaMachine, WaitsWhenMediumBusyAtFrameReady) {
+  WifiMacParams p;
+  WifiCsmaMachine m(p, 7);
+  EXPECT_EQ(m.frame_ready(0.0, true).kind, WifiCsmaMachine::Step::Kind::kNone);
+  const auto resume = m.medium_idle(100.0);
+  EXPECT_EQ(resume.kind, WifiCsmaMachine::Step::Kind::kTimerAt);
+  EXPECT_GE(resume.at, 100.0 + p.difs_us);
+}
+
 }  // namespace
 }  // namespace sledzig::mac

@@ -222,15 +222,23 @@ SCAN_DIRS = {"src": "src", "bench": "bench", "tests": "aux", "examples": "aux"}
 SUFFIXES = {".cc", ".h"}
 
 
-def scan_tree(root: Path) -> list[Finding]:
+def scan_tree(root: Path, only: str | None = None) -> list[Finding]:
+    """Lints the scan dirs under `root`; `only` restricts the walk to files
+    whose root-relative path starts with that prefix (e.g. `src/sim`)."""
+    prefix = only.strip("/") if only else None
     findings: list[Finding] = []
     for dirname, profile in sorted(SCAN_DIRS.items()):
         base = root / dirname
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*")):
-            if path.suffix in SUFFIXES and path.is_file():
-                findings.extend(scan_file(path, profile))
+            if path.suffix not in SUFFIXES or not path.is_file():
+                continue
+            if prefix is not None:
+                rel = path.relative_to(root).as_posix()
+                if rel != prefix and not rel.startswith(prefix + "/"):
+                    continue
+            findings.extend(scan_file(path, profile))
     return findings
 
 
@@ -286,18 +294,24 @@ def main() -> int:
         "--self-test", action="store_true",
         help="verify the linter against tools/lint_fixtures/ and exit",
     )
+    parser.add_argument(
+        "--only", metavar="PREFIX", default=None,
+        help="restrict the scan to files under this root-relative path "
+             "prefix (e.g. src/sim)",
+    )
     args = parser.parse_args()
 
     if args.self_test:
         return self_test(args.root)
 
-    findings = scan_tree(args.root)
+    findings = scan_tree(args.root, args.only)
     for finding in findings:
         print(finding)
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s)")
         return 1
-    print("lint_determinism: clean")
+    scope = args.only if args.only else "tree"
+    print(f"lint_determinism: clean ({scope})")
     return 0
 
 
