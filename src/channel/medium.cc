@@ -62,7 +62,8 @@ std::optional<double> finite_mean_power(std::span<const common::Cplx> samples) {
   return p / static_cast<double>(n);
 }
 
-constexpr double kNoPowerDbm = -std::numeric_limits<double>::infinity();
+// Same value as common::kNoPowerDb; named for the dBm unit at this layer.
+constexpr double kNoPowerDbm = common::kNoPowerDb;
 
 }  // namespace
 

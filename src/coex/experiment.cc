@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sledzig/encoder.h"
 #include "wifi/preamble.h"
 #include "wifi/transmitter.h"
@@ -39,6 +41,7 @@ WifiInbandPower wifi_inband_power(const core::SledzigConfig& cfg,
 }
 
 mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {
+  SLEDZIG_PROF_SCOPE("coex.run_throughput_experiment");
   common::Rng rng(s.seed);
   mac::WifiMacParams wifi_mac = s.wifi_mac;
   wifi_mac.duty_ratio = s.wifi_duty_ratio;
@@ -61,6 +64,15 @@ mac::ZigbeeSimResult run_throughput_experiment(const Scenario& s) {
 
 namespace {
 
+/// Measured-RSSI distribution histograms, one per measurement chain.  The
+/// handles are resolved once; each measure_* call observes a single value.
+/// Observational only — nothing reads these back into results.
+obs::Histogram rssi_histogram(const char* name) {
+  constexpr double kDbmBounds[] = {-100, -95, -90, -85, -80, -75, -70, -65,
+                                   -60,  -55, -50, -45, -40, -35, -30};
+  return obs::Registry::global().histogram(name, kDbmBounds);
+}
+
 /// Emits `samples` at received power `power_dbm`, centred `freq_offset_hz`
 /// from the receiver, over AWGN and the given impairment chain; returns the
 /// receiver baseband.
@@ -82,6 +94,7 @@ double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
                                    double distance_m, std::uint64_t seed,
                                    std::size_t forced_subcarriers,
                                    const channel::ImpairmentConfig& impairment) {
+  SLEDZIG_PROF_SCOPE("coex.measure_wifi_rssi_at_zigbee");
   common::Rng rng(seed);
   core::SledzigConfig sz = cfg;
   if (forced_subcarriers != 0) sz.forced_subcarriers = forced_subcarriers;
@@ -107,9 +120,11 @@ double measure_wifi_rssi_at_zigbee(const core::SledzigConfig& cfg,
 
   // The CC2420 averages RSSI over the packet payload; skip preamble+SIGNAL.
   const std::size_t payload_start = wifi::kPreambleLen + wifi::kSymbolLen;
-  return channel::rssi_2mhz_dbm(
+  const double rssi = channel::rssi_2mhz_dbm(
       std::span<const common::Cplx>(rx).subspan(payload_start),
       core::channel_center_offset_hz(sz.channel));
+  rssi_histogram("coex.rssi.wifi_at_zigbee_dbm").observe(rssi);
+  return rssi;
 }
 
 double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
@@ -123,7 +138,9 @@ double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
       rng.gaussian(channel::kShadowingSigmaDb);
   const auto rx =
       through_channel(tx.samples, rx_power, 0.0, rng, impairment, seed);
-  return channel::rssi_2mhz_dbm(rx, 0.0);
+  const double rssi = channel::rssi_2mhz_dbm(rx, 0.0);
+  rssi_histogram("coex.rssi.zigbee_dbm").observe(rssi);
+  return rssi;
 }
 
 WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,

@@ -5,15 +5,43 @@
 #include <tuple>
 
 #include "channel/medium.h"
+#include "common/dsp.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sledzig/encoder.h"
+#include "wifi/phy_params.h"
 #include "wifi/preamble.h"
 #include "wifi/transmitter.h"
 
 namespace sledzig::coex {
 
 namespace {
+
+/// Observes the per-subcarrier payload power inside the protected +/-1 MHz
+/// window into a scheme-keyed histogram.  A 64-point Welch PSD puts one bin
+/// per OFDM subcarrier (20 MHz / 64 = 312.5 kHz), so the histogram shape is
+/// the paper's Fig. 4 power-suppression picture: with SledZig on, the bins
+/// under the ZigBee channel collapse toward the noise bound.  Observational
+/// only; runs once per memoised config, never on a result path.
+void observe_subcarrier_power(std::span<const common::Cplx> payload_samples,
+                              double center_offset_hz, bool sledzig) {
+  constexpr double kDbmBounds[] = {-80, -75, -70, -65, -60, -55, -50, -45,
+                                   -40, -35, -30, -25, -20, -15, -10, -5, 0};
+  auto hist = obs::Registry::global().histogram(
+      sledzig ? "coex.inband.subcarrier_dbm.sledzig"
+              : "coex.inband.subcarrier_dbm.normal",
+      kDbmBounds);
+  const auto psd =
+      common::welch_psd(payload_samples, wifi::kSampleRateHz, 64);
+  for (std::size_t b = 0; b < psd.bins.size(); ++b) {
+    const double fb = psd.bin_frequency(b);
+    if (fb < center_offset_hz - 1e6 || fb > center_offset_hz + 1e6) continue;
+    // Zero-power bins map to the -inf sentinel, which lands in the lowest
+    // bucket rather than poisoning the histogram with NaN.
+    hist.observe(common::mw_to_dbm(psd.bins[b]));
+  }
+}
 
 InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
   common::Rng rng(0xc0ffee);
@@ -38,6 +66,7 @@ InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
   const auto payload_samples = samples.subspan(payload_start);
 
   const double f = core::channel_center_offset_hz(cfg.channel);
+  observe_subcarrier_power(payload_samples, f, sledzig);
   // Reference: total power of a *normal* payload at the same transmit
   // scale.  Measured once per modulation/rate from a random payload.
   const auto normal = wifi::wifi_transmit(rng.bytes(600), tx);

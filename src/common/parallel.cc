@@ -10,6 +10,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace sledzig::common {
 
 namespace {
@@ -17,6 +19,34 @@ namespace {
 /// Set while a thread is executing batch indices; nested parallel calls
 /// from inside a trial degrade to serial loops instead of deadlocking.
 thread_local bool tl_in_batch = false;
+
+/// Handles resolved once; per-batch bumps only (never per index), so the
+/// pool's hot loop stays registry-free.  Batch counts and task totals are
+/// functions of the submitted work alone — thread-count invariant.
+struct PoolMetrics {
+  obs::Counter batches;
+  obs::Counter serial_batches;
+  obs::Counter tasks;
+  obs::Histogram batch_size;
+  obs::Gauge pool_size;
+
+  PoolMetrics() {
+    auto& reg = obs::Registry::global();
+    batches = reg.counter("parallel.batches");
+    serial_batches = reg.counter("parallel.serial_batches");
+    tasks = reg.counter("parallel.tasks");
+    constexpr double kBounds[] = {1,  2,   4,   8,    16,   32,  64,
+                                  128, 256, 512, 1024, 4096, 16384};
+    batch_size = reg.histogram("parallel.batch_size", kBounds);
+    pool_size = reg.gauge("parallel.pool_size");
+  }
+};
+
+const PoolMetrics& pool_metrics() {
+  // lint: allow(static-state): cached metric handles, registered once
+  static const PoolMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -103,6 +133,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
   for (std::size_t i = 0; i < num_workers_; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
   }
+  pool_metrics().pool_size.record(static_cast<double>(num_workers_ + 1));
 }
 
 ThreadPool::~ThreadPool() {
@@ -117,7 +148,11 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  const PoolMetrics& pm = pool_metrics();
+  pm.tasks.add(n);
+  pm.batch_size.observe(static_cast<double>(n));
   if (num_workers_ == 0 || n == 1 || tl_in_batch) {
+    pm.serial_batches.inc();
     // Serial path: same call sequence fn(0..n-1), no pool interaction.
     // Save/restore rather than clear: a thread still inside an outer batch
     // must stay marked, or its next nested call would take the parallel
@@ -133,6 +168,7 @@ void ThreadPool::for_each_index(std::size_t n,
     tl_in_batch = was_in_batch;
     return;
   }
+  pm.batches.inc();
 
   std::unique_lock lock(impl_->mutex);
   // One batch at a time: a second submitting thread queues behind the

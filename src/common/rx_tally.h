@@ -1,0 +1,40 @@
+// Per-outcome receiver counters: one obs counter per RxError enumerator,
+// named "rx.<chain>.<error>" (e.g. rx.wifi.crc-failed is impossible,
+// rx.zigbee.crc-failed is the ZigBee FCS bucket).  Receivers bump exactly
+// one counter per call — kNone for clean decodes — so the counters double
+// as a decode-attempt census per stage.  Observational only; no result
+// path reads them back.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/rx_error.h"
+#include "obs/metrics.h"
+
+namespace sledzig::common {
+
+/// Number of RxError enumerators (kNone .. kCrcFailed, contiguous).
+inline constexpr std::size_t kNumRxErrors = 10;
+
+class RxTally {
+ public:
+  explicit RxTally(const char* chain) {
+    for (std::size_t i = 0; i < kNumRxErrors; ++i) {
+      const auto e = static_cast<RxError>(i);
+      counters_[i] = obs::Registry::global().counter(
+          std::string("rx.") + chain + "." + to_string(e));
+    }
+  }
+
+  void count(RxError e) const {
+    const auto i = static_cast<std::size_t>(e);
+    if (i < kNumRxErrors) counters_[i].inc();
+  }
+
+ private:
+  std::array<obs::Counter, kNumRxErrors> counters_{};
+};
+
+}  // namespace sledzig::common

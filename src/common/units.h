@@ -5,13 +5,34 @@
 // channel model (so 10*log10(power) is directly a dBm figure).
 #pragma once
 
+#include <cmath>
 #include <complex>
+#include <limits>
 #include <span>
 
 namespace sledzig::common {
 
-inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
-inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+/// Sentinel for "no measurable power" in dB/dBm space.  linear_to_db()
+/// returns it for any non-positive (or NaN) linear input, so an empty
+/// emission's RSSI is a well-ordered -inf rather than NaN: comparisons
+/// against thresholds stay false, min/max stay sane, and averages only
+/// degrade if the caller mixes it in knowingly.  db_to_linear() maps it
+/// (and NaN) back to exactly zero power, so the round trip is closed.
+inline constexpr double kNoPowerDb = -std::numeric_limits<double>::infinity();
+
+inline double db_to_linear(double db) {
+  // Guard the inverse: the kNoPowerDb sentinel maps to +0 via pow already,
+  // but a NaN that leaked from upstream arithmetic must not round-trip —
+  // "no power in, no power out".
+  if (std::isnan(db)) return 0.0;
+  return std::pow(10.0, db / 10.0);
+}
+inline double linear_to_db(double lin) {
+  // log10 is -inf at zero and NaN below it; fold both (and NaN input) into
+  // the documented sentinel.  `!(lin > 0.0)` is NaN-safe.
+  if (!(lin > 0.0)) return kNoPowerDb;
+  return 10.0 * std::log10(lin);
+}
 
 inline double dbm_to_mw(double dbm) { return db_to_linear(dbm); }
 inline double mw_to_dbm(double mw) { return linear_to_db(mw); }

@@ -5,11 +5,13 @@
 #include <cmath>
 #include <deque>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "channel/pathloss.h"
 #include "coex/experiment.h"
 #include "common/units.h"
+#include "obs/profile.h"
 #include "sim/arbiter.h"
 #include "sim/event_queue.h"
 #include "sim/traffic.h"
@@ -32,6 +34,12 @@ std::uint64_t fnv_mix(std::uint64_t digest, std::uint64_t value) {
   return digest;
 }
 
+/// Virtual µs for the span log (deterministic rounding; observational
+/// only, the digest keeps full double precision).
+std::uint64_t vus(double t) {
+  return static_cast<std::uint64_t>(std::llround(t));
+}
+
 /// Everything one run owns.  Constructed per call, so run_scenario holds
 /// no global state and replications can fan out freely.
 class Engine {
@@ -51,6 +59,7 @@ class Engine {
     double burst_us = 0.0;
     double bits_per_frame = 0.0;
     double signal_mw = 0.0;  // own frame's power at the served station
+    double serve_start_us = 0.0;  // when the head frame entered CSMA
   };
 
   struct ZigbeeNode {
@@ -67,6 +76,7 @@ class Engine {
     double signal_mw = 0.0;
     double sensitivity_loss = 0.0;
     double p_err_idle = 0.0;
+    double serve_start_us = 0.0;  // when the head frame (re-)entered CSMA
   };
 
   std::uint32_t global(std::size_t wifi_i) const {
@@ -116,7 +126,15 @@ class Engine {
   EventQueue queue_;
   std::uint64_t digest_ = kFnvOffset;
   std::uint64_t events_ = 0;
+  // Per-run tallies, flushed to cfg_.metrics once at the end of run() so
+  // the event loop never touches the registry.
+  std::uint64_t arrival_events_ = 0;
+  std::uint64_t timer_events_ = 0;
+  std::uint64_t tx_end_events_ = 0;
+  std::uint64_t stale_timers_ = 0;
   std::vector<TraceEvent> trace_;
+
+  void flush_metrics() const;
 };
 
 Engine::Engine(const ScenarioConfig& cfg)
@@ -361,6 +379,10 @@ void Engine::apply_zigbee_step(std::size_t j,
       ++n.stats.cca_dropped;
       trace(now, g, TraceType::kCcaDrop,
             static_cast<std::int32_t>(n.machine.backoffs()));
+      if (cfg_.span_log != nullptr) {
+        cfg_.span_log->complete("csma", g, vus(n.serve_start_us), vus(now));
+        cfg_.span_log->instant("cca_drop", g, vus(now));
+      }
       n.queue.pop_front();
       n.serving = false;
       serve_next(g, now);
@@ -373,6 +395,7 @@ void Engine::serve_next(std::uint32_t node, double t) {
     auto& n = wifi_[node];
     if (!n.queue.empty()) {
       n.serving = true;
+      n.serve_start_us = t;
       ++n.token;
       apply_wifi_step(node, n.machine.frame_ready(t, arbiter_.busy_at(node, t)),
                       t);
@@ -384,6 +407,7 @@ void Engine::serve_next(std::uint32_t node, double t) {
     auto& n = zigbee_[j];
     if (!n.queue.empty()) {
       n.serving = true;
+      n.serve_start_us = t;
       ++n.token;
       apply_zigbee_step(j, n.machine.frame_ready(t), t);
     } else if (n.traffic.completion_clocked()) {
@@ -402,14 +426,20 @@ void Engine::on_arrival(std::uint32_t node, double t) {
   const bool serving =
       node < num_wifi_ ? wifi_[node].serving : zigbee_[node - num_wifi_].serving;
 
-  ++stats.arrivals;
+  ++stats.generated;
   trace(t, node, TraceType::kArrival);
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->instant("arrival", node, vus(t));
+  }
   if (!traffic.completion_clocked()) {
     push_arrival(node, traffic.next_after(t));
   }
   if (queue.size() >= cfg_.queue_capacity) {
     ++stats.queue_dropped;
     trace(t, node, TraceType::kQueueDrop);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->instant("queue_drop", node, vus(t));
+    }
     return;
   }
   queue.push_back(t);
@@ -450,6 +480,9 @@ void Engine::start_wifi_tx(std::size_t i, double now) {
   ++n.stats.sent;
   n.stats.airtime_us += n.burst_us;
   trace(now, g, TraceType::kTxStart);
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->complete("csma", g, vus(n.serve_start_us), vus(now));
+  }
   const std::uint32_t tx_id =
       arbiter_.begin_tx(g, NodeKind::kWifi, now, now + n.cfg.mac.preamble_us,
                         now + n.burst_us);
@@ -464,6 +497,9 @@ void Engine::start_zigbee_tx(std::size_t j, double now) {
   ++n.stats.sent;
   n.stats.airtime_us += n.airtime_us;
   trace(now, g, TraceType::kTxStart);
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->complete("csma", g, vus(n.serve_start_us), vus(now));
+  }
   const std::uint32_t tx_id =
       arbiter_.begin_tx(g, NodeKind::kZigbee, now, now, now + n.airtime_us);
   queue_.push(now + n.airtime_us, EventType::kTxEnd, g, 0, tx_id);
@@ -563,8 +599,19 @@ void Engine::on_tx_end(std::uint32_t tx_id, double t) {
     const std::size_t i = tx.node;
     auto& n = wifi_[i];
     const bool ok = wifi_frame_delivered(i, tx);
-    if (ok) ++n.stats.delivered;
+    // WiFi never retries, so a lost frame is terminal: it exhausted its
+    // zero permitted retries.  Without this bucket, lost WiFi frames
+    // vanished from the per-node accounting entirely.
+    if (ok) {
+      ++n.stats.delivered;
+    } else {
+      ++n.stats.retry_exhausted;
+    }
     trace(t, tx.node, ok ? TraceType::kTxDelivered : TraceType::kTxLost);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->complete("tx", tx.node, vus(tx.start_us), vus(t));
+      cfg_.span_log->instant(ok ? "delivered" : "lost", tx.node, vus(t));
+    }
     n.machine.tx_done();
     ++n.token;
     n.queue.pop_front();
@@ -576,14 +623,27 @@ void Engine::on_tx_end(std::uint32_t tx_id, double t) {
     const bool ok = zigbee_frame_delivered(j, tx);
     if (ok) ++n.stats.delivered;
     trace(t, tx.node, ok ? TraceType::kTxDelivered : TraceType::kTxLost);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->complete("tx", tx.node, vus(tx.start_us), vus(t));
+      cfg_.span_log->instant(ok ? "delivered" : "lost", tx.node, vus(t));
+    }
     ++n.token;
     const auto step = n.machine.tx_done(t, ok);
     if (step.kind != mac::ZigbeeCsmaMachine::Step::Kind::kNone) {
+      // Lost with retries left: the frame stays at the queue front and
+      // re-enters CSMA — count the retry once, here only (`sent` picks up
+      // the extra attempt when it actually reaches the air).
       ++n.stats.retries;
+      n.serve_start_us = t;
       trace(t, tx.node, TraceType::kRetry,
             static_cast<std::int32_t>(n.machine.retries_left()));
+      if (cfg_.span_log != nullptr) {
+        cfg_.span_log->instant("retry", tx.node, vus(t));
+      }
       apply_zigbee_step(j, step, t);
     } else {
+      // Terminal: delivered, or lost with macMaxFrameRetries exhausted.
+      if (!ok) ++n.stats.retry_exhausted;
       n.queue.pop_front();
       n.serving = false;
       serve_next(tx.node, t);
@@ -593,6 +653,17 @@ void Engine::on_tx_end(std::uint32_t tx_id, double t) {
 }
 
 SimResult Engine::run() {
+  SLEDZIG_PROF_SCOPE("sim.run");
+  if (cfg_.span_log != nullptr) {
+    for (std::size_t i = 0; i < num_wifi_; ++i) {
+      cfg_.span_log->set_track_name(global(i),
+                                    "wifi" + std::to_string(i));
+    }
+    for (std::size_t j = 0; j < num_zigbee_; ++j) {
+      cfg_.span_log->set_track_name(global_z(j),
+                                    "zigbee" + std::to_string(j));
+    }
+  }
   for (std::size_t n = 0; n < num_nodes_; ++n) {
     auto& traffic =
         n < num_wifi_ ? wifi_[n].traffic : zigbee_[n - num_wifi_].traffic;
@@ -604,13 +675,18 @@ SimResult Engine::run() {
     ++events_;
     switch (e.type) {
       case EventType::kArrival:
+        ++arrival_events_;
         on_arrival(e.node, e.time_us);
         break;
       case EventType::kTimer: {
+        ++timer_events_;
         const std::uint64_t current = e.node < num_wifi_
                                           ? wifi_[e.node].token
                                           : zigbee_[e.node - num_wifi_].token;
-        if (e.token != current) break;  // invalidated by a later transition
+        if (e.token != current) {
+          ++stale_timers_;  // invalidated by a later transition
+          break;
+        }
         if (e.node < num_wifi_) {
           on_wifi_timer(e.node, e.time_us);
         } else {
@@ -619,10 +695,18 @@ SimResult Engine::run() {
         break;
       }
       case EventType::kTxEnd:
+        ++tx_end_events_;
         on_tx_end(e.tx_id, e.time_us);
         break;
     }
   }
+
+  // Frames cut off by the horizon — still queued, or mid-service with
+  // their next timer suppressed (push_timer drops timers past the
+  // horizon).  The head frame stays at the queue front until terminal, so
+  // queue.size() is exactly the in-flight count.
+  for (auto& n : wifi_) n.stats.in_flight_at_end = n.queue.size();
+  for (auto& n : zigbee_) n.stats.in_flight_at_end = n.queue.size();
 
   SimResult result;
   result.events_processed = events_;
@@ -646,7 +730,45 @@ SimResult Engine::run() {
     finalize(n.stats, n.bits_per_frame);
     result.zigbee.push_back(n.stats);
   }
+  flush_metrics();
   return result;
+}
+
+/// One registry touch per run (the event loop only bumps plain members),
+/// so observability costs nothing measurable on the hot path.  All flushed
+/// values are integers summed over deterministic per-run tallies —
+/// thread-count invariant under replication fan-out.
+void Engine::flush_metrics() const {
+  obs::Registry* reg = cfg_.metrics;
+  if (reg == nullptr) return;
+  NodeStats sum;
+  const auto accumulate = [&sum](const NodeStats& s) {
+    sum.generated += s.generated;
+    sum.queue_dropped += s.queue_dropped;
+    sum.cca_dropped += s.cca_dropped;
+    sum.sent += s.sent;
+    sum.delivered += s.delivered;
+    sum.retries += s.retries;
+    sum.retry_exhausted += s.retry_exhausted;
+    sum.in_flight_at_end += s.in_flight_at_end;
+  };
+  for (const auto& n : wifi_) accumulate(n.stats);
+  for (const auto& n : zigbee_) accumulate(n.stats);
+
+  reg->counter("sim.runs").inc();
+  reg->counter("sim.events").add(events_);
+  reg->counter("sim.events.arrival").add(arrival_events_);
+  reg->counter("sim.events.timer").add(timer_events_);
+  reg->counter("sim.events.tx_end").add(tx_end_events_);
+  reg->counter("sim.timer.stale").add(stale_timers_);
+  reg->counter("sim.frames.generated").add(sum.generated);
+  reg->counter("sim.frames.delivered").add(sum.delivered);
+  reg->counter("sim.frames.queue_dropped").add(sum.queue_dropped);
+  reg->counter("sim.frames.cca_dropped").add(sum.cca_dropped);
+  reg->counter("sim.frames.retry_exhausted").add(sum.retry_exhausted);
+  reg->counter("sim.frames.in_flight_at_end").add(sum.in_flight_at_end);
+  reg->counter("sim.tx.attempts").add(sum.sent);
+  reg->counter("sim.tx.retries").add(sum.retries);
 }
 
 }  // namespace
@@ -661,6 +783,10 @@ std::vector<SimResult> run_replications(common::ThreadPool& pool,
   return common::parallel_map(pool, replications, [&](std::size_t rep) {
     ScenarioConfig c = config;
     c.seed = common::derive_seed(config.seed, rep);
+    // A TraceLog is single-writer; replications would race on a shared
+    // sink, so spans are a single-run feature.  Metrics stay attached —
+    // the registry is thread-safe and its sums are commutative.
+    c.span_log = nullptr;
     return run_scenario(c);
   });
 }

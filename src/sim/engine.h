@@ -42,13 +42,28 @@ struct TraceEvent {
   std::int32_t aux = 0;
 };
 
+/// Per-node frame accounting.  Every generated frame ends in exactly one
+/// terminal bucket, so the conservation identity
+///
+///   generated == delivered + queue_dropped + cca_dropped
+///                + retry_exhausted + in_flight_at_end
+///
+/// holds exactly for every node in every scenario (asserted across the
+/// whole sim suite in tests/sim_test.cc).  `sent` and `retries` count
+/// *attempts*, not frames — a frame retried twice contributes 3 to `sent`
+/// — so they deliberately stay outside the identity.
 struct NodeStats {
-  std::size_t arrivals = 0;
+  std::size_t generated = 0;  ///< frames produced by the traffic source
   std::size_t queue_dropped = 0;
   std::size_t cca_dropped = 0;
   std::size_t sent = 0;       ///< transmissions put on air (retries included)
   std::size_t delivered = 0;  ///< clean at the receiver
-  std::size_t retries = 0;
+  std::size_t retries = 0;    ///< CSMA re-entries after a lost attempt
+  /// Frames abandoned after their final permitted attempt was lost (for
+  /// WiFi, which never retries, this is simply every lost frame).
+  std::size_t retry_exhausted = 0;
+  /// Frames still queued (or mid-service) when the horizon cut them off.
+  std::size_t in_flight_at_end = 0;
   double airtime_us = 0.0;
   double airtime_fraction = 0.0;
   double prr = 0.0;              ///< delivered / sent

@@ -7,6 +7,7 @@
 // ordering to heap internals.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -36,6 +37,13 @@ struct EventAfter {
 };
 
 /// Min-heap on (time_us, seq).
+///
+/// Timer-cancellation hygiene: the queue never removes events.  A node
+/// "cancels" a pending kTimer by bumping its own token before re-arming;
+/// the engine discards any popped kTimer whose token no longer matches.
+/// Because node tokens are monotone 64-bit counters and every pushed timer
+/// carries the token current at push time, a cancelled timer can never
+/// alias a later re-arm's token, so it can never fire on the re-armed node.
 class EventQueue {
  public:
   void push(double time_us, EventType type, std::uint32_t node,
@@ -46,12 +54,16 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
 
   Event pop() {
+    // Popping an empty heap would be UB via top(); fail loudly in debug.
+    assert(!heap_.empty());
     Event e = heap_.top();
     heap_.pop();
     return e;
   }
 
-  /// Total events ever pushed (monotone; used for run accounting).
+  /// Total events ever pushed (monotone).  Each push consumes one unique
+  /// seq value, so pushed() equals the count of distinct seqs handed out —
+  /// the two cannot alias or double-count.
   std::uint64_t pushed() const { return next_seq_; }
 
  private:

@@ -15,6 +15,8 @@
 #include "channel/pathloss.h"
 #include "mac/wifi_timeline.h"
 #include "mac/zigbee_csma.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sledzig/significant_bits.h"
 
 namespace sledzig::sim {
@@ -85,6 +87,14 @@ struct ScenarioConfig {
   /// Record the full per-transition trace in SimResult (the run digest is
   /// always computed, trace or not).
   bool record_trace = false;
+  /// Metrics sink: per-run tallies (event counts, frame accounting, stale
+  /// timers) flush here once at the end of run_scenario.  Observational
+  /// only — nothing digest-checked reads metrics back.  nullptr disables.
+  obs::Registry* metrics = &obs::Registry::global();
+  /// Virtual-time span sink (per-node csma/tx spans, arrival/drop
+  /// instants).  Single-writer: run_replications nulls it in its
+  /// per-replication copies, so set it only for individual runs.
+  obs::TraceLog* span_log = nullptr;
 };
 
 /// The paper's Fig 14-16 testbed as a two-node ScenarioConfig: one WiFi

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/dsp.h"
+#include "common/rx_tally.h"
 #include "common/units.h"
 #include "wifi/convolutional.h"
 #include "wifi/interleaver.h"
@@ -189,8 +190,10 @@ common::Bits decode_data_field(std::span<const common::Cplx> data_samples,
   return viterbi_decode(soft, /*terminated=*/false);
 }
 
-WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
-                          const WifiRxConfig& cfg) {
+namespace {
+
+WifiRxResult wifi_receive_impl(std::span<const common::Cplx> raw_samples,
+                               const WifiRxConfig& cfg) {
   const auto& plan = channel_plan(cfg.width);
   WifiRxResult result;
 
@@ -275,6 +278,23 @@ WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
                          raw.begin() + static_cast<long>(offset + payload_bits));
   result.psdu = common::bits_to_bytes(psdu_bits);
   result.error = common::RxError::kNone;
+  return result;
+}
+
+const common::RxTally& rx_tally() {
+  // lint: allow(static-state): cached metric handles, registered once
+  static const common::RxTally tally("wifi");
+  return tally;
+}
+
+}  // namespace
+
+WifiRxResult wifi_receive(std::span<const common::Cplx> raw_samples,
+                          const WifiRxConfig& cfg) {
+  WifiRxResult result = wifi_receive_impl(raw_samples, cfg);
+  // One counter bump per decode, keyed by outcome stage (rx.wifi.<error>,
+  // rx.wifi.none for clean decodes).
+  rx_tally().count(result.error);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "zigbee/receiver.h"
 
 #include "common/dsp.h"
+#include "common/rx_tally.h"
 
 #include <cmath>
 
@@ -76,10 +77,14 @@ std::optional<SyncResult> synchronise(std::span<const common::Cplx> samples,
   return SyncResult{best_pos, acc / ref_energy, best_corr};
 }
 
-}  // namespace
+const common::RxTally& rx_tally() {
+  // lint: allow(static-state): cached metric handles, registered once
+  static const common::RxTally tally("zigbee");
+  return tally;
+}
 
-ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
-                              const ZigbeeRxConfig& cfg) {
+ZigbeeRxResult zigbee_receive_impl(std::span<const common::Cplx> raw_samples,
+                                   const ZigbeeRxConfig& cfg) {
   ZigbeeRxResult result;
   // Non-finite samples would propagate through the FIR filter and the chip
   // correlators into meaningless comparisons; refuse them up front.
@@ -195,6 +200,17 @@ ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
   } else {
     result.error = common::RxError::kCrcFailed;
   }
+  return result;
+}
+
+}  // namespace
+
+ZigbeeRxResult zigbee_receive(std::span<const common::Cplx> raw_samples,
+                              const ZigbeeRxConfig& cfg) {
+  ZigbeeRxResult result = zigbee_receive_impl(raw_samples, cfg);
+  // One counter bump per decode, keyed by outcome stage
+  // (rx.zigbee.<error>, rx.zigbee.none for clean decodes).
+  rx_tally().count(result.error);
   return result;
 }
 

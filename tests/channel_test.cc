@@ -1,4 +1,6 @@
 // Tests for the calibrated channel model and the sample-domain medium.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "channel/medium.h"
@@ -66,6 +68,24 @@ TEST(Medium, NoiseFloorCalibrated) {
   EXPECT_NEAR(rssi_2mhz_dbm(samples, 8e6), kNoiseFloor2MhzDbm, 1.0);
   // Full band: -81 dBm.
   EXPECT_NEAR(total_power_dbm(samples), kNoiseFloor20MhzDbm, 0.5);
+}
+
+TEST(Medium, EmptyEmissionRssiIsSentinelNotNan) {
+  // Empty/too-short receiver captures hit the "no power" floor: a finite or
+  // -inf value that stays well-ordered, never NaN.
+  const common::CplxVec empty;
+  const double slice = rssi_2mhz_slice_dbm(empty);
+  const double total = total_power_dbm(empty);
+  const double band = rssi_2mhz_dbm(empty, 0.0);
+  EXPECT_EQ(slice, common::kNoPowerDb);
+  EXPECT_EQ(total, common::kNoPowerDb);
+  EXPECT_FALSE(std::isnan(band));
+  // Downstream linear-domain averaging must not be poisoned: the sentinel
+  // contributes exactly zero power, so the average of {-40 dBm, no-signal}
+  // is -43.01 dBm, not NaN.
+  const double avg_mw =
+      (common::dbm_to_mw(-40.0) + common::dbm_to_mw(slice)) / 2.0;
+  EXPECT_NEAR(common::mw_to_dbm(avg_mw), -43.0103, 1e-3);
 }
 
 TEST(Medium, SinglePowerScaledEmission) {

@@ -1,5 +1,7 @@
 // Unit tests for src/common: bit utilities, FFT, PSD/band power, stats.
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include <gtest/gtest.h>
@@ -116,6 +118,28 @@ TEST(Units, DbConversions) {
   EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
   EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
   EXPECT_NEAR(mw_to_dbm(0.001), -30.0, 1e-12);
+}
+
+TEST(Units, ZeroAndNegativePowerHitTheSentinel) {
+  // Non-positive linear power is "no signal", not NaN/UB.
+  EXPECT_EQ(linear_to_db(0.0), kNoPowerDb);
+  EXPECT_EQ(linear_to_db(-0.0), kNoPowerDb);
+  EXPECT_EQ(linear_to_db(-1.0), kNoPowerDb);
+  EXPECT_EQ(mw_to_dbm(0.0), kNoPowerDb);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(linear_to_db(nan), kNoPowerDb);
+  // The sentinel stays well-ordered: threshold comparisons are false, not
+  // poisoned, and min/max behave.
+  EXPECT_FALSE(kNoPowerDb > -200.0);
+  EXPECT_EQ(std::max(kNoPowerDb, -85.0), -85.0);
+}
+
+TEST(Units, SentinelRoundTripsToZeroPower) {
+  // Inverse guard: -inf and NaN both map back to exactly zero power, so a
+  // dB -> linear -> dB round trip is stable at the sentinel.
+  EXPECT_EQ(db_to_linear(kNoPowerDb), 0.0);
+  EXPECT_EQ(db_to_linear(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_EQ(linear_to_db(db_to_linear(kNoPowerDb)), kNoPowerDb);
 }
 
 TEST(Units, MeanPower) {

@@ -1,0 +1,236 @@
+// Tests for the observability layer (src/obs): registry semantics, trace
+// rendering, profiling hooks — and the two contracts the rest of the repo
+// leans on: golden metrics are exact and run-stable, and attaching any obs
+// sink never perturbs a digest-checked result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+
+namespace sledzig::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  Registry reg;
+  auto c = reg.counter("c");
+  c.inc();
+  c.add(41);
+  auto g = reg.gauge("g");
+  g.record(2.5);
+  g.record(7.0);
+  g.record(3.0);  // high-water: the max survives
+  constexpr double kBounds[] = {1.0, 10.0, 100.0};
+  auto h = reg.histogram("h", kBounds);
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(10.0);   // bucket 1 (<= 10, inclusive upper bound)
+  h.observe(50.0);   // bucket 2
+  h.observe(1e9);    // overflow bucket
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 7.0);
+  const auto* hd = snap.histogram("h");
+  ASSERT_NE(hd, nullptr);
+  ASSERT_EQ(hd->counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hd->counts[0], 1u);
+  EXPECT_EQ(hd->counts[1], 1u);
+  EXPECT_EQ(hd->counts[2], 1u);
+  EXPECT_EQ(hd->counts[3], 1u);
+  EXPECT_EQ(hd->total, 4u);
+  // Never-registered names read as zero/null, not as errors.
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(Metrics, SameNameSharesTheMetricAndBoundsMustMatch) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  Registry reg;
+  auto a = reg.counter("shared");
+  auto b = reg.counter("shared");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().counter("shared"), 2u);
+  constexpr double kBounds[] = {1.0, 2.0};
+  (void)reg.histogram("hist", kBounds);
+  constexpr double kOther[] = {1.0, 3.0};
+  EXPECT_THROW((void)reg.histogram("hist", kOther), std::invalid_argument);
+}
+
+TEST(Metrics, ParallelWritesSumExactlyForAnyThreadCount) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  // The sharded cells must aggregate to the same exact integers whether one
+  // thread did all the work or many shared it.
+  constexpr std::size_t kItems = 10000;
+  std::vector<std::string> jsons;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Registry reg;
+    auto c = reg.counter("work.items");
+    constexpr double kBounds[] = {100.0, 1000.0, 5000.0};
+    auto h = reg.histogram("work.index", kBounds);
+    common::ThreadPool pool(threads);
+    pool.for_each_index(kItems, [&](std::size_t i) {
+      c.inc();
+      h.observe(static_cast<double>(i));
+    });
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("work.items"), kItems);
+    jsons.push_back(snap.to_json());
+  }
+  EXPECT_EQ(jsons[0], jsons[1]);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  Registry reg;
+  reg.counter("c").add(5);
+  constexpr double kBounds[] = {1.0};
+  reg.histogram("h", kBounds).observe(0.5);
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  const auto* hd = snap.histogram("h");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->total, 0u);
+}
+
+TEST(Trace, ChromeJsonCarriesTracksSpansAndInstants) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  TraceLog log;
+  log.set_track_name(0, "wifi0");
+  log.complete("tx", 0, 100, 250);
+  log.instant("delivered", 0, 250);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].phase, 'X');
+  EXPECT_EQ(log.events()[0].dur_us, 150u);
+  EXPECT_EQ(log.events()[1].phase, 'i');
+  const std::string json = log.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("wifi0"), std::string::npos);
+  std::ostringstream jsonl;
+  log.write_jsonl(jsonl);
+  const std::string lines = jsonl.str();
+  EXPECT_EQ(std::count(lines.begin(), lines.end(), '\n'), 2);
+}
+
+TEST(Profile, ScopeAndReportAreSafeWhereverEnabled) {
+  // Must be callable in every build mode; the report is empty or textual,
+  // never a crash.  (Wall-clock values are unasserted by design.)
+  {
+    SLEDZIG_PROF_SCOPE("obs_test.scope");
+  }
+  std::ostringstream report;
+  profile_report(report);
+  SUCCEED() << report.str().size();
+}
+
+/// The repo's reference scenario (Fig 4 geometry), short horizon.
+sim::ScenarioConfig paper_scenario() {
+  return sim::two_node_paper_scenario(core::SledzigConfig{}, true,
+                                      /*wifi_duty_ratio=*/1.0, /*d_wz_m=*/4.0,
+                                      /*d_z_m=*/1.0, /*duration_s=*/1.0,
+                                      /*seed=*/11);
+}
+
+TEST(GoldenMetrics, TwoNodeScenarioCountersMatchNodeStatsExactly) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  Registry reg;
+  auto cfg = paper_scenario();
+  cfg.metrics = &reg;
+  const auto r = sim::run_scenario(cfg);
+  const auto snap = reg.snapshot();
+
+  sim::NodeStats sum;
+  for (const auto* side : {&r.wifi, &r.zigbee}) {
+    for (const auto& n : *side) {
+      sum.generated += n.generated;
+      sum.delivered += n.delivered;
+      sum.queue_dropped += n.queue_dropped;
+      sum.cca_dropped += n.cca_dropped;
+      sum.retry_exhausted += n.retry_exhausted;
+      sum.in_flight_at_end += n.in_flight_at_end;
+      sum.sent += n.sent;
+      sum.retries += n.retries;
+    }
+  }
+  EXPECT_EQ(snap.counter("sim.runs"), 1u);
+  EXPECT_EQ(snap.counter("sim.events"), r.events_processed);
+  EXPECT_EQ(snap.counter("sim.frames.generated"), sum.generated);
+  EXPECT_EQ(snap.counter("sim.frames.delivered"), sum.delivered);
+  EXPECT_EQ(snap.counter("sim.frames.queue_dropped"), sum.queue_dropped);
+  EXPECT_EQ(snap.counter("sim.frames.cca_dropped"), sum.cca_dropped);
+  EXPECT_EQ(snap.counter("sim.frames.retry_exhausted"), sum.retry_exhausted);
+  EXPECT_EQ(snap.counter("sim.frames.in_flight_at_end"),
+            sum.in_flight_at_end);
+  EXPECT_EQ(snap.counter("sim.tx.attempts"), sum.sent);
+  EXPECT_EQ(snap.counter("sim.tx.retries"), sum.retries);
+  // The flushed counters obey the same conservation identity as NodeStats.
+  EXPECT_EQ(snap.counter("sim.frames.generated"),
+            snap.counter("sim.frames.delivered") +
+                snap.counter("sim.frames.queue_dropped") +
+                snap.counter("sim.frames.cca_dropped") +
+                snap.counter("sim.frames.retry_exhausted") +
+                snap.counter("sim.frames.in_flight_at_end"));
+}
+
+TEST(GoldenMetrics, SnapshotJsonIsBitIdenticalAcrossRunsAndThreadCounts) {
+  if (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  // Same scenario, same seed: every run must flush the same exact integers
+  // regardless of the replication pool width.
+  std::vector<std::string> jsons;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Registry reg;
+    auto cfg = paper_scenario();
+    cfg.metrics = &reg;
+    common::ThreadPool pool(threads);
+    (void)sim::run_replications(pool, cfg, 6);
+    jsons.push_back(reg.snapshot().to_json());
+  }
+  ASSERT_EQ(jsons.size(), 2u);
+  EXPECT_EQ(jsons[0], jsons[1]);
+  EXPECT_NE(jsons[0].find("sim.frames.generated"), std::string::npos);
+}
+
+TEST(DigestInvariance, ObsSinksNeverPerturbTheTraceDigest) {
+  // The PR-2 determinism contract: trace digests are a pure function of
+  // (config, seed).  Attaching metrics, detaching them, or recording spans
+  // must leave the digest bit-identical.
+  auto detached = paper_scenario();
+  detached.metrics = nullptr;
+  const auto base = sim::run_scenario(detached);
+
+  Registry reg;
+  auto with_metrics = paper_scenario();
+  with_metrics.metrics = &reg;
+  const auto metered = sim::run_scenario(with_metrics);
+
+  TraceLog spans;
+  auto with_spans = paper_scenario();
+  with_spans.metrics = &reg;
+  with_spans.span_log = &spans;
+  const auto spanned = sim::run_scenario(with_spans);
+
+  EXPECT_EQ(metered.trace_digest, base.trace_digest);
+  EXPECT_EQ(spanned.trace_digest, base.trace_digest);
+  EXPECT_EQ(metered.events_processed, base.events_processed);
+  EXPECT_EQ(spanned.events_processed, base.events_processed);
+  if (kEnabled) {
+    // The span log actually recorded the run (in virtual time).
+    EXPECT_GT(spans.size(), 0u);
+    for (const auto& e : spans.events()) {
+      EXPECT_LE(e.ts_us, 1'100'000u) << e.name;  // horizon + tail tx
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sledzig::obs

@@ -4,13 +4,30 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
+#include "sim/event_queue.h"
 
 namespace sledzig::sim {
 namespace {
+
+/// Asserts the per-node packet-conservation identity: every generated
+/// frame ends in exactly one terminal bucket.
+void expect_conservation(const SimResult& r, const char* context) {
+  std::size_t node = 0;
+  for (const auto* side : {&r.wifi, &r.zigbee}) {
+    for (const auto& n : *side) {
+      EXPECT_EQ(n.generated, n.delivered + n.queue_dropped + n.cca_dropped +
+                                 n.retry_exhausted + n.in_flight_at_end)
+          << context << " node " << node;
+      ++node;
+    }
+  }
+}
 
 /// One saturated WiFi link 4 m from one ZigBee pair — the paper's Fig 4
 /// geometry, strong margins everywhere (no verdict rides on a borderline
@@ -97,12 +114,49 @@ TEST(SimEngine, QueueDropAccountingBalances) {
   const auto r = run_scenario(cfg);
   const auto& z = r.zigbee[0];
   EXPECT_GT(z.queue_dropped, 0u);
-  // Every arrival is accounted for: dropped at the queue, dropped by CCA,
-  // completed on air, or still queued/in flight at the horizon.
-  const std::size_t completed = z.sent - z.retries;  // first transmissions
-  EXPECT_LE(z.queue_dropped + z.cca_dropped + completed, z.arrivals);
-  EXPECT_GE(z.queue_dropped + z.cca_dropped + completed + cfg.queue_capacity + 1,
-            z.arrivals);
+  // Exact conservation, not bounds: every generated frame is delivered,
+  // dropped at the queue, dropped by CCA, lost on its final attempt, or
+  // still queued/in flight at the horizon — nothing vanishes, nothing is
+  // double-counted.
+  expect_conservation(r, "queue-drop");
+  // `sent` counts attempts: first transmissions plus one per retry.
+  EXPECT_EQ(z.sent - z.retries,
+            z.delivered + z.retry_exhausted +
+                (z.generated - z.delivered - z.queue_dropped - z.cca_dropped -
+                 z.retry_exhausted - z.in_flight_at_end));
+}
+
+TEST(SimEngine, ConservationHoldsAtEveryFig16TrafficRatio) {
+  // The identity must survive every traffic regime: light WiFi (idle
+  // channel, frames mostly delivered), heavy WiFi (CCA drops and queue
+  // drops dominate), and the transition in between — for both schemes.
+  for (const bool sledzig_on : {false, true}) {
+    for (const double ratio : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      const auto r = run_scenario(two_node_paper_scenario(
+          core::SledzigConfig{}, sledzig_on, ratio, 4.0, 1.0, 2.0, 11));
+      expect_conservation(
+          r, (std::string("ratio ") + std::to_string(ratio) +
+              (sledzig_on ? " sledzig" : " normal"))
+                 .c_str());
+    }
+  }
+}
+
+TEST(SimEngine, ConservationHoldsUnderRetriesAndCollisions) {
+  // Two contending WiFi pairs plus a mote: collisions force WiFi losses
+  // (retry_exhausted, no retries) and ZigBee retries; the identity must
+  // hold with every bucket populated.
+  ScenarioConfig cfg = fig4_scenario(false, 3.0);
+  WifiNodeConfig second;
+  second.tx = {1.0, 0.0};
+  second.rx = {1.0, 3.0};
+  cfg.wifi.push_back(second);
+  const auto r = run_scenario(cfg);
+  expect_conservation(r, "collisions");
+  // WiFi never retries: a lost frame lands in retry_exhausted directly.
+  EXPECT_EQ(r.wifi[0].retries, 0u);
+  EXPECT_EQ(r.wifi[0].sent,
+            r.wifi[0].delivered + r.wifi[0].retry_exhausted);
 }
 
 TEST(SimEngine, RepeatedRunsAreBitIdentical) {
@@ -204,6 +258,98 @@ TEST(SimEngine, RejectsBadConfigs) {
 TEST(SimEngine, DistanceFloorsAtTenCentimetres) {
   EXPECT_DOUBLE_EQ(distance_m({1.0, 1.0}, {1.0, 1.0}), 0.1);
   EXPECT_DOUBLE_EQ(distance_m({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(EventQueue, EqualTimeEventsPopInPushOrder) {
+  EventQueue q;
+  for (std::uint32_t n = 0; n < 100; ++n) {
+    q.push(42.0, EventType::kArrival, n);
+  }
+  // FIFO at equal timestamps: node order == push order, seq strictly
+  // increasing — heap internals never leak into the pop order.
+  std::uint64_t prev_seq = 0;
+  for (std::uint32_t n = 0; n < 100; ++n) {
+    ASSERT_FALSE(q.empty());
+    const Event e = q.pop();
+    EXPECT_EQ(e.node, n);
+    if (n > 0) {
+      EXPECT_GT(e.seq, prev_seq);
+    }
+    prev_seq = e.seq;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PushedCountsAndSeqsNeverAlias) {
+  EventQueue q;
+  std::vector<std::uint64_t> seqs;
+  // Interleave pushes and pops: seq allocation must stay monotone across
+  // the drains, so pushed() == number of distinct seqs ever handed out.
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t n = 0; n < 20; ++n) {
+      q.push(static_cast<double>(round), EventType::kTimer, n,
+             /*token=*/static_cast<std::uint64_t>(round));
+    }
+    while (!q.empty()) seqs.push_back(q.pop().seq);
+  }
+  EXPECT_EQ(q.pushed(), seqs.size());
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end())
+      << "duplicate seq handed out";
+}
+
+TEST(EventQueue, CancelledTimersNeverMatchTheRearmedToken) {
+  // The engine's cancellation protocol: re-arming bumps the node token,
+  // orphaning every earlier timer.  Flood one node with arm/cancel cycles
+  // and verify exactly the final arm survives the staleness check.
+  EventQueue q;
+  std::uint64_t node_token = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ++node_token;  // re-arm: cancels the previous timer
+    q.push(5.0, EventType::kTimer, 0, node_token);
+  }
+  std::size_t fired = 0;
+  std::size_t stale = 0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    if (e.token == node_token) {
+      ++fired;
+    } else {
+      ++stale;
+      EXPECT_LT(e.token, node_token) << "a cancelled timer aliased a re-arm";
+    }
+  }
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(stale, 999u);
+}
+
+TEST(SimEngine, StaleTimersAreDiscardedAndCounted) {
+  // Two contending WiFi nodes cancel each other's backoff timers through
+  // medium_busy/medium_idle re-arms all run long.  The stale events must
+  // be discarded (the run stays deterministic and conservative) and show
+  // up in the sim.timer.stale counter.
+  obs::Registry reg;
+  ScenarioConfig cfg;
+  for (int i = 0; i < 2; ++i) {
+    WifiNodeConfig ap;
+    ap.tx = {2.0 * i, 0.0};
+    ap.rx = {2.0 * i, 3.0};
+    cfg.wifi.push_back(ap);
+  }
+  cfg.duration_s = 2.0;
+  cfg.seed = 7;
+  cfg.metrics = &reg;
+  const auto r = run_scenario(cfg);
+  expect_conservation(r, "stale-timer flood");
+  if (obs::kEnabled) {
+    const auto snap = reg.snapshot();
+    EXPECT_GT(snap.counter("sim.timer.stale"), 0u);
+    // Processed events cannot exceed pushes, and the event census adds up.
+    EXPECT_EQ(snap.counter("sim.events"),
+              snap.counter("sim.events.arrival") +
+                  snap.counter("sim.events.timer") +
+                  snap.counter("sim.events.tx_end"));
+  }
 }
 
 }  // namespace
