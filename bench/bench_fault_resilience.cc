@@ -1,0 +1,122 @@
+// Fault-resilience snapshot: how ZigBee PRR and throughput degrade as the
+// fault plan gets hostile, written as JSON (default BENCH_faults.json,
+// override with argv[1]).  Two axes:
+//
+//   * random node-crash rate (0 / 2 / 8 crashes per simulated second,
+//     exponential 30 ms downtimes) over the paper's two-node geometry;
+//   * jammer duty cycle (0 / 10 / 30 / 50 %) from a burst jammer parked
+//     2 m from the ZigBee receiver.
+//
+// Committed snapshots give later PRs a baseline for "graceful": degradation
+// should move smoothly with the fault intensity, never cliff to zero while
+// the plan is mild.  Every cell is run twice and the trace digests
+// compared, so fault injection can never silently trade the engine's
+// determinism away.
+#include <cstdio>
+#include <vector>
+
+#include "sim/engine.h"
+
+using namespace sledzig;
+
+namespace {
+
+sim::ScenarioConfig base_scenario() {
+  auto cfg = sim::two_node_paper_scenario(core::SledzigConfig{}, true,
+                                          /*wifi_duty_ratio=*/0.5,
+                                          /*d_wz_m=*/4.0, /*d_z_m=*/1.0,
+                                          /*duration_s=*/5.0, /*seed=*/21);
+  cfg.invariants.enabled = true;  // every bench cell is invariant-checked
+  cfg.metrics = nullptr;
+  return cfg;
+}
+
+struct Cell {
+  double prr;
+  double throughput_kbps;
+  double lost_to_crash;
+};
+
+Cell run_cell(const sim::ScenarioConfig& cfg) {
+  const auto a = sim::run_scenario(cfg);
+  const auto b = sim::run_scenario(cfg);
+  if (a.trace_digest != b.trace_digest) {
+    std::fprintf(stderr, "FATAL: repeated faulted run diverged (seed %llu)\n",
+                 static_cast<unsigned long long>(cfg.seed));
+    std::exit(1);
+  }
+  const auto& z = a.zigbee[0];
+  return {z.prr, z.throughput_kbps, static_cast<double>(z.lost_to_crash)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_faults.json";
+
+  const double crash_rates[] = {0.0, 2.0, 8.0};
+  std::vector<Cell> crash_cells;
+  for (const double rate : crash_rates) {
+    auto cfg = base_scenario();
+    cfg.faults.random.crash_rate_per_s = rate;
+    cfg.faults.random.mean_downtime_us = 30000.0;
+    crash_cells.push_back(run_cell(cfg));
+    std::printf("crash %4.1f /s: PRR %.3f, %6.2f kbps, lost_to_crash %.0f\n",
+                rate, crash_cells.back().prr,
+                crash_cells.back().throughput_kbps,
+                crash_cells.back().lost_to_crash);
+  }
+
+  const double jam_duty[] = {0.0, 0.1, 0.3, 0.5};
+  std::vector<Cell> jam_cells;
+  for (const double duty : jam_duty) {
+    auto cfg = base_scenario();
+    if (duty > 0.0) {
+      sim::JammerConfig jam;
+      jam.pos = {cfg.zigbee[0].rx.x_m, cfg.zigbee[0].rx.y_m + 2.0};
+      jam.mean_on_us = 4000.0;
+      jam.mean_off_us = jam.mean_on_us * (1.0 - duty) / duty;
+      cfg.faults.jammers.push_back(jam);
+    }
+    jam_cells.push_back(run_cell(cfg));
+    std::printf("jam duty %3.0f%%: PRR %.3f, %6.2f kbps\n", duty * 100.0,
+                jam_cells.back().prr, jam_cells.back().throughput_kbps);
+  }
+
+  // Monotone sanity on the crash axis: more crashes must never *improve*
+  // delivery (beyond a small tolerance for CSMA reshuffling).
+  for (std::size_t i = 1; i < crash_cells.size(); ++i) {
+    if (crash_cells[i].throughput_kbps >
+        crash_cells[0].throughput_kbps * 1.05) {
+      std::fprintf(stderr, "FATAL: crash rate %.1f/s raised throughput\n",
+                   crash_rates[i]);
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"duration_s\": 5.0,\n  \"deterministic\": true,\n");
+  for (std::size_t i = 0; i < crash_cells.size(); ++i) {
+    std::fprintf(f,
+                 "  \"crash_rate_%g\": {\"prr\": %.4f, \"throughput_kbps\": "
+                 "%.3f, \"lost_to_crash\": %.0f},\n",
+                 crash_rates[i], crash_cells[i].prr,
+                 crash_cells[i].throughput_kbps,
+                 crash_cells[i].lost_to_crash);
+  }
+  for (std::size_t i = 0; i < jam_cells.size(); ++i) {
+    std::fprintf(f,
+                 "  \"jam_duty_%g\": {\"prr\": %.4f, \"throughput_kbps\": "
+                 "%.3f}%s\n",
+                 jam_duty[i], jam_cells[i].prr, jam_cells[i].throughput_kbps,
+                 i + 1 < jam_cells.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

@@ -2,13 +2,17 @@
 // links contend with each other (CSMA backoff, energy-detect deferral)
 // while M ZigBee sensor pairs run 802.15.4 CSMA/CA against the actual
 // energy on the air.  Runs the whole scenario twice — normal WiFi vs
-// SledZig — and prints per-node PRR, throughput and airtime.
+// SledZig — and prints per-node PRR, throughput and airtime, then once
+// more under a hostile fault plan (random crashes, a burst jammer, clock
+// drift) with runtime invariants on, to show graceful degradation and
+// replay-from-seed (DESIGN.md §14).
 //
-//   $ ./coexistence_sim [n_wifi] [n_zigbee] [d_wz_metres]
+//   $ ./coexistence_sim [n_wifi] [n_zigbee] [d_wz_metres] [chaos_seed]
 #include <cstdio>
 #include <cstdlib>
 
 #include "sim/engine.h"
+#include "sim/invariants.h"
 
 using namespace sledzig;
 
@@ -60,6 +64,44 @@ void report(const char* label, const sim::SimResult& r) {
                 j, s.throughput_kbps, s.prr, s.airtime_fraction * 100.0,
                 s.sent, s.cca_dropped, s.queue_dropped);
   }
+  std::size_t lost = 0;
+  for (const auto* side : {&r.wifi, &r.zigbee}) {
+    for (const auto& s : *side) lost += s.lost_to_crash;
+  }
+  if (lost > 0) {
+    std::printf("  %zu frame(s) lost to node crashes\n", lost);
+  }
+}
+
+/// The same smart home with everything going wrong at once.  The whole
+/// fault timeline is a pure function of (config, seed): re-running with the
+/// printed seed reproduces the run bit-for-bit, which is how any chaos
+/// failure in tests/chaos_test.cc is replayed.
+void chaos_demo(int n_wifi, int n_zigbee, double d_wz, std::uint64_t seed) {
+  auto cfg = smart_home(n_wifi, n_zigbee, d_wz, true);
+  cfg.seed = seed;
+  cfg.duration_s = 5.0;
+  cfg.faults.random.crash_rate_per_s = 2.0;    // nodes die and reboot
+  cfg.faults.random.mean_downtime_us = 50000.0;
+  cfg.faults.random.surge_rate_per_s = 1.0;    // traffic spikes 4x
+  sim::JammerConfig jam;                       // burst jammer in the room
+  jam.pos = {1.0, d_wz - 1.0};
+  jam.mean_on_us = 3000.0;
+  jam.mean_off_us = 30000.0;
+  cfg.faults.jammers.push_back(jam);
+  cfg.faults.clocks.assign(cfg.wifi.size() + cfg.zigbee.size(),
+                           {/*skew_us=*/0.0, /*drift_ppm=*/80.0});
+  cfg.invariants.enabled = true;  // every event checked as it happens
+
+  try {
+    const auto r = sim::run_scenario(cfg);
+    std::printf("chaos plan (seed %llu, replayable)\n",
+                static_cast<unsigned long long>(seed));
+    report("  degraded but never wedged:", r);
+  } catch (const sim::InvariantViolation& v) {
+    std::printf("invariant violated at t=%.0f us — replay with seed %llu\n",
+                v.time_us(), static_cast<unsigned long long>(v.seed()));
+  }
 }
 
 }  // namespace
@@ -79,6 +121,11 @@ int main(int argc, char** argv) {
   std::printf("\n");
   report("SledZig (QAM-64 2/3)",
          sim::run_scenario(smart_home(n_wifi, n_zigbee, d_wz, true)));
+
+  std::printf("\n");
+  const std::uint64_t chaos_seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+  chaos_demo(n_wifi, n_zigbee, d_wz, chaos_seed);
 
   std::printf("\nTry more nodes or closer APs: ./coexistence_sim 3 4 2.0\n");
   return 0;

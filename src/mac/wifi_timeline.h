@@ -86,6 +86,17 @@ class WifiCsmaMachine {
   /// The transmission completed; the machine returns to idle.
   void tx_done();
 
+  /// Crash/reboot hook: back to kIdle, discarding the frozen countdown and
+  /// any armed timer (the scheduler invalidates pending timers by token).
+  /// The backoff RNG survives — rewinding it would let a rebooted node
+  /// replay its pre-crash draws.
+  void reset() {
+    state_ = State::kIdle;
+    wait_start_ = 0.0;
+    defer_until_ = 0.0;
+    slots_left_ = 0;
+  }
+
   bool idle() const { return state_ == State::kIdle; }
   /// Backoff slots not yet consumed (test hook for the freeze semantics).
   unsigned slots_left() const { return slots_left_; }

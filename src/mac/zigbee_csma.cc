@@ -71,10 +71,19 @@ ZigbeeCsmaMachine::Step ZigbeeCsmaMachine::tx_done(double now,
                                                    bool delivered) {
   if (!delivered && retries_left_ > 0) {
     --retries_left_;
-    return begin_csma(now);
+    // The ACK never arrives; CSMA for the retry starts only after the full
+    // macAckWaitDuration has elapsed (802.15.4 6.4.3).
+    return begin_csma(now + params_.ack_wait_us);
   }
   awaiting_ = Awaiting::kNone;
   return {};
+}
+
+void ZigbeeCsmaMachine::reset() {
+  awaiting_ = Awaiting::kNone;
+  nb_ = 0;
+  be_ = 0;
+  retries_left_ = 0;
 }
 
 namespace {
@@ -195,36 +204,47 @@ ZigbeeSimResult simulate_zigbee_link(const WifiTimeline& wifi,
     t += mac.processing_us;
     ++result.packets_attempted;
 
-    // Unslotted CSMA/CA.  BE starts clamped into [macMinBE, macMaxBE]
-    // (802.15.4 6.2.5.1; a misconfigured macMinBE > macMaxBE clamps down).
-    unsigned nb = 0;
-    unsigned be = std::min(mac.min_be, mac.max_be);
-    bool channel_clear = false;
+    // The frame lives until delivered, dropped by channel access, or out
+    // of retries — a lost frame with macMaxFrameRetries remaining re-runs
+    // CSMA after the ACK timeout instead of counting terminal.
+    unsigned retries_left = mac.max_frame_retries;
     while (t < duration) {
-      const auto slots = rng.uniform_int(0, (1 << be) - 1);
-      t += static_cast<double>(slots) * mac.backoff_period_us;
-      const double cca_start = t;
-      t += mac.cca_us;
-      if (!cca_busy(wifi, budget, tables, cca_start, t)) {
-        channel_clear = true;
+      // Unslotted CSMA/CA.  BE starts clamped into [macMinBE, macMaxBE]
+      // (802.15.4 6.2.5.1; a misconfigured macMinBE > macMaxBE clamps
+      // down).  NB and BE restart fresh on every retry (6.4.3).
+      unsigned nb = 0;
+      unsigned be = std::min(mac.min_be, mac.max_be);
+      bool channel_clear = false;
+      while (t < duration) {
+        const auto slots = rng.uniform_int(0, (1 << be) - 1);
+        t += static_cast<double>(slots) * mac.backoff_period_us;
+        const double cca_start = t;
+        t += mac.cca_us;
+        if (!cca_busy(wifi, budget, tables, cca_start, t)) {
+          channel_clear = true;
+          break;
+        }
+        ++nb;
+        be = std::min(be + 1, mac.max_be);
+        if (nb > mac.max_backoffs) break;
+      }
+      if (t >= duration) break;
+      if (!channel_clear) {
+        ++result.packets_dropped_cca;
         break;
       }
-      ++nb;
-      be = std::min(be + 1, mac.max_be);
-      if (nb > mac.max_backoffs) break;
-    }
-    if (t >= duration) break;
-    if (!channel_clear) {
-      ++result.packets_dropped_cca;
-      continue;
-    }
 
-    t += mac.turnaround_us;
-    const double tx_start = t;
-    t += airtime;
-    ++result.packets_sent;
-    if (frame_delivered(wifi, tables, tx_start, airtime, rng)) {
-      ++result.packets_delivered;
+      t += mac.turnaround_us;
+      const double tx_start = t;
+      t += airtime;
+      ++result.packets_sent;
+      if (frame_delivered(wifi, tables, tx_start, airtime, rng)) {
+        ++result.packets_delivered;
+        break;
+      }
+      if (retries_left == 0) break;
+      --retries_left;
+      t += mac.ack_wait_us;  // the ACK never comes; wait it out, then retry
     }
   }
 

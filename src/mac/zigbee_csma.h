@@ -26,6 +26,11 @@ struct ZigbeeMacParams {
   /// delivered.  0 matches the paper's open-loop accounting (no ACKs); the
   /// event-driven machine honours any value.
   unsigned max_frame_retries = 0;
+  /// macAckWaitDuration: how long the transmitter waits for an ACK that
+  /// never comes before re-entering CSMA on a retry (54 symbols = 864 us).
+  /// Only the retry path pays it — a delivered frame completes immediately,
+  /// so retries=0 behaviour (the paper's) is bit-identical with any value.
+  double ack_wait_us = 864.0;
   std::size_t payload_octets = 50;
   /// Per-packet application overhead (serial link to the host etc.) that
   /// limits the paper's interference-free throughput to ~63 Kbps:
@@ -119,9 +124,17 @@ class ZigbeeCsmaMachine {
   /// The turnaround timer fired; the caller starts the transmission.
   void tx_started();
 
-  /// Transmission finished.  Returns a retry Step (re-entering CSMA) when
-  /// the frame was lost and retries remain, kNone otherwise.
+  /// Transmission finished.  Returns a retry Step (re-entering CSMA after
+  /// the ACK timeout) when the frame was lost and retries remain, kNone
+  /// otherwise — a lost frame with retries in hand is never terminal.
   Step tx_done(double now, bool delivered);
+
+  /// Crash/reboot hook: drops all per-frame protocol state (NB, BE,
+  /// pending CCA/turnaround, remaining retries) as a power cycle would.
+  /// The backoff RNG is deliberately NOT reset — it is the node's seeded
+  /// entropy stream, and rewinding it would let a rebooted node replay the
+  /// exact draws it made before dying.
+  void reset();
 
   Awaiting awaiting() const { return awaiting_; }
   unsigned backoff_exponent() const { return be_; }  // test hooks

@@ -26,6 +26,17 @@ void Arbiter::end_tx(std::uint32_t tx_id) {
                 active_.end());
 }
 
+void Arbiter::abort_tx(std::uint32_t tx_id, double now_us) {
+  auto& x = txs_[tx_id];
+  if (!x.active) return;
+  x.aborted = true;
+  x.end_us = std::max(x.start_us, now_us);
+  // Truncating can only shrink the payload window; clamp its start too so
+  // the segment arithmetic in zigbee_cca_busy stays non-negative.
+  x.payload_start_us = std::min(x.payload_start_us, x.end_us);
+  end_tx(tx_id);
+}
+
 bool Arbiter::busy_at(std::uint32_t listener, double t_us) const {
   for (const auto id : active_) {
     const auto& x = txs_[id];

@@ -15,7 +15,7 @@
 
 namespace sledzig::sim {
 
-enum class NodeKind : std::uint8_t { kWifi, kZigbee };
+enum class NodeKind : std::uint8_t { kWifi, kZigbee, kJammer };
 
 /// Received power of one transmitter at one listening point, split by
 /// frame segment, in the listener's measurement band (2 MHz for ZigBee
@@ -32,6 +32,9 @@ struct Transmission {
   double payload_start_us = 0.0;  // == start_us for ZigBee frames
   double end_us = 0.0;
   bool active = false;
+  /// Cut short by a node crash: the already-queued kTxEnd is stale and the
+  /// engine skips delivery when it pops.
+  bool aborted = false;
 };
 
 /// Power tables the arbiter resolves transmissions against, for N nodes.
@@ -55,6 +58,12 @@ class Arbiter {
   std::uint32_t begin_tx(std::uint32_t node, NodeKind kind, double start_us,
                          double payload_start_us, double end_us);
   void end_tx(std::uint32_t tx_id);
+
+  /// Retires a transmission early (the transmitter died mid-air at `now`):
+  /// truncates its end to `now` so later medium queries stop seeing its
+  /// energy, and marks it aborted so the stale kTxEnd is skipped.  No-op on
+  /// an already-finished transmission.
+  void abort_tx(std::uint32_t tx_id, double now_us);
 
   const Transmission& tx(std::uint32_t tx_id) const { return txs_[tx_id]; }
   std::size_t tx_count() const { return txs_.size(); }

@@ -14,6 +14,8 @@
 #include "obs/profile.h"
 #include "sim/arbiter.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
+#include "sim/invariants.h"
 #include "sim/traffic.h"
 #include "sledzig/encoder.h"
 #include "wifi/phy_params.h"
@@ -79,11 +81,31 @@ class Engine {
     double serve_start_us = 0.0;  // when the head frame (re-)entered CSMA
   };
 
+  /// Fault-layer state for one real node, kept beside (not inside) the node
+  /// structs so the aggregate initializers above stay untouched.
+  struct NodeFaultState {
+    bool alive = true;
+    bool muted = false;  ///< TX chain off: transmit attempts fail silently
+    bool deaf = false;   ///< RX chain off: frames at this receiver are lost
+    /// Arrival-chain epoch: a crash bumps it, orphaning every pending
+    /// kArrival carrying the old value (mirror of the timer token).
+    std::uint64_t arrival_epoch = 0;
+    /// A scheduled step for this node was suppressed because it landed past
+    /// the horizon — the liveness invariant's alibi for `serving` at end.
+    bool horizon_cut = false;
+    double drift = 1.0;    ///< timer-interval stretch (1 + drift_ppm * 1e-6)
+    double skew_us = 0.0;  ///< first-arrival clock offset
+    std::uint32_t active_tx = UINT32_MAX;  ///< in-flight ledger id, if any
+  };
+
   std::uint32_t global(std::size_t wifi_i) const {
     return static_cast<std::uint32_t>(wifi_i);
   }
   std::uint32_t global_z(std::size_t zig_j) const {
     return static_cast<std::uint32_t>(num_wifi_ + zig_j);
+  }
+  std::uint32_t jammer_index(std::size_t jam_k) const {
+    return static_cast<std::uint32_t>(num_nodes_ + jam_k);
   }
 
   void trace(double t, std::uint32_t node, TraceType type,
@@ -95,6 +117,11 @@ class Engine {
   void on_wifi_timer(std::size_t i, double t);
   void on_zigbee_timer(std::size_t j, double t);
   void on_tx_end(std::uint32_t tx_id, double t);
+  void on_fault(const FaultAction& action, double t);
+
+  void crash_node(std::uint32_t g, double t);
+  void reboot_node(std::uint32_t g, double t);
+  void start_jam_burst(std::size_t jam_k, double t, double len_us);
 
   void apply_wifi_step(std::size_t i, mac::WifiCsmaMachine::Step step,
                        double now);
@@ -110,7 +137,14 @@ class Engine {
   bool zigbee_frame_delivered(std::size_t j, const Transmission& tx);
 
   double perr(std::size_t zig_j, std::uint32_t tx_node, bool preamble) const {
-    return perr_[(zig_j * num_nodes_ + tx_node) * 2 + (preamble ? 1 : 0)];
+    return perr_[(zig_j * num_total_ + tx_node) * 2 + (preamble ? 1 : 0)];
+  }
+
+  /// A node's own-clock mapping of an absolute step time: the interval the
+  /// MAC asked for, stretched by the node's drift factor.
+  double warp(std::uint32_t g, double now, double at) const {
+    const double d = fstate_[g].drift;
+    return d == 1.0 ? at : now + (at - now) * d;
   }
 
   ScenarioConfig cfg_;
@@ -118,12 +152,17 @@ class Engine {
   std::size_t num_wifi_;
   std::size_t num_zigbee_;
   std::size_t num_nodes_;
+  std::size_t num_jammers_;
+  std::size_t num_total_;  // nodes + jammer pseudo-nodes (power-table dim)
   std::vector<WifiNode> wifi_;
   std::vector<ZigbeeNode> zigbee_;
-  std::vector<double> perr_;  // M x N x {payload, preamble segment}
+  std::vector<NodeFaultState> fstate_;  // per real node
+  std::vector<FaultAction> actions_;    // compiled fault schedule
+  std::vector<double> perr_;  // M x num_total x {payload, preamble segment}
   double noise20_mw_;
   Arbiter arbiter_;
   EventQueue queue_;
+  SimInvariants inv_;
   std::uint64_t digest_ = kFnvOffset;
   std::uint64_t events_ = 0;
   // Per-run tallies, flushed to cfg_.metrics once at the end of run() so
@@ -131,7 +170,14 @@ class Engine {
   std::uint64_t arrival_events_ = 0;
   std::uint64_t timer_events_ = 0;
   std::uint64_t tx_end_events_ = 0;
+  std::uint64_t fault_events_ = 0;
   std::uint64_t stale_timers_ = 0;
+  std::uint64_t stale_arrivals_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t reboots_ = 0;
+  std::uint64_t jam_bursts_ = 0;
+  std::uint64_t tx_aborted_ = 0;
+  std::uint64_t tx_muted_ = 0;
   std::vector<TraceEvent> trace_;
 
   void flush_metrics() const;
@@ -143,8 +189,11 @@ Engine::Engine(const ScenarioConfig& cfg)
       num_wifi_(cfg.wifi.size()),
       num_zigbee_(cfg.zigbee.size()),
       num_nodes_(num_wifi_ + num_zigbee_),
+      num_jammers_(cfg.faults.jammers.size()),
+      num_total_(num_nodes_ + num_jammers_),
       noise20_mw_(common::dbm_to_mw(channel::kNoiseFloor20MhzDbm)),
-      arbiter_(ArbiterTables{}) {
+      arbiter_(ArbiterTables{}),
+      inv_(cfg.invariants, cfg.seed) {
   if (!(cfg_.duration_s > 0.0)) {
     throw std::invalid_argument("ScenarioConfig: duration_s must be > 0");
   }
@@ -204,44 +253,65 @@ Engine::Engine(const ScenarioConfig& cfg)
         0.0});
   }
 
+  // --- fault layer: per-node state, clocks and the compiled schedule ---
+  fstate_.assign(num_nodes_, NodeFaultState{});
+  for (std::size_t n = 0;
+       n < std::min(cfg_.faults.clocks.size(), num_nodes_); ++n) {
+    fstate_[n].skew_us = cfg_.faults.clocks[n].skew_us;
+    fstate_[n].drift = 1.0 + cfg_.faults.clocks[n].drift_ppm * 1e-6;
+  }
+  if (cfg_.faults.any()) {
+    actions_ = FaultScheduler::compile(cfg_.faults, cfg_.seed, duration_us_,
+                                       num_nodes_);
+  }
+
   // --- power tables: every transmitter heard at every listening point ---
-  // Point p in [0, N) is node p's transmitter position (CCA); point N + p
-  // is its receiver position (delivery).  One lognormal shadowing draw per
-  // (point, transmitter) path, in fixed iteration order.
+  // Point p in [0, T) is entry p's transmitter position (CCA); point T + p
+  // is its receiver position (delivery), where T = nodes + jammers (a
+  // jammer is a pseudo-node: it transmits through the same tables but
+  // never listens, so its listener rows are dead weight).  One lognormal
+  // shadowing draw per (point, transmitter) path, in fixed iteration order
+  // — with no jammers the draw sequence is exactly the pre-fault one.
   common::Rng shadow_rng(
       common::derive_seed(cfg_.seed, 4 * num_nodes_ + 3));
   const auto wifi_link = channel::wifi_link();
   const auto zigbee_link = channel::zigbee_link();
+  // A flat wideband jammer presents 2/20 MHz of its power to a ZigBee
+  // listener's measurement band.
+  const double kJammerBandFractionDb = -10.0;
   ArbiterTables tables;
-  tables.num_nodes = num_nodes_;
-  tables.power.resize(2 * num_nodes_ * num_nodes_);
-  tables.audible.assign(num_nodes_ * num_nodes_, 0);
-  tables.cca_noise_mw.resize(num_nodes_);
-  tables.cca_threshold_dbm.resize(num_nodes_);
+  tables.num_nodes = num_total_;
+  tables.power.resize(2 * num_total_ * num_total_);
+  tables.audible.assign(num_total_ * num_total_, 0);
+  tables.cca_noise_mw.resize(num_total_);
+  tables.cca_threshold_dbm.resize(num_total_);
 
-  for (std::size_t p = 0; p < 2 * num_nodes_; ++p) {
-    const std::size_t listener = p % num_nodes_;
-    const bool rx_point = p >= num_nodes_;
+  for (std::size_t p = 0; p < 2 * num_total_; ++p) {
+    const std::size_t listener = p % num_total_;
+    const bool rx_point = p >= num_total_;
     Position pos;
     if (listener < num_wifi_) {
       pos = rx_point ? cfg_.wifi[listener].rx : cfg_.wifi[listener].tx;
-    } else {
+    } else if (listener < num_nodes_) {
       const auto& z = cfg_.zigbee[listener - num_wifi_];
       pos = rx_point ? z.rx : z.tx;
+    } else {
+      pos = cfg_.faults.jammers[listener - num_nodes_].pos;
     }
-    const bool listener_is_wifi = listener < num_wifi_;
-    for (std::size_t t = 0; t < num_nodes_; ++t) {
+    const bool listener_is_zigbee = listener >= num_wifi_ &&
+                                    listener < num_nodes_;
+    for (std::size_t t = 0; t < num_total_; ++t) {
       const double jitter = shadow_rng.gaussian(cfg_.shadowing_sigma_db);
       SegmentPower sp;
       if (t == listener && !rx_point) {
         // A node never interferes with its own CCA; leave 0.
-        tables.power[p * num_nodes_ + t] = sp;
+        tables.power[p * num_total_ + t] = sp;
         continue;
       }
       if (t < num_wifi_) {
         const auto& w = cfg_.wifi[t];
         const double d = distance_m(w.tx, pos);
-        if (listener_is_wifi) {
+        if (!listener_is_zigbee) {
           // Full-band energy: payload and preamble carry the same total
           // power (SledZig redistributes within the band, it does not
           // shed power).
@@ -259,7 +329,7 @@ Engine::Engine(const ScenarioConfig& cfg)
           sp.payload_mw = common::dbm_to_mw(inband.payload_dbm + jitter);
           sp.preamble_mw = common::dbm_to_mw(inband.preamble_dbm + jitter);
         }
-      } else {
+      } else if (t < num_nodes_) {
         const auto& z = cfg_.zigbee[t - num_wifi_];
         const double d = distance_m(z.tx, pos);
         // A 2 MHz ZigBee frame fits inside either measurement band at
@@ -269,41 +339,52 @@ Engine::Engine(const ScenarioConfig& cfg)
             jitter;
         sp.payload_mw = common::dbm_to_mw(total);
         sp.preamble_mw = sp.payload_mw;
+      } else {
+        // Jammer: flat wideband burst through the WiFi link model — full
+        // power at a 20 MHz listener, the band fraction at a ZigBee one.
+        const auto& jm = cfg_.faults.jammers[t - num_nodes_];
+        const double d = distance_m(jm.pos, pos);
+        double total = wifi_link.received_power_dbm(
+                           channel::wifi_tx_power_dbm(jm.usrp_gain), d) +
+                       jitter;
+        if (listener_is_zigbee) total += kJammerBandFractionDb;
+        sp.payload_mw = common::dbm_to_mw(total);
+        sp.preamble_mw = sp.payload_mw;
       }
-      tables.power[p * num_nodes_ + t] = sp;
+      tables.power[p * num_total_ + t] = sp;
     }
   }
 
-  for (std::size_t n = 0; n < num_nodes_; ++n) {
-    const bool is_wifi = n < num_wifi_;
+  for (std::size_t n = 0; n < num_total_; ++n) {
+    const bool is_zigbee = n >= num_wifi_ && n < num_nodes_;
     tables.cca_noise_mw[n] = common::dbm_to_mw(
-        is_wifi ? channel::kNoiseFloor20MhzDbm : channel::kNoiseFloor2MhzDbm);
-    tables.cca_threshold_dbm[n] = is_wifi ? channel::kWifiCcaThresholdDbm
-                                          : channel::kZigbeeCcaThresholdDbm;
+        is_zigbee ? channel::kNoiseFloor2MhzDbm : channel::kNoiseFloor20MhzDbm);
+    tables.cca_threshold_dbm[n] = is_zigbee ? channel::kZigbeeCcaThresholdDbm
+                                            : channel::kWifiCcaThresholdDbm;
     const double threshold_mw =
         common::dbm_to_mw(tables.cca_threshold_dbm[n]);
-    for (std::size_t t = 0; t < num_nodes_; ++t) {
+    for (std::size_t t = 0; t < num_total_; ++t) {
       if (t == n) continue;
       // Energy-detect audibility (WiFi listeners defer on this; ZigBee
       // listeners use the averaged-energy CCA instead).
-      tables.audible[n * num_nodes_ + t] =
-          tables.power[n * num_nodes_ + t].payload_mw >= threshold_mw ? 1 : 0;
+      tables.audible[n * num_total_ + t] =
+          tables.power[n * num_total_ + t].payload_mw >= threshold_mw ? 1 : 0;
     }
   }
 
   // --- own-link budgets and cached per-interferer symbol error probs ---
   for (std::size_t i = 0; i < num_wifi_; ++i) {
     wifi_[i].signal_mw =
-        tables.power[(num_nodes_ + i) * num_nodes_ + i].payload_mw;
+        tables.power[(num_total_ + i) * num_total_ + i].payload_mw;
   }
   const double noise2_mw = common::dbm_to_mw(channel::kNoiseFloor2MhzDbm);
-  perr_.assign(num_zigbee_ * num_nodes_ * 2, 0.0);
+  perr_.assign(num_zigbee_ * num_total_ * 2, 0.0);
   for (std::size_t j = 0; j < num_zigbee_; ++j) {
     auto& zn = zigbee_[j];
     const std::size_t g = global_z(j);
     const double signal_dbm =
         common::mw_to_dbm(
-            tables.power[(num_nodes_ + g) * num_nodes_ + g].payload_mw) -
+            tables.power[(num_total_ + g) * num_total_ + g].payload_mw) -
         impair_penalty_db;
     zn.signal_mw = common::dbm_to_mw(signal_dbm);
     zn.sensitivity_loss = cfg_.error_model.sensitivity_loss_prob(
@@ -314,15 +395,15 @@ Engine::Engine(const ScenarioConfig& cfg)
       return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
     };
     zn.p_err_idle = p_err(0.0, false);
-    for (std::size_t t = 0; t < num_nodes_; ++t) {
+    for (std::size_t t = 0; t < num_total_; ++t) {
       if (t == g) continue;
-      const auto& sp = tables.power[(num_nodes_ + g) * num_nodes_ + t];
+      const auto& sp = tables.power[(num_total_ + g) * num_total_ + t];
       // The "preamble" shape of the error model is calibrated for the
-      // bursty WiFi preamble; a ZigBee interferer's whole frame behaves
-      // like payload.
+      // bursty WiFi preamble; a ZigBee interferer's whole frame — and a
+      // jammer's noise-like burst — behaves like payload.
       const bool wifi_tx = t < num_wifi_;
-      perr_[(j * num_nodes_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
-      perr_[(j * num_nodes_ + t) * 2 + 1] = p_err(sp.preamble_mw, wifi_tx);
+      perr_[(j * num_total_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
+      perr_[(j * num_total_ + t) * 2 + 1] = p_err(sp.preamble_mw, wifi_tx);
     }
   }
 
@@ -340,11 +421,21 @@ void Engine::trace(double t, std::uint32_t node, TraceType type,
 }
 
 void Engine::push_arrival(std::uint32_t node, double t) {
-  if (t < duration_us_) queue_.push(t, EventType::kArrival, node);
+  // The arrival carries the node's current epoch; a crash bumps the epoch,
+  // so the whole pending chain goes stale at once.
+  if (t < duration_us_) {
+    queue_.push(t, EventType::kArrival, node, fstate_[node].arrival_epoch);
+  }
 }
 
 void Engine::push_timer(std::uint32_t node, double t, std::uint64_t token) {
-  if (t < duration_us_) queue_.push(t, EventType::kTimer, node, token);
+  if (t < duration_us_) {
+    queue_.push(t, EventType::kTimer, node, token);
+  } else {
+    // The node's next MAC step lands past the horizon: remember that the
+    // run (not a bug) cut it off, for the end-of-run liveness check.
+    fstate_[node].horizon_cut = true;
+  }
 }
 
 void Engine::apply_wifi_step(std::size_t i, mac::WifiCsmaMachine::Step step,
@@ -354,7 +445,7 @@ void Engine::apply_wifi_step(std::size_t i, mac::WifiCsmaMachine::Step step,
     case Kind::kNone:
       break;
     case Kind::kTimerAt:
-      push_timer(global(i), step.at, wifi_[i].token);
+      push_timer(global(i), warp(global(i), now, step.at), wifi_[i].token);
       break;
     case Kind::kTransmit:
       start_wifi_tx(i, now);
@@ -373,7 +464,7 @@ void Engine::apply_zigbee_step(std::size_t j,
       break;
     case Kind::kCcaEndAt:
     case Kind::kTxStartAt:
-      push_timer(g, step.at, n.token);
+      push_timer(g, warp(g, now, step.at), n.token);
       break;
     case Kind::kDropCca:
       ++n.stats.cca_dropped;
@@ -391,6 +482,7 @@ void Engine::apply_zigbee_step(std::size_t j,
 }
 
 void Engine::serve_next(std::uint32_t node, double t) {
+  if (!fstate_[node].alive) return;  // a dead node schedules nothing
   if (node < num_wifi_) {
     auto& n = wifi_[node];
     if (!n.queue.empty()) {
@@ -443,6 +535,9 @@ void Engine::on_arrival(std::uint32_t node, double t) {
     return;
   }
   queue.push_back(t);
+  if (inv_.enabled()) {
+    inv_.on_queue_depth(node, queue.size(), cfg_.queue_capacity, t);
+  }
   if (!serving) serve_next(node, t);
 }
 
@@ -478,14 +573,31 @@ void Engine::start_wifi_tx(std::size_t i, double now) {
   auto& n = wifi_[i];
   const std::uint32_t g = global(i);
   ++n.stats.sent;
-  n.stats.airtime_us += n.burst_us;
-  trace(now, g, TraceType::kTxStart);
   if (cfg_.span_log != nullptr) {
     cfg_.span_log->complete("csma", g, vus(n.serve_start_us), vus(now));
   }
+  if (fstate_[g].muted) {
+    // TX chain is off: the attempt never reaches the air.  WiFi does not
+    // retry, so the frame is terminal — it exhausted its zero retries.
+    ++tx_muted_;
+    ++n.stats.retry_exhausted;
+    trace(now, g, TraceType::kTxMuted);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->instant("tx_muted", g, vus(now));
+    }
+    n.machine.tx_done();
+    ++n.token;
+    n.queue.pop_front();
+    n.serving = false;
+    serve_next(g, now);
+    return;
+  }
+  n.stats.airtime_us += n.burst_us;
+  trace(now, g, TraceType::kTxStart);
   const std::uint32_t tx_id =
       arbiter_.begin_tx(g, NodeKind::kWifi, now, now + n.cfg.mac.preamble_us,
                         now + n.burst_us);
+  fstate_[g].active_tx = tx_id;
   queue_.push(now + n.burst_us, EventType::kTxEnd, g, 0, tx_id);
   notify_busy(g, now);
 }
@@ -495,13 +607,40 @@ void Engine::start_zigbee_tx(std::size_t j, double now) {
   const std::uint32_t g = global_z(j);
   n.machine.tx_started();
   ++n.stats.sent;
-  n.stats.airtime_us += n.airtime_us;
-  trace(now, g, TraceType::kTxStart);
   if (cfg_.span_log != nullptr) {
     cfg_.span_log->complete("csma", g, vus(n.serve_start_us), vus(now));
   }
+  if (fstate_[g].muted) {
+    // TX chain is off: no energy leaves the node and no ACK will come.
+    // The machine sees an undelivered attempt, so macMaxFrameRetries
+    // still applies (a muted window shorter than the retry budget only
+    // delays the frame).
+    ++tx_muted_;
+    trace(now, g, TraceType::kTxMuted);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->instant("tx_muted", g, vus(now));
+    }
+    ++n.token;
+    const auto step = n.machine.tx_done(now, false);
+    if (step.kind != mac::ZigbeeCsmaMachine::Step::Kind::kNone) {
+      ++n.stats.retries;
+      n.serve_start_us = now;
+      trace(now, g, TraceType::kRetry,
+            static_cast<std::int32_t>(n.machine.retries_left()));
+      apply_zigbee_step(j, step, now);
+    } else {
+      ++n.stats.retry_exhausted;
+      n.queue.pop_front();
+      n.serving = false;
+      serve_next(g, now);
+    }
+    return;
+  }
+  n.stats.airtime_us += n.airtime_us;
+  trace(now, g, TraceType::kTxStart);
   const std::uint32_t tx_id =
       arbiter_.begin_tx(g, NodeKind::kZigbee, now, now, now + n.airtime_us);
+  fstate_[g].active_tx = tx_id;
   queue_.push(now + n.airtime_us, EventType::kTxEnd, g, 0, tx_id);
   notify_busy(g, now);
 }
@@ -511,7 +650,9 @@ void Engine::notify_busy(std::uint32_t tx_node, double now) {
   // unslotted 802.15.4 is oblivious outside its CCA windows.
   for (std::size_t w = 0; w < num_wifi_; ++w) {
     const auto g = global(w);
-    if (g == tx_node || !arbiter_.audible(g, tx_node)) continue;
+    if (g == tx_node || !fstate_[g].alive || !arbiter_.audible(g, tx_node)) {
+      continue;
+    }
     ++wifi_[w].token;
     apply_wifi_step(w, wifi_[w].machine.medium_busy(now), now);
   }
@@ -520,7 +661,7 @@ void Engine::notify_busy(std::uint32_t tx_node, double now) {
 void Engine::notify_idle(double now) {
   for (std::size_t w = 0; w < num_wifi_; ++w) {
     const auto g = global(w);
-    if (arbiter_.busy_at(g, now)) continue;
+    if (!fstate_[g].alive || arbiter_.busy_at(g, now)) continue;
     ++wifi_[w].token;
     apply_wifi_step(w, wifi_[w].machine.medium_idle(now), now);
   }
@@ -529,6 +670,8 @@ void Engine::notify_idle(double now) {
 bool Engine::wifi_frame_delivered(std::size_t i, const Transmission& tx) const {
   const auto& n = wifi_[i];
   const std::uint32_t g = global(i);
+  // A deaf station cannot decode anything, interference or not.
+  if (fstate_[g].deaf) return false;
   const auto [lo, hi] = arbiter_.overlap_range(tx.start_us, tx.end_us);
   for (std::size_t k = lo; k < hi; ++k) {
     const auto& x = arbiter_.tx(static_cast<std::uint32_t>(k));
@@ -552,6 +695,9 @@ bool Engine::wifi_frame_delivered(std::size_t i, const Transmission& tx) const {
 bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
   auto& n = zigbee_[j];
   const std::uint32_t g = global_z(j);
+  // A deaf receiver loses the frame outright (and draws nothing from the
+  // delivery stream — faults only perturb what they touch).
+  if (fstate_[g].deaf) return false;
   // Frame-level sensitivity cliff (CC2420 practical sensitivity).
   if (n.delivery_rng.uniform() < n.sensitivity_loss) return false;
 
@@ -594,7 +740,16 @@ bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
 
 void Engine::on_tx_end(std::uint32_t tx_id, double t) {
   const Transmission tx = arbiter_.tx(tx_id);
+  // The transmitter died mid-air: abort_tx already retired the emission and
+  // accounted the frame (lost_to_crash), so this kTxEnd is stale.
+  if (tx.aborted) return;
   arbiter_.end_tx(tx_id);
+  if (tx.kind == NodeKind::kJammer) {
+    // Burst over; no stats — jammers have no frames, only energy.
+    notify_idle(t);
+    return;
+  }
+  fstate_[tx.node].active_tx = UINT32_MAX;
   if (tx.kind == NodeKind::kWifi) {
     const std::size_t i = tx.node;
     auto& n = wifi_[i];
@@ -652,6 +807,138 @@ void Engine::on_tx_end(std::uint32_t tx_id, double t) {
   notify_idle(t);
 }
 
+void Engine::crash_node(std::uint32_t g, double t) {
+  auto& fs = fstate_[g];
+  if (!fs.alive) return;  // overlapping crash windows: already dead
+  fs.alive = false;
+  ++crashes_;
+  const bool is_wifi = g < num_wifi_;
+  auto& queue = is_wifi ? wifi_[g].queue : zigbee_[g - num_wifi_].queue;
+  auto& stats = is_wifi ? wifi_[g].stats : zigbee_[g - num_wifi_].stats;
+
+  // Abort any in-flight emission: the carrier drops dead at t, and the
+  // airtime that never flew is refunded.
+  bool aborted = false;
+  if (fs.active_tx != UINT32_MAX) {
+    const Transmission tx = arbiter_.tx(fs.active_tx);
+    arbiter_.abort_tx(fs.active_tx, t);
+    ++tx_aborted_;
+    trace(t, g, TraceType::kTxAborted);
+    if (cfg_.span_log != nullptr) {
+      cfg_.span_log->complete("tx", g, vus(tx.start_us), vus(t));
+      cfg_.span_log->instant("tx_aborted", g, vus(t));
+    }
+    stats.airtime_us -= std::max(0.0, tx.end_us - std::max(tx.start_us, t));
+    fs.active_tx = UINT32_MAX;
+    aborted = true;
+  }
+
+  // Queue state is volatile: every held frame dies with the node.  The
+  // head frame stays at the queue front until terminal, so this also
+  // accounts the frame that was mid-CSMA or mid-air.
+  stats.lost_to_crash += queue.size();
+  trace(t, g, TraceType::kNodeCrash,
+        static_cast<std::int32_t>(queue.size()));
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->instant("crash", g, vus(t));
+  }
+  queue.clear();
+  if (is_wifi) {
+    wifi_[g].serving = false;
+    ++wifi_[g].token;  // cancel pending MAC timers
+    wifi_[g].machine.reset();
+  } else {
+    zigbee_[g - num_wifi_].serving = false;
+    ++zigbee_[g - num_wifi_].token;
+    zigbee_[g - num_wifi_].machine.reset();
+  }
+  ++fs.arrival_epoch;  // orphan the pending arrival chain
+  // Our aborted emission may have been what kept the others deferring.
+  if (aborted) notify_idle(t);
+}
+
+void Engine::reboot_node(std::uint32_t g, double t) {
+  auto& fs = fstate_[g];
+  if (fs.alive) return;  // duplicate recovery: already up
+  fs.alive = true;
+  ++reboots_;
+  trace(t, g, TraceType::kNodeReboot);
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->instant("reboot", g, vus(t));
+  }
+  // Cold MAC (reset at crash time) and a fresh arrival chain under the
+  // current epoch — the pre-crash chain stays orphaned.
+  auto& traffic =
+      g < num_wifi_ ? wifi_[g].traffic : zigbee_[g - num_wifi_].traffic;
+  push_arrival(g, traffic.next_after(t));
+}
+
+void Engine::start_jam_burst(std::size_t jam_k, double t, double len_us) {
+  const std::uint32_t g = jammer_index(jam_k);
+  ++jam_bursts_;
+  trace(t, g, TraceType::kJam);
+  if (cfg_.span_log != nullptr) {
+    cfg_.span_log->instant("jam", g, vus(t));
+  }
+  // The burst is an ordinary ledger entry (kind kJammer): CCA, WiFi
+  // deferral and per-symbol delivery all see its energy through the same
+  // power tables as a real transmitter.  Its kTxEnd retires it.
+  const std::uint32_t tx_id =
+      arbiter_.begin_tx(g, NodeKind::kJammer, t, t, t + len_us);
+  queue_.push(t + len_us, EventType::kTxEnd, g, 0, tx_id);
+  notify_busy(g, t);
+}
+
+void Engine::on_fault(const FaultAction& a, double t) {
+  switch (a.kind) {
+    case FaultKind::kCrash:
+      crash_node(a.node, t);
+      break;
+    case FaultKind::kReboot:
+      reboot_node(a.node, t);
+      break;
+    case FaultKind::kMuteOn:
+    case FaultKind::kMuteOff: {
+      const bool on = a.kind == FaultKind::kMuteOn;
+      if (fstate_[a.node].muted != on) {
+        fstate_[a.node].muted = on;
+        trace(t, a.node, TraceType::kMute, on ? 1 : 0);
+        if (cfg_.span_log != nullptr) {
+          cfg_.span_log->instant(on ? "mute_on" : "mute_off", a.node, vus(t));
+        }
+      }
+      break;
+    }
+    case FaultKind::kDeafOn:
+    case FaultKind::kDeafOff: {
+      const bool on = a.kind == FaultKind::kDeafOn;
+      if (fstate_[a.node].deaf != on) {
+        fstate_[a.node].deaf = on;
+        trace(t, a.node, TraceType::kDeaf, on ? 1 : 0);
+        if (cfg_.span_log != nullptr) {
+          cfg_.span_log->instant(on ? "deaf_on" : "deaf_off", a.node, vus(t));
+        }
+      }
+      break;
+    }
+    case FaultKind::kJamOn:
+      start_jam_burst(a.node, t, a.magnitude);
+      break;
+    case FaultKind::kSurgeOn:
+    case FaultKind::kSurgeOff: {
+      const bool on = a.kind == FaultKind::kSurgeOn;
+      auto& traffic = a.node < num_wifi_ ? wifi_[a.node].traffic
+                                         : zigbee_[a.node - num_wifi_].traffic;
+      traffic.set_rate_scale(on ? a.magnitude : 1.0);
+      trace(t, a.node, TraceType::kSurge, on ? 1 : 0);
+      if (cfg_.span_log != nullptr) {
+        cfg_.span_log->instant(on ? "surge_on" : "surge_off", a.node, vus(t));
+      }
+      break;
+    }
+  }
+}
+
 SimResult Engine::run() {
   SLEDZIG_PROF_SCOPE("sim.run");
   if (cfg_.span_log != nullptr) {
@@ -667,15 +954,27 @@ SimResult Engine::run() {
   for (std::size_t n = 0; n < num_nodes_; ++n) {
     auto& traffic =
         n < num_wifi_ ? wifi_[n].traffic : zigbee_[n - num_wifi_].traffic;
-    push_arrival(static_cast<std::uint32_t>(n), traffic.first_arrival());
+    // Clock skew offsets the node's first arrival (its boot-time phase);
+    // everything after is interval-relative and governed by drift.
+    push_arrival(static_cast<std::uint32_t>(n),
+                 std::max(0.0, traffic.first_arrival() + fstate_[n].skew_us));
+  }
+  for (std::size_t a = 0; a < actions_.size(); ++a) {
+    queue_.push(actions_[a].at_us, EventType::kFault, 0, 0,
+                static_cast<std::uint32_t>(a));
   }
 
   while (!queue_.empty()) {
     const Event e = queue_.pop();
     ++events_;
+    if (inv_.enabled()) inv_.on_event(e.time_us);
     switch (e.type) {
       case EventType::kArrival:
         ++arrival_events_;
+        if (e.token != fstate_[e.node].arrival_epoch) {
+          ++stale_arrivals_;  // chain orphaned by a crash
+          break;
+        }
         on_arrival(e.node, e.time_us);
         break;
       case EventType::kTimer: {
@@ -698,6 +997,10 @@ SimResult Engine::run() {
         ++tx_end_events_;
         on_tx_end(e.tx_id, e.time_us);
         break;
+      case EventType::kFault:
+        ++fault_events_;
+        on_fault(actions_[e.tx_id], e.time_us);
+        break;
     }
   }
 
@@ -707,6 +1010,24 @@ SimResult Engine::run() {
   // queue.size() is exactly the in-flight count.
   for (auto& n : wifi_) n.stats.in_flight_at_end = n.queue.size();
   for (auto& n : zigbee_) n.stats.in_flight_at_end = n.queue.size();
+
+  if (inv_.enabled()) {
+    for (std::size_t g = 0; g < num_nodes_; ++g) {
+      const bool is_wifi = g < num_wifi_;
+      const auto& fs = fstate_[g];
+      const auto& s = is_wifi ? wifi_[g].stats : zigbee_[g - num_wifi_].stats;
+      const bool serving =
+          is_wifi ? wifi_[g].serving : zigbee_[g - num_wifi_].serving;
+      inv_.on_node_drained(static_cast<std::uint32_t>(g), fs.alive, serving,
+                           fs.horizon_cut, fs.active_tx != UINT32_MAX,
+                           duration_us_);
+      inv_.on_conservation(static_cast<std::uint32_t>(g), s.generated,
+                           s.delivered + s.queue_dropped + s.cca_dropped +
+                               s.retry_exhausted + s.lost_to_crash +
+                               s.in_flight_at_end,
+                           duration_us_);
+    }
+  }
 
   SimResult result;
   result.events_processed = events_;
@@ -750,6 +1071,7 @@ void Engine::flush_metrics() const {
     sum.delivered += s.delivered;
     sum.retries += s.retries;
     sum.retry_exhausted += s.retry_exhausted;
+    sum.lost_to_crash += s.lost_to_crash;
     sum.in_flight_at_end += s.in_flight_at_end;
   };
   for (const auto& n : wifi_) accumulate(n.stats);
@@ -766,20 +1088,40 @@ void Engine::flush_metrics() const {
   reg->counter("sim.frames.queue_dropped").add(sum.queue_dropped);
   reg->counter("sim.frames.cca_dropped").add(sum.cca_dropped);
   reg->counter("sim.frames.retry_exhausted").add(sum.retry_exhausted);
+  reg->counter("sim.frames.lost_to_crash").add(sum.lost_to_crash);
   reg->counter("sim.frames.in_flight_at_end").add(sum.in_flight_at_end);
   reg->counter("sim.tx.attempts").add(sum.sent);
   reg->counter("sim.tx.retries").add(sum.retries);
+  // Fault-layer tallies: all zero (and free) without a fault plan.
+  if (fault_events_ > 0 || stale_arrivals_ > 0) {
+    reg->counter("sim.events.fault").add(fault_events_);
+    reg->counter("sim.arrival.stale").add(stale_arrivals_);
+    reg->counter("sim.faults.crashes").add(crashes_);
+    reg->counter("sim.faults.reboots").add(reboots_);
+    reg->counter("sim.faults.jam_bursts").add(jam_bursts_);
+    reg->counter("sim.faults.tx_aborted").add(tx_aborted_);
+    reg->counter("sim.faults.tx_muted").add(tx_muted_);
+  }
 }
 
 }  // namespace
 
 SimResult run_scenario(const ScenarioConfig& config) {
+  if (auto errors = config.validate(); !errors.empty()) {
+    throw std::invalid_argument(describe(errors));
+  }
   return Engine(config).run();
 }
 
 std::vector<SimResult> run_replications(common::ThreadPool& pool,
                                         const ScenarioConfig& config,
                                         std::size_t replications) {
+  // Validate once, before any worker touches the config: a structurally
+  // broken scenario fails fast with every finding, instead of surfacing as
+  // a worker-thread exception deep inside the first replication.
+  if (auto errors = config.validate(); !errors.empty()) {
+    throw std::invalid_argument(describe(errors));
+  }
   return common::parallel_map(pool, replications, [&](std::size_t rep) {
     ScenarioConfig c = config;
     c.seed = common::derive_seed(config.seed, rep);

@@ -33,6 +33,16 @@ enum class TraceType : std::uint8_t {
   kTxDelivered,   ///< frame evaluated clean at its receiver
   kTxLost,        ///< frame corrupted (SINR) or below sensitivity
   kRetry,         ///< frame lost, CSMA re-entered (macMaxFrameRetries)
+  // Fault-injection instants (DESIGN.md §14).  Values are appended, never
+  // reordered, so fault-free digests are unchanged from earlier revisions.
+  kNodeCrash,     ///< node died (aux = frames lost from its queue)
+  kNodeReboot,    ///< node returned cold
+  kMute,          ///< TX chain toggled (aux: 1 = on, 0 = off)
+  kDeaf,          ///< RX chain toggled (aux: 1 = on, 0 = off)
+  kJam,           ///< jammer burst started (node = jammer pseudo-index)
+  kSurge,         ///< traffic surge toggled (aux: 1 = on, 0 = off)
+  kTxAborted,     ///< in-flight transmission cut short by a crash
+  kTxMuted,       ///< transmit attempt swallowed by a muted TX chain
 };
 
 struct TraceEvent {
@@ -46,10 +56,11 @@ struct TraceEvent {
 /// terminal bucket, so the conservation identity
 ///
 ///   generated == delivered + queue_dropped + cca_dropped
-///                + retry_exhausted + in_flight_at_end
+///                + retry_exhausted + lost_to_crash + in_flight_at_end
 ///
-/// holds exactly for every node in every scenario (asserted across the
-/// whole sim suite in tests/sim_test.cc).  `sent` and `retries` count
+/// holds exactly for every node in every scenario — fault plans included
+/// (asserted across the whole sim suite in tests/sim_test.cc and for every
+/// chaos schedule in tests/chaos_test.cc).  `sent` and `retries` count
 /// *attempts*, not frames — a frame retried twice contributes 3 to `sent`
 /// — so they deliberately stay outside the identity.
 struct NodeStats {
@@ -62,6 +73,10 @@ struct NodeStats {
   /// Frames abandoned after their final permitted attempt was lost (for
   /// WiFi, which never retries, this is simply every lost frame).
   std::size_t retry_exhausted = 0;
+  /// Frames destroyed by a node crash: everything queued at the instant the
+  /// node died, including the frame being served (an in-flight transmission
+  /// is aborted on the air and lands here, not in retry_exhausted).
+  std::size_t lost_to_crash = 0;
   /// Frames still queued (or mid-service) when the horizon cut them off.
   std::size_t in_flight_at_end = 0;
   double airtime_us = 0.0;

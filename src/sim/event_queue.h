@@ -18,6 +18,7 @@ enum class EventType : std::uint8_t {
   kArrival,  ///< the node's traffic source delivers a frame
   kTimer,    ///< a MAC state-machine timer (validated against the node token)
   kTxEnd,    ///< a transmission leaves the air; delivery is evaluated
+  kFault,    ///< a compiled FaultScheduler action fires (tx_id = action index)
 };
 
 struct Event {
@@ -25,8 +26,11 @@ struct Event {
   std::uint64_t seq = 0;    ///< global insertion order: deterministic ties
   EventType type = EventType::kArrival;
   std::uint32_t node = 0;   ///< owning node (global index)
-  std::uint64_t token = 0;  ///< staleness guard for kTimer
-  std::uint32_t tx_id = 0;  ///< ledger id for kTxEnd
+  /// Staleness guard: the node's timer token for kTimer, its arrival epoch
+  /// for kArrival (a crash bumps the epoch, orphaning the pending arrival
+  /// chain so a reboot can start a fresh one without double-clocking).
+  std::uint64_t token = 0;
+  std::uint32_t tx_id = 0;  ///< ledger id for kTxEnd / action index for kFault
 };
 
 struct EventAfter {

@@ -1,0 +1,154 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace sledzig::sim {
+
+namespace {
+
+// Root of the fault-only seed branch.  Everything below is derived from
+// derive_seed(config.seed, kFaultBranch), so fault streams can never alias
+// the engine's per-node streams (indices 0 .. 4*num_nodes+3 of the raw
+// scenario seed).
+constexpr std::uint64_t kFaultBranch = 0xFA171CE5ull;
+
+// Per-node stream indices under the fault branch: 8 slots per node (four
+// fault families plus headroom), jammers after all nodes.
+constexpr std::uint64_t kStreamsPerNode = 8;
+constexpr std::uint64_t kCrashStream = 0;
+constexpr std::uint64_t kMuteStream = 1;
+constexpr std::uint64_t kDeafStream = 2;
+constexpr std::uint64_t kSurgeStream = 3;
+
+/// Inverse-CDF exponential draw; uniform() < 1 keeps the log argument
+/// positive, so the result is finite and >= 0.
+double exp_draw(common::Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+/// Walks one Poisson on/off fault process for one node: exponential gaps
+/// between onsets (mean 1e6/rate µs), exponential window lengths.  Windows
+/// never overlap themselves — the next onset gap starts where the previous
+/// window ended.  A recovery landing at/past the horizon is dropped; the
+/// node stays faulted to the end.
+void emit_windows(std::vector<FaultAction>& out, common::Rng& rng,
+                  std::uint32_t node, double rate_per_s, double mean_len_us,
+                  double duration_us, FaultKind on, FaultKind off,
+                  double magnitude) {
+  if (!(rate_per_s > 0.0)) return;
+  const double mean_gap_us = 1e6 / rate_per_s;
+  double t = exp_draw(rng, mean_gap_us);
+  while (t < duration_us) {
+    out.push_back({t, on, node, magnitude});
+    const double end = t + exp_draw(rng, mean_len_us);
+    if (end < duration_us) out.push_back({end, off, node, 0.0});
+    t = end + exp_draw(rng, mean_gap_us);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultAction> FaultScheduler::compile(const FaultPlanConfig& plan,
+                                                 std::uint64_t seed,
+                                                 double duration_us,
+                                                 std::size_t num_nodes) {
+  std::vector<FaultAction> out;
+  const std::uint64_t fault_seed = common::derive_seed(seed, kFaultBranch);
+
+  // 1. Explicit timed windows, expanded to On + recovery pairs.
+  for (const auto& f : plan.timed) {
+    if (f.at_us >= duration_us) continue;
+    if (f.kind == FaultKind::kJamOn) {
+      // A jam burst carries its length in `magnitude`; it retires through
+      // its own kTxEnd, so no Off action exists.
+      const double len =
+          f.duration_us > 0.0 ? f.duration_us : duration_us - f.at_us;
+      out.push_back({f.at_us, f.kind, f.node, len});
+      continue;
+    }
+    out.push_back({f.at_us, f.kind, f.node, f.magnitude});
+    FaultKind off;
+    switch (f.kind) {
+      case FaultKind::kCrash:
+        off = FaultKind::kReboot;
+        break;
+      case FaultKind::kMuteOn:
+        off = FaultKind::kMuteOff;
+        break;
+      case FaultKind::kDeafOn:
+        off = FaultKind::kDeafOff;
+        break;
+      case FaultKind::kSurgeOn:
+        off = FaultKind::kSurgeOff;
+        break;
+      default:
+        continue;  // explicit recovery entries pass through unpaired
+    }
+    if (f.duration_us > 0.0 && f.at_us + f.duration_us < duration_us) {
+      out.push_back({f.at_us + f.duration_us, off, f.node, 0.0});
+    }
+  }
+
+  // 2. Seeded-random per-node fault processes, one RNG stream per
+  // (node, family) so changing one rate re-rolls nothing else.
+  const auto& r = plan.random;
+  for (std::size_t g = 0; g < num_nodes; ++g) {
+    const std::uint32_t node = static_cast<std::uint32_t>(g);
+    if (r.crash_rate_per_s > 0.0) {
+      common::Rng rng(common::derive_seed(
+          fault_seed, kStreamsPerNode * g + kCrashStream));
+      emit_windows(out, rng, node, r.crash_rate_per_s, r.mean_downtime_us,
+                   duration_us, FaultKind::kCrash, FaultKind::kReboot, 0.0);
+    }
+    if (r.mute_rate_per_s > 0.0) {
+      common::Rng rng(
+          common::derive_seed(fault_seed, kStreamsPerNode * g + kMuteStream));
+      emit_windows(out, rng, node, r.mute_rate_per_s, r.mean_mute_us,
+                   duration_us, FaultKind::kMuteOn, FaultKind::kMuteOff, 0.0);
+    }
+    if (r.deaf_rate_per_s > 0.0) {
+      common::Rng rng(
+          common::derive_seed(fault_seed, kStreamsPerNode * g + kDeafStream));
+      emit_windows(out, rng, node, r.deaf_rate_per_s, r.mean_deaf_us,
+                   duration_us, FaultKind::kDeafOn, FaultKind::kDeafOff, 0.0);
+    }
+    if (r.surge_rate_per_s > 0.0) {
+      common::Rng rng(
+          common::derive_seed(fault_seed, kStreamsPerNode * g + kSurgeStream));
+      emit_windows(out, rng, node, r.surge_rate_per_s, r.mean_surge_us,
+                   duration_us, FaultKind::kSurgeOn, FaultKind::kSurgeOff,
+                   r.surge_magnitude);
+    }
+  }
+
+  // 3. Jammer burst schedules: alternating exponential off/on periods,
+  // starting off so a burst never begins at exactly t=0.
+  for (std::size_t j = 0; j < plan.jammers.size(); ++j) {
+    const auto& jm = plan.jammers[j];
+    if (!(jm.mean_on_us > 0.0) || !(jm.mean_off_us > 0.0)) continue;
+    common::Rng rng(
+        common::derive_seed(fault_seed, kStreamsPerNode * num_nodes + j));
+    double t = exp_draw(rng, jm.mean_off_us);
+    while (t < duration_us) {
+      const double on = exp_draw(rng, jm.mean_on_us);
+      out.push_back(
+          {t, FaultKind::kJamOn, static_cast<std::uint32_t>(j), on});
+      t += on + exp_draw(rng, jm.mean_off_us);
+    }
+  }
+
+  // Stable sort on time alone: equal-time actions fire in emission order,
+  // which is itself deterministic (timed entries first, then node-major
+  // random processes, then jammers).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at_us < b.at_us;
+                   });
+  return out;
+}
+
+}  // namespace sledzig::sim

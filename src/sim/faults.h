@@ -1,0 +1,49 @@
+// Compiles a declarative FaultPlanConfig into a deterministic action list.
+//
+// The engine never draws fault randomness at runtime: FaultScheduler
+// expands every timed window, seeded-random fault process and jammer burst
+// schedule up front into one time-sorted vector of FaultAction.  The engine
+// queues each action as an ordinary kFault event on the (time, seq) queue,
+// so a run with faults is exactly as deterministic as one without — the
+// whole schedule is a pure function of (config, seed), bit-identical for
+// any thread count.
+//
+// All fault randomness comes from derive_seed streams rooted at a
+// fault-only branch of the scenario seed, disjoint from the per-node MAC /
+// delivery / traffic streams the engine owns.  Enabling a fault process
+// therefore perturbs only what the faults themselves touch; it never
+// reshuffles the surviving nodes' backoff or traffic draws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace sledzig::sim {
+
+/// One compiled fault instant.  `magnitude` is kind-specific: the arrival
+/// multiplier for kSurgeOn, the burst length in µs for kJamOn, unused
+/// otherwise.
+struct FaultAction {
+  double at_us = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t node = 0;  ///< global node index; jammer index for kJamOn
+  double magnitude = 0.0;
+};
+
+class FaultScheduler {
+ public:
+  /// Expands `plan` into a schedule sorted by (at_us, emission order).
+  /// Window kinds emit their recovery action automatically; a recovery that
+  /// would land at or past `duration_us` is dropped (the node stays in the
+  /// faulted state until the horizon).  `num_nodes` is the global node
+  /// count (WiFi + ZigBee) the random processes draw targets from.
+  static std::vector<FaultAction> compile(const FaultPlanConfig& plan,
+                                          std::uint64_t seed,
+                                          double duration_us,
+                                          std::size_t num_nodes);
+};
+
+}  // namespace sledzig::sim

@@ -2,11 +2,192 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace sledzig::sim {
 
 double distance_m(const Position& a, const Position& b) {
   return std::max(0.1, std::hypot(a.x_m - b.x_m, a.y_m - b.y_m));
+}
+
+bool FaultPlanConfig::any() const {
+  if (!timed.empty() || !jammers.empty()) return true;
+  for (const auto& c : clocks) {
+    if (c.skew_us != 0.0 || c.drift_ppm != 0.0) return true;
+  }
+  const auto& r = random;
+  return r.crash_rate_per_s > 0.0 || r.mute_rate_per_s > 0.0 ||
+         r.deaf_rate_per_s > 0.0 || r.surge_rate_per_s > 0.0;
+}
+
+std::string describe(const std::vector<ConfigError>& errors) {
+  std::string out = "ScenarioConfig invalid:";
+  for (const auto& e : errors) {
+    out += "\n  " + e.field + ": " + e.message;
+  }
+  return out;
+}
+
+namespace {
+
+bool finite(double x) { return std::isfinite(x); }
+
+void check_position(std::vector<ConfigError>& errs, const std::string& field,
+                    const Position& p) {
+  if (!finite(p.x_m) || !finite(p.y_m)) {
+    errs.push_back({field, "position must be finite"});
+  }
+}
+
+void check_traffic(std::vector<ConfigError>& errs, const std::string& field,
+                   const TrafficConfig& t) {
+  switch (t.kind) {
+    case TrafficKind::kSaturated:
+      break;
+    case TrafficKind::kCbr:
+    case TrafficKind::kPoisson:
+      if (!(t.interval_us > 0.0) || !finite(t.interval_us)) {
+        errs.push_back({field + ".interval_us", "must be finite and > 0"});
+      }
+      break;
+    case TrafficKind::kDutyCycle:
+      // duty_ratio == 0 means "a source that is on 0% of the time", i.e. a
+      // run that silently produces nothing — reject it here instead.
+      if (!(t.duty_ratio > 0.0) || t.duty_ratio > 1.0 ||
+          !finite(t.duty_ratio)) {
+        errs.push_back({field + ".duty_ratio", "must be in (0, 1]"});
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<ConfigError> ScenarioConfig::validate() const {
+  std::vector<ConfigError> errs;
+  if (!(duration_s > 0.0) || !finite(duration_s)) {
+    errs.push_back({"duration_s", "must be finite and > 0"});
+  }
+  if (queue_capacity < 1) {
+    errs.push_back({"queue_capacity", "must be >= 1"});
+  }
+  if (wifi.empty() && zigbee.empty()) {
+    errs.push_back({"wifi/zigbee", "topology is empty: nothing to simulate"});
+  }
+  if (!finite(shadowing_sigma_db) || shadowing_sigma_db < 0.0) {
+    errs.push_back({"shadowing_sigma_db", "must be finite and >= 0"});
+  }
+  if (!finite(wifi_capture_sinr_db)) {
+    errs.push_back({"wifi_capture_sinr_db", "must be finite"});
+  }
+
+  const std::size_t num_nodes = wifi.size() + zigbee.size();
+  for (std::size_t i = 0; i < wifi.size(); ++i) {
+    const std::string field = "wifi[" + std::to_string(i) + "]";
+    const auto& n = wifi[i];
+    check_position(errs, field + ".tx", n.tx);
+    check_position(errs, field + ".rx", n.rx);
+    if (!finite(n.usrp_gain)) {
+      errs.push_back({field + ".usrp_gain", "must be finite (NaN power)"});
+    }
+    if (!(n.mac.airtime_us > 0.0) || !finite(n.mac.airtime_us)) {
+      errs.push_back({field + ".mac.airtime_us", "must be finite and > 0"});
+    }
+    check_traffic(errs, field + ".traffic", n.traffic);
+  }
+  for (std::size_t j = 0; j < zigbee.size(); ++j) {
+    const std::string field = "zigbee[" + std::to_string(j) + "]";
+    const auto& n = zigbee[j];
+    check_position(errs, field + ".tx", n.tx);
+    check_position(errs, field + ".rx", n.rx);
+    if (!finite(n.sensitivity_dbm)) {
+      errs.push_back({field + ".sensitivity_dbm", "must be finite"});
+    }
+    if (n.mac.payload_octets == 0) {
+      errs.push_back({field + ".mac.payload_octets", "must be >= 1"});
+    }
+    check_traffic(errs, field + ".traffic", n.traffic);
+  }
+
+  // --- fault plan ---
+  for (std::size_t k = 0; k < faults.timed.size(); ++k) {
+    const std::string field = "faults.timed[" + std::to_string(k) + "]";
+    const auto& f = faults.timed[k];
+    if (!finite(f.at_us) || f.at_us < 0.0) {
+      errs.push_back({field + ".at_us", "must be finite and >= 0"});
+    }
+    if (!finite(f.duration_us)) {
+      errs.push_back({field + ".duration_us", "must be finite"});
+    }
+    const bool is_jam = f.kind == FaultKind::kJamOn;
+    const std::size_t domain = is_jam ? faults.jammers.size() : num_nodes;
+    if (f.node >= domain) {
+      errs.push_back({field + ".node",
+                      is_jam ? "jammer index out of range"
+                             : "node index out of range"});
+    }
+    if (f.kind == FaultKind::kSurgeOn &&
+        (!(f.magnitude > 0.0) || !finite(f.magnitude))) {
+      errs.push_back({field + ".magnitude", "must be finite and > 0"});
+    }
+  }
+  for (std::size_t k = 0; k < faults.jammers.size(); ++k) {
+    const std::string field = "faults.jammers[" + std::to_string(k) + "]";
+    const auto& jm = faults.jammers[k];
+    check_position(errs, field + ".pos", jm.pos);
+    if (!finite(jm.usrp_gain)) {
+      errs.push_back({field + ".usrp_gain", "must be finite (NaN power)"});
+    }
+    if (!finite(jm.mean_on_us) || !finite(jm.mean_off_us) ||
+        jm.mean_on_us < 0.0 || jm.mean_off_us < 0.0 ||
+        (jm.mean_on_us > 0.0) != (jm.mean_off_us > 0.0)) {
+      errs.push_back({field + ".mean_on_us/mean_off_us",
+                      "must be finite, >= 0, and enabled together"});
+    }
+  }
+  {
+    const auto& r = faults.random;
+    const auto check_process = [&](const char* name, double rate,
+                                   double mean) {
+      if (!finite(rate) || rate < 0.0) {
+        errs.push_back({std::string("faults.random.") + name + "_rate_per_s",
+                        "must be finite and >= 0"});
+      }
+      if (rate > 0.0 && (!finite(mean) || !(mean > 0.0))) {
+        errs.push_back({std::string("faults.random.mean_") + name + "_us",
+                        "must be finite and > 0 when the rate is > 0"});
+      }
+    };
+    check_process("crash", r.crash_rate_per_s, r.mean_downtime_us);
+    check_process("mute", r.mute_rate_per_s, r.mean_mute_us);
+    check_process("deaf", r.deaf_rate_per_s, r.mean_deaf_us);
+    check_process("surge", r.surge_rate_per_s, r.mean_surge_us);
+    if (r.surge_rate_per_s > 0.0 &&
+        (!finite(r.surge_magnitude) || !(r.surge_magnitude > 0.0))) {
+      errs.push_back(
+          {"faults.random.surge_magnitude", "must be finite and > 0"});
+    }
+  }
+  if (faults.clocks.size() > num_nodes) {
+    errs.push_back({"faults.clocks", "more clock entries than nodes"});
+  }
+  for (std::size_t k = 0; k < faults.clocks.size(); ++k) {
+    const std::string field = "faults.clocks[" + std::to_string(k) + "]";
+    const auto& c = faults.clocks[k];
+    if (!finite(c.skew_us)) {
+      errs.push_back({field + ".skew_us", "must be finite"});
+    }
+    // The drift factor 1 + ppm * 1e-6 must stay positive or timers would
+    // fire in the past.
+    if (!finite(c.drift_ppm) || c.drift_ppm <= -1e6) {
+      errs.push_back({field + ".drift_ppm", "must be finite and > -1e6"});
+    }
+  }
+  if (invariants.max_event_gap_us < 0.0 ||
+      !finite(invariants.max_event_gap_us)) {
+    errs.push_back({"invariants.max_event_gap_us", "must be finite and >= 0"});
+  }
+  return errs;
 }
 
 ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,

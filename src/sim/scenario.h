@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "channel/impairments.h"
@@ -17,6 +18,7 @@
 #include "mac/zigbee_csma.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/invariants.h"
 #include "sledzig/significant_bits.h"
 
 namespace sledzig::sim {
@@ -65,6 +67,101 @@ struct ZigbeeNodeConfig {
   TrafficConfig traffic{TrafficKind::kCbr, 6346.0, 1.0};
 };
 
+// --- fault model (DESIGN.md §14) -----------------------------------------
+//
+// A FaultPlanConfig declares *what can go wrong* during a run: explicit
+// timed faults, seeded-random fault processes, bursty jammers, and per-node
+// clock defects.  FaultScheduler (sim/faults.h) compiles the plan into a
+// time-sorted action list that the engine replays as ordinary events on the
+// (time, seq) queue, so every fault schedule is a pure function of
+// (config, seed) and bit-identical for any thread count.
+
+enum class FaultKind : std::uint8_t {
+  kCrash,     ///< node dies: queue/CSMA state lost, in-flight TX aborted
+  kReboot,    ///< node returns with a cold MAC and a fresh arrival chain
+  kMuteOn,    ///< TX chain off: transmit attempts fail silently
+  kMuteOff,
+  kDeafOn,    ///< RX chain off: frames addressed to the node are lost
+  kDeafOff,
+  kJamOn,     ///< jammer burst begins (node = jammer index)
+  kSurgeOn,   ///< traffic surge: arrival rate multiplied by `magnitude`
+  kSurgeOff,
+};
+
+/// One explicitly scheduled fault window.  Window kinds (crash, mute, deaf,
+/// jam, surge) use `duration_us`; the matching recovery action is emitted
+/// by the compiler, so a plan never has to pair On/Off entries by hand.
+struct TimedFault {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t node = 0;   ///< global node index (jammer index for kJamOn)
+  double at_us = 0.0;
+  /// Window length; <= 0 means "until the horizon" (no recovery emitted).
+  double duration_us = 0.0;
+  /// kSurgeOn arrival-rate multiplier; ignored by other kinds.
+  double magnitude = 4.0;
+};
+
+/// A bursty wideband interferer with no MAC: it transmits whenever its
+/// on/off process says so, ignoring the medium entirely.  Jammers join the
+/// arbiter's power tables as extra pseudo-nodes, so CCA verdicts, WiFi
+/// deferral and per-symbol delivery all see their energy through the same
+/// path-loss model as real nodes.
+struct JammerConfig {
+  Position pos{};
+  double usrp_gain = 15.0;  ///< same dBm mapping as a WiFi transmitter
+  /// Seeded-random burst process: exponential on/off durations.  Both must
+  /// be > 0 for the random schedule; leave 0 to drive the jammer purely
+  /// from TimedFault kJamOn entries.
+  double mean_on_us = 0.0;
+  double mean_off_us = 0.0;
+};
+
+/// Seeded-random fault processes, applied per node.  Every rate is a
+/// Poisson intensity in events per simulated second; windows draw
+/// exponential lengths around the configured means.  All randomness comes
+/// from derive_seed(config.seed, ...) streams, never from the nodes' MAC
+/// or traffic RNGs, so enabling faults perturbs only what faults touch.
+struct RandomFaultConfig {
+  double crash_rate_per_s = 0.0;
+  double mean_downtime_us = 50000.0;
+  double mute_rate_per_s = 0.0;
+  double mean_mute_us = 20000.0;
+  double deaf_rate_per_s = 0.0;
+  double mean_deaf_us = 20000.0;
+  double surge_rate_per_s = 0.0;
+  double mean_surge_us = 50000.0;
+  double surge_magnitude = 4.0;
+};
+
+/// Per-node clock defects, applied at the timer layer: `drift_ppm`
+/// stretches every MAC timer interval the node arms (a +100 ppm node's
+/// backoffs run 0.01% long) and `skew_us` offsets its first arrival.
+/// Event timestamps stay global truth — only the node's *own* timing warps.
+struct ClockConfig {
+  double skew_us = 0.0;
+  double drift_ppm = 0.0;
+};
+
+struct FaultPlanConfig {
+  std::vector<TimedFault> timed;
+  std::vector<JammerConfig> jammers;
+  RandomFaultConfig random{};
+  /// Indexed by global node (WiFi first, then ZigBee); shorter vectors
+  /// leave the remaining nodes with nominal clocks.
+  std::vector<ClockConfig> clocks;
+
+  /// True when the plan can produce any fault at all.
+  bool any() const;
+};
+
+/// One structured validation finding from ScenarioConfig::validate().
+struct ConfigError {
+  std::string field;    ///< dotted path, e.g. "zigbee[2].traffic.interval_us"
+  std::string message;
+};
+
+std::string describe(const std::vector<ConfigError>& errors);
+
 struct ScenarioConfig {
   std::vector<WifiNodeConfig> wifi;
   std::vector<ZigbeeNodeConfig> zigbee;
@@ -95,6 +192,20 @@ struct ScenarioConfig {
   /// instants).  Single-writer: run_replications nulls it in its
   /// per-replication copies, so set it only for individual runs.
   obs::TraceLog* span_log = nullptr;
+  /// Fault-injection plan (empty by default: no faults, digests untouched).
+  FaultPlanConfig faults{};
+  /// Runtime invariant checking (sim/invariants.h).  Disabled by default;
+  /// the chaos suite and debug harnesses switch it on.
+  InvariantConfig invariants{};
+
+  /// Structural validation: rejects configs that would otherwise fail deep
+  /// inside the engine or silently produce empty runs (zero/negative
+  /// durations, empty topologies, NaN powers/positions, zero-rate traffic,
+  /// malformed fault plans).  Returns every problem found, not just the
+  /// first; empty means the config is runnable.  run_scenario and
+  /// run_replications both call this up front and throw
+  /// std::invalid_argument with describe(errors) on failure.
+  std::vector<ConfigError> validate() const;
 };
 
 /// The paper's Fig 14-16 testbed as a two-node ScenarioConfig: one WiFi

@@ -44,14 +44,16 @@ double TrafficSource::gap() {
     case TrafficKind::kSaturated:
       return 0.0;
     case TrafficKind::kCbr:
-      return cfg_.interval_us;
+      return std::max(kMinGapUs, cfg_.interval_us / rate_scale_);
     case TrafficKind::kPoisson:
-      return std::max(kMinGapUs,
-                      -cfg_.interval_us * std::log(1.0 - rng_.uniform()));
+      return std::max(kMinGapUs, -(cfg_.interval_us / rate_scale_) *
+                                     std::log(1.0 - rng_.uniform()));
     case TrafficKind::kDutyCycle:
       // Exponential-ish jitter around the mean keeps bursts off a grid
-      // (mirrors WifiTimeline's queue-idle draw).
-      return mean_idle_us_ * (0.5 + rng_.uniform());
+      // (mirrors WifiTimeline's queue-idle draw).  No kMinGapUs floor:
+      // completion-clocked arrivals cannot wedge the loop, and a zero idle
+      // gap (duty ratio 1.0) must stay exactly zero.
+      return (mean_idle_us_ / rate_scale_) * (0.5 + rng_.uniform());
   }
   return 0.0;
 }

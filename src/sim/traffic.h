@@ -37,11 +37,18 @@ class TrafficSource {
   /// Closed loop: next arrival after the completion at `now`.
   double next_after(double now);
 
+  /// Traffic-surge hook (FaultKind::kSurgeOn/kSurgeOff): multiplies the
+  /// arrival rate by `scale` from the next draw on.  CBR/Poisson intervals
+  /// and duty-cycle idle gaps shrink by 1/scale; a saturated source is
+  /// already at the ceiling and is unaffected.  1.0 restores nominal.
+  void set_rate_scale(double scale) { rate_scale_ = scale; }
+
  private:
   double gap();
 
   TrafficConfig cfg_;
   double mean_idle_us_ = 0.0;  // kDutyCycle queue-idle mean
+  double rate_scale_ = 1.0;
   common::Rng rng_;
 };
 

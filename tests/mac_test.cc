@@ -384,6 +384,143 @@ TEST(WifiCsmaMachine, IdleNotificationMidCountdownRearmsSameDeadline) {
             WifiCsmaMachine::Step::Kind::kTransmit);
 }
 
+TEST(ZigbeeCsmaMachine, RetryWaitsOutTheFullAckTimeout) {
+  // 802.15.4 6.4.3: the retry's CSMA round begins only after
+  // macAckWaitDuration expires.  Two machines with the same seed draw the
+  // same backoff slots, so the retry CCA deadlines differ by exactly the
+  // ack_wait delta.
+  ZigbeeMacParams p1;
+  p1.max_frame_retries = 1;
+  ZigbeeMacParams p2 = p1;
+  p2.ack_wait_us = 3000.0;
+  ZigbeeCsmaMachine m1(p1, 91);
+  ZigbeeCsmaMachine m2(p2, 91);
+  auto s1 = m1.frame_ready(0.0);
+  auto s2 = m2.frame_ready(0.0);
+  ASSERT_DOUBLE_EQ(s1.at, s2.at);
+  s1 = m1.cca_result(s1.at, false);
+  s2 = m2.cca_result(s2.at, false);
+  m1.tx_started();
+  m2.tx_started();
+  s1 = m1.tx_done(s1.at + 1856.0, /*delivered=*/false);
+  s2 = m2.tx_done(s2.at + 1856.0, /*delivered=*/false);
+  ASSERT_EQ(s1.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  ASSERT_EQ(s2.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  EXPECT_DOUBLE_EQ(s2.at - s1.at, p2.ack_wait_us - p1.ack_wait_us);
+  EXPECT_GE(s1.at, p1.ack_wait_us + p1.cca_us);
+}
+
+TEST(ZigbeeCsmaMachine, LostFrameWithRetriesInHandIsNeverTerminal) {
+  // Regression: a lost ACK used to count terminal even with
+  // macMaxFrameRetries remaining.  For every retry budget, a frame must
+  // survive exactly `retries` losses before tx_done finally returns kNone.
+  for (unsigned retries = 0; retries <= 4; ++retries) {
+    ZigbeeMacParams p;
+    p.max_frame_retries = retries;
+    ZigbeeCsmaMachine m(p, 92);
+    auto step = m.frame_ready(0.0);
+    unsigned losses = 0;
+    for (;;) {
+      ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+      step = m.cca_result(step.at, false);
+      ASSERT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kTxStartAt);
+      m.tx_started();
+      step = m.tx_done(step.at + 1856.0, /*delivered=*/false);
+      if (step.kind == ZigbeeCsmaMachine::Step::Kind::kNone) break;
+      ASSERT_LE(++losses, retries) << "machine retried past its budget";
+    }
+    EXPECT_EQ(losses, retries) << "a loss with retries in hand was terminal";
+    EXPECT_EQ(m.retries_left(), 0u);
+  }
+}
+
+TEST(ZigbeeCsmaMachine, ResetDropsProtocolStateAndRetryBudget) {
+  ZigbeeMacParams p;
+  p.max_frame_retries = 2;
+  ZigbeeCsmaMachine m(p, 93);
+  auto step = m.frame_ready(0.0);
+  step = m.cca_result(step.at, false);
+  m.tx_started();
+  step = m.tx_done(step.at + 1856.0, false);  // one retry consumed
+  ASSERT_EQ(m.retries_left(), 1u);
+  ASSERT_EQ(m.awaiting(), ZigbeeCsmaMachine::Awaiting::kCca);
+  m.reset();
+  EXPECT_EQ(m.awaiting(), ZigbeeCsmaMachine::Awaiting::kNone);
+  EXPECT_EQ(m.backoffs(), 0u);
+  EXPECT_EQ(m.retries_left(), 0u);
+  // The next frame gets a full, fresh retry budget.
+  step = m.frame_ready(10000.0);
+  EXPECT_EQ(step.kind, ZigbeeCsmaMachine::Step::Kind::kCcaEndAt);
+  EXPECT_EQ(m.retries_left(), 2u);
+}
+
+TEST(ZigbeeCsmaMachine, ResetDoesNotRewindTheBackoffRng) {
+  // A rebooted node must not replay its pre-crash draws.  Hunt for a seed
+  // whose first two backoff draws differ, then check that draw #2 after a
+  // reset matches a twin machine's draw #2 — not draw #1 again.
+  ZigbeeMacParams p;
+  for (std::uint64_t seed = 1;; ++seed) {
+    ZigbeeCsmaMachine twin(p, seed);
+    const auto d1 = twin.frame_ready(0.0);
+    const auto d2 = twin.frame_ready(0.0);
+    if (d1.at == d2.at) continue;
+    ZigbeeCsmaMachine m(p, seed);
+    ASSERT_DOUBLE_EQ(m.frame_ready(0.0).at, d1.at);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.frame_ready(0.0).at, d2.at)
+        << "reset rewound the RNG to the pre-crash stream";
+    break;
+  }
+}
+
+TEST(WifiCsmaMachine, ResetReturnsToIdleDiscardingFrozenCountdown) {
+  WifiMacParams p;
+  WifiCsmaMachine m = wifi_machine_with_slots(2, p);
+  m.medium_busy(p.difs_us + 1.5 * p.slot_us);  // freeze mid-countdown
+  ASSERT_GT(m.slots_left(), 0u);
+  m.reset();
+  EXPECT_TRUE(m.idle());
+  EXPECT_EQ(m.slots_left(), 0u);
+  // The machine accepts a fresh frame as if the crash never happened.
+  const auto step = m.frame_ready(9000.0, /*medium_busy_now=*/false);
+  EXPECT_EQ(step.kind, WifiCsmaMachine::Step::Kind::kTimerAt);
+  EXPECT_GE(step.at, 9000.0 + p.difs_us);
+}
+
+TEST(ZigbeeCsma, LegacyLinkHonoursFrameRetries) {
+  // Same lossy-SINR geometry as InterferenceKillsFramesWhenSinrLow: CCA
+  // clears but roughly half the fully-overlapped attempts die.  With
+  // retries each frame gets up to four attempts, so the per-frame delivery
+  // ratio must rise and retransmissions must appear in packets_sent.
+  auto budget = quiet_budget();
+  budget.signal_dbm = -85.0;
+  budget.wifi_payload_inband_dbm = -78.0;
+  budget.wifi_preamble_inband_dbm = -78.0;
+  const auto run = [&](unsigned retries) {
+    common::Rng rng(313);
+    WifiTimeline tl(default_wifi(), 30e6, rng);
+    ZigbeeMacParams mac;
+    mac.max_frame_retries = retries;
+    return simulate_zigbee_link(tl, mac, budget, SymbolErrorModel{}, rng);
+  };
+  const auto none = run(0);
+  const auto three = run(3);
+  ASSERT_GT(none.packets_attempted, 100u);
+  ASSERT_GT(three.packets_attempted, 100u);
+  // Retransmissions happened: without retries, packets_sent can never
+  // exceed one TX per frame; with them it must.
+  EXPECT_LE(none.packets_sent,
+            none.packets_attempted - none.packets_dropped_cca);
+  EXPECT_GT(three.packets_sent,
+            three.packets_attempted - three.packets_dropped_cca);
+  const double prr_none = static_cast<double>(none.packets_delivered) /
+                          static_cast<double>(none.packets_attempted);
+  const double prr_three = static_cast<double>(three.packets_delivered) /
+                           static_cast<double>(three.packets_attempted);
+  EXPECT_GT(prr_three, prr_none * 1.2)
+      << "retries did not raise per-frame delivery";
+}
+
 TEST(WifiCsmaMachine, WaitsWhenMediumBusyAtFrameReady) {
   WifiMacParams p;
   WifiCsmaMachine m(p, 7);

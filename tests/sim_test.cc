@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <thread>
 
@@ -22,7 +23,8 @@ void expect_conservation(const SimResult& r, const char* context) {
   for (const auto* side : {&r.wifi, &r.zigbee}) {
     for (const auto& n : *side) {
       EXPECT_EQ(n.generated, n.delivered + n.queue_dropped + n.cca_dropped +
-                                 n.retry_exhausted + n.in_flight_at_end)
+                                 n.retry_exhausted + n.lost_to_crash +
+                                 n.in_flight_at_end)
           << context << " node " << node;
       ++node;
     }
@@ -350,6 +352,134 @@ TEST(SimEngine, StaleTimersAreDiscardedAndCounted) {
                   snap.counter("sim.events.timer") +
                   snap.counter("sim.events.tx_end"));
   }
+}
+
+TEST(ScenarioValidate, CleanConfigHasNoErrors) {
+  const auto cfg = two_node_paper_scenario(core::SledzigConfig{}, true, 0.5,
+                                           4.0, 1.0, 1.0, 1);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(ScenarioValidate, ReportsEveryProblemWithItsFieldPath) {
+  // One config, many defects: validate() must return all of them in one
+  // pass, each tagged with the dotted path of the offending field.
+  ScenarioConfig cfg;
+  cfg.duration_s = -1.0;           // bad
+  cfg.queue_capacity = 0;          // bad
+  // empty topology                // bad
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 3u) << describe(errors);
+  const auto has = [&](const std::string& field) {
+    for (const auto& e : errors) {
+      if (e.field == field) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("duration_s"));
+  EXPECT_TRUE(has("queue_capacity"));
+  EXPECT_TRUE(has("wifi/zigbee"));
+  // describe() folds everything into one human-readable blob.
+  EXPECT_NE(describe(errors).find("duration_s"), std::string::npos);
+}
+
+TEST(ScenarioValidate, RejectsNanPowersAndZeroDutyCycle) {
+  ScenarioConfig cfg;
+  WifiNodeConfig ap;
+  ap.usrp_gain = std::numeric_limits<double>::quiet_NaN();
+  ap.traffic = {TrafficKind::kDutyCycle, 0.0, 0.0};  // on-fraction == 0
+  cfg.wifi.push_back(ap);
+  ZigbeeNodeConfig mote;
+  mote.tx = {std::numeric_limits<double>::infinity(), 0.0};
+  mote.traffic = {TrafficKind::kCbr, -5.0, 1.0};
+  cfg.zigbee.push_back(mote);
+  const auto errors = cfg.validate();
+  EXPECT_EQ(errors.size(), 4u) << describe(errors);
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(ScenarioValidate, RejectsMalformedFaultPlans) {
+  auto cfg = two_node_paper_scenario(core::SledzigConfig{}, true, 0.5, 4.0,
+                                     1.0, 1.0, 1);
+  cfg.faults.timed.push_back({FaultKind::kCrash, /*node=*/99, 1e5, 0.0, 4.0});
+  cfg.faults.random.crash_rate_per_s = -1.0;
+  cfg.faults.random.mute_rate_per_s = 2.0;
+  cfg.faults.random.mean_mute_us = 0.0;  // enabled process, degenerate mean
+  JammerConfig jam;
+  jam.mean_on_us = 100.0;  // on without off
+  cfg.faults.jammers.push_back(jam);
+  cfg.faults.clocks.assign(3, ClockConfig{});  // more clocks than nodes
+  const auto errors = cfg.validate();
+  EXPECT_EQ(errors.size(), 5u) << describe(errors);
+}
+
+TEST(ScenarioValidate, RunReplicationsValidatesBeforeFanOut) {
+  ScenarioConfig cfg;  // empty topology + nothing else set
+  cfg.duration_s = 0.0;
+  EXPECT_THROW(run_replications(cfg, 4), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelWhilePoppedDoesNotResurrectTheTimer) {
+  // The crash/reboot pattern: a timer is popped, and the handler itself
+  // bumps the token (the node dies mid-handling).  Any sibling timer still
+  // in the heap with the pre-crash token must come out stale.
+  EventQueue q;
+  std::uint64_t token = 1;
+  q.push(1.0, EventType::kTimer, 0, token);
+  q.push(2.0, EventType::kTimer, 0, token);  // sibling, same arm generation
+  const Event first = q.pop();
+  ASSERT_EQ(first.token, token);
+  ++token;  // crash during handling
+  q.push(3.0, EventType::kTimer, 0, token);  // reboot re-arms
+  const Event sibling = q.pop();
+  EXPECT_NE(sibling.token, token) << "pre-crash sibling survived the bump";
+  const Event rearmed = q.pop();
+  EXPECT_EQ(rearmed.token, token);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ArrivalEpochOrphansWholeChainAcrossCrashRebootChurn) {
+  // Arrival events carry the node's epoch in the same token field.  Crash
+  // (bump), reboot (push with new epoch), crash again, reboot again — only
+  // arrivals stamped with the final epoch may be processed.
+  EventQueue q;
+  std::uint64_t epoch = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    q.push(10.0 * cycle, EventType::kArrival, 0, epoch);
+    q.push(10.0 * cycle + 5.0, EventType::kArrival, 0, epoch);
+    ++epoch;  // crash: both pending arrivals orphaned
+  }
+  q.push(1000.0, EventType::kArrival, 0, epoch);  // final reboot's chain
+  std::size_t live = 0;
+  std::size_t stale = 0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    (e.token == epoch ? live : stale)++;
+  }
+  EXPECT_EQ(live, 1u);
+  EXPECT_EQ(stale, 100u);
+}
+
+TEST(SimEngine, HorizonInsideRetryBackoffCountsFrameInFlight) {
+  // A mote with retries enabled against a strong interferer: losses are
+  // common, so some replication ends with the head frame mid-retry-backoff
+  // (its next CCA timer suppressed by the horizon).  That frame must land
+  // in in_flight_at_end — not vanish, not count as retry_exhausted.
+  auto cfg = two_node_paper_scenario(core::SledzigConfig{}, false, 1.0, 4.0,
+                                     1.8, 0.35, 21);
+  for (auto& z : cfg.zigbee) z.mac.max_frame_retries = 3;
+  bool saw_in_flight_with_retries = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !saw_in_flight_with_retries;
+       ++seed) {
+    cfg.seed = seed;
+    const auto r = run_scenario(cfg);
+    expect_conservation(r, "horizon-in-backoff");
+    const auto& z = r.zigbee[0];
+    if (z.in_flight_at_end > 0 && z.retries > 0) {
+      saw_in_flight_with_retries = true;
+    }
+  }
+  EXPECT_TRUE(saw_in_flight_with_retries)
+      << "no seed ended inside a retry backoff; weaken the geometry";
 }
 
 }  // namespace
