@@ -58,14 +58,17 @@ struct Entry {
 /// to time the whole trial pipeline through a given pool.
 std::vector<double> sweep_throughput(common::ThreadPool& pool) {
   const double distances[] = {1.0, 3.0, 5.0, 7.0, 10.0};
-  const std::size_t seeds = 3;
+  // Enough trials that the serial sweep takes O(seconds): the JSON reports
+  // the times in milliseconds, so a sub-tenth-of-a-second sweep would
+  // quantize both arms into the same bucket and fake a 1.0x speedup.
+  const std::size_t seeds = 8;
   return common::parallel_map(pool, std::size(distances) * seeds,
                               [&](std::size_t i) {
                                 coex::Scenario s;
                                 s.scheme = coex::Scheme::kSledzig;
                                 s.d_wz_m = distances[i / seeds];
                                 s.d_z_m = 1.0;
-                                s.duration_s = 10.0;
+                                s.duration_s = 30.0;
                                 s.seed = 1 + i % seeds;
                                 return coex::run_throughput_experiment(s)
                                     .throughput_kbps;
@@ -185,8 +188,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  entries.push_back({"sweep_serial_s", serial_s, "s"});
-  entries.push_back({"sweep_pooled_s", pooled_s, "s"});
+  entries.push_back({"sweep_serial_ms", serial_s * 1e3, "ms"});
+  entries.push_back({"sweep_pooled_ms", pooled_s * 1e3, "ms"});
   entries.push_back({"sweep_speedup", serial_s / pooled_s, "x"});
 
   std::FILE* f = std::fopen(path, "w");

@@ -98,6 +98,16 @@ class WifiCsmaMachine {
   }
 
   bool idle() const { return state_ == State::kIdle; }
+  /// True when the machine is waiting on the medium (deferring or counting
+  /// down): the only states in which medium_idle() is not a stateless
+  /// no-op.  In kIdle and kTx medium_idle() returns Step{kNone} and no
+  /// valid timer is pending (every path into those states bumps the
+  /// scheduler token), so a scheduler may skip non-waiting machines when
+  /// broadcasting idle notifications without changing any outcome — the
+  /// engine's O(degree) fast path (DESIGN.md §15) relies on exactly this.
+  bool waiting() const {
+    return state_ == State::kWaitIdle || state_ == State::kDefer;
+  }
   /// Backoff slots not yet consumed (test hook for the freeze semantics).
   unsigned slots_left() const { return slots_left_; }
 

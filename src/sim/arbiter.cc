@@ -7,7 +7,30 @@
 
 namespace sledzig::sim {
 
-Arbiter::Arbiter(ArbiterTables tables) : tables_(std::move(tables)) {}
+Arbiter::Arbiter(ArbiterTables tables) : tables_(std::move(tables)) {
+  by_comp_.resize(std::max<std::size_t>(1, tables_.num_comps));
+}
+
+Arbiter::Arbiter(ArbiterStorage storage)
+    : tables_(std::move(storage.tables)),
+      txs_(std::move(storage.txs)),
+      active_(std::move(storage.active)),
+      by_comp_(std::move(storage.by_comp)) {
+  txs_.clear();
+  active_.clear();
+  for (auto& v : by_comp_) v.clear();  // keep each ledger's capacity
+  by_comp_.resize(std::max<std::size_t>(1, tables_.num_comps));
+}
+
+ArbiterStorage Arbiter::release() {
+  ArbiterStorage out{std::move(tables_), std::move(txs_), std::move(active_),
+                     std::move(by_comp_)};
+  tables_ = ArbiterTables{};
+  txs_ = std::vector<Transmission>();
+  active_ = std::vector<std::uint32_t>();
+  by_comp_ = std::vector<std::vector<std::uint32_t>>();
+  return out;
+}
 
 std::uint32_t Arbiter::begin_tx(std::uint32_t node, NodeKind kind,
                                 double start_us, double payload_start_us,
@@ -16,6 +39,7 @@ std::uint32_t Arbiter::begin_tx(std::uint32_t node, NodeKind kind,
   txs_.push_back(
       Transmission{node, kind, start_us, payload_start_us, end_us, true});
   active_.push_back(id);
+  by_comp_[comp_of(node)].push_back(id);
   max_duration_us_ = std::max(max_duration_us_, end_us - start_us);
   return id;
 }
@@ -47,20 +71,20 @@ bool Arbiter::busy_at(std::uint32_t listener, double t_us) const {
   return false;
 }
 
-std::pair<std::size_t, std::size_t> Arbiter::overlap_range(
-    double t0_us, double t1_us) const {
+std::pair<const std::uint32_t*, const std::uint32_t*> Arbiter::overlap_ids(
+    std::uint32_t listener, double t0_us, double t1_us) const {
   // Starts are sorted but ends are not (transmissions overlap), so scan
   // back by the longest duration seen: any transmission overlapping t0
   // must have started within that window.
+  const auto& v = by_comp_[comp_of(listener)];
   const double lo_start = t0_us - max_duration_us_;
   const auto lo = std::lower_bound(
-      txs_.begin(), txs_.end(), lo_start,
-      [](const Transmission& x, double t) { return x.start_us < t; });
+      v.begin(), v.end(), lo_start,
+      [this](std::uint32_t id, double t) { return txs_[id].start_us < t; });
   const auto hi = std::upper_bound(
-      lo, txs_.end(), t1_us,
-      [](double t, const Transmission& x) { return t < x.start_us; });
-  return {static_cast<std::size_t>(lo - txs_.begin()),
-          static_cast<std::size_t>(hi - txs_.begin())};
+      lo, v.end(), t1_us,
+      [this](double t, std::uint32_t id) { return t < txs_[id].start_us; });
+  return {v.data() + (lo - v.begin()), v.data() + (hi - v.begin())};
 }
 
 bool Arbiter::zigbee_cca_busy(std::uint32_t listener, double t0_us,
@@ -68,16 +92,25 @@ bool Arbiter::zigbee_cca_busy(std::uint32_t listener, double t0_us,
   const double window = t1_us - t0_us;
   if (window <= 0.0) return false;
   double energy = 0.0;  // mW * us
-  const auto [lo, hi] = overlap_range(t0_us, t1_us);
-  for (std::size_t i = lo; i < hi; ++i) {
-    const auto& x = txs_[i];
+  const auto [lo, hi] = overlap_ids(listener, t0_us, t1_us);
+  const bool indexed = has_link_index();
+  for (const std::uint32_t* it = lo; it != hi; ++it) {
+    const auto& x = txs_[*it];
     if (x.node == listener) continue;
-    const auto& p = cca_power(listener, x.node);
+    // Zero-power links (pruned or channel-disjoint) contribute exactly
+    // 0.0 mW*us; with the index built, skip them without touching the
+    // (cache-cold at campus scale) power table.
+    if (indexed && !cca_nonzero(listener, x.node)) continue;
     const double pre =
         std::max(0.0, std::min(t1_us, x.payload_start_us) -
                           std::max(t0_us, x.start_us));
     const double pay = std::max(
         0.0, std::min(t1_us, x.end_us) - std::max(t0_us, x.payload_start_us));
+    // Ledger entries that ended before the window (the scan looks back by
+    // the longest duration seen) contribute exactly nothing — skip them
+    // before the power-table read, which is the expensive part.
+    if (pre <= 0.0 && pay <= 0.0) continue;
+    const auto& p = cca_power(listener, x.node);
     energy += pre * p.preamble_mw + pay * p.payload_mw;
   }
   const double avg_dbm =

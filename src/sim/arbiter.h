@@ -47,11 +47,46 @@ struct ArbiterTables {
   std::vector<char> audible;              // N x N: ED-visible at tx point
   std::vector<double> cca_noise_mw;       // per node, in its CCA band
   std::vector<double> cca_threshold_dbm;  // per node
+  /// Interference-graph index (fast path only): bit `tx` of row `point`
+  /// is set iff power[point * num_nodes + tx] is nonzero.  At dense node
+  /// counts the power table outgrows every cache level while this index
+  /// stays resident, so medium queries test the bit before touching the
+  /// table.  Skipping an exactly-zero entry changes no arithmetic (it
+  /// contributes exactly 0.0 energy and can never win a strict-> power
+  /// comparison), so queries stay bit-identical.  Empty (bit_words == 0)
+  /// when the fast path is off — queries then scan the table directly,
+  /// which is the pre-graph behaviour.
+  std::vector<std::uint64_t> nonzero_bits;  // 2N x bit_words
+  std::size_t bit_words = 0;                // (num_nodes + 63) / 64, or 0
+  /// Spectral coupling component per node (see LinkCache::comp): the
+  /// arbiter keeps one transmission ledger per component and medium
+  /// queries scan only the listener's — exact, because cross-component
+  /// received power is 0 mW everywhere.  Empty means "one component"
+  /// (legacy / fast path off): a single global ledger, scanned in full.
+  std::vector<std::uint32_t> comp;
+  std::size_t num_comps = 1;
+};
+
+/// Everything an Arbiter owns, as recyclable storage: the power tables and
+/// the ledger vectors.  A run hands its storage back via release() and the
+/// next run adopts the capacity through the storage constructor — only
+/// capacity survives (tables are refilled, ledgers cleared), so reuse can
+/// never leak state between runs.
+struct ArbiterStorage {
+  ArbiterTables tables;
+  std::vector<Transmission> txs;
+  std::vector<std::uint32_t> active;
+  std::vector<std::vector<std::uint32_t>> by_comp;
 };
 
 class Arbiter {
  public:
   explicit Arbiter(ArbiterTables tables);
+  /// Adopts recycled storage: `storage.tables` must already be filled for
+  /// this run; the ledger vectors are cleared (capacity kept).
+  explicit Arbiter(ArbiterStorage storage);
+  /// Hands all storage back for reuse.  The arbiter is left empty.
+  ArbiterStorage release();
 
   /// Registers a transmission starting now.  Starts are non-decreasing
   /// (event time only moves forward), which keeps the ledger sorted.
@@ -82,10 +117,12 @@ class Arbiter {
   bool zigbee_cca_busy(std::uint32_t listener, double t0_us,
                        double t1_us) const;
 
-  /// Ledger indices [lo, hi) of transmissions possibly overlapping
-  /// [t0, t1] (callers re-check exact endpoints).
-  std::pair<std::size_t, std::size_t> overlap_range(double t0_us,
-                                                    double t1_us) const;
+  /// Transmission ids, in start order, from `listener`'s coupling
+  /// component possibly overlapping [t0, t1] (callers re-check exact
+  /// endpoints).  With one component this is the whole ledger — the
+  /// pre-component behaviour.
+  std::pair<const std::uint32_t*, const std::uint32_t*> overlap_ids(
+      std::uint32_t listener, double t0_us, double t1_us) const;
 
   /// Received power of `tx_node` at `listener`'s receiver position.
   const SegmentPower& rx_power(std::uint32_t listener,
@@ -103,10 +140,33 @@ class Arbiter {
     return tables_.audible[listener * tables_.num_nodes + tx_node] != 0;
   }
 
+  /// Was the interference-graph bit index built for this run?
+  bool has_link_index() const { return tables_.bit_words != 0; }
+  /// Index queries (only meaningful when has_link_index()): is the link's
+  /// table power nonzero at the listener's receiver / CCA point?
+  bool rx_nonzero(std::uint32_t listener, std::uint32_t tx_node) const {
+    return link_bit(tables_.num_nodes + listener, tx_node);
+  }
+  bool cca_nonzero(std::uint32_t listener, std::uint32_t tx_node) const {
+    return link_bit(listener, tx_node);
+  }
+
  private:
+  bool link_bit(std::size_t point, std::size_t tx_node) const {
+    return (tables_.nonzero_bits[point * tables_.bit_words + (tx_node >> 6)] >>
+            (tx_node & 63)) &
+           1u;
+  }
+  std::uint32_t comp_of(std::uint32_t node) const {
+    return tables_.comp.empty() ? 0 : tables_.comp[node];
+  }
+
   ArbiterTables tables_;
   std::vector<Transmission> txs_;  // sorted by start_us (event order)
   std::vector<std::uint32_t> active_;
+  /// Per-component transmission ids, each in start order (appended as
+  /// transmissions begin, and starts are non-decreasing).
+  std::vector<std::vector<std::uint32_t>> by_comp_;
   double max_duration_us_ = 0.0;
 };
 

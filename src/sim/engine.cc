@@ -9,13 +9,13 @@
 #include <utility>
 
 #include "channel/pathloss.h"
-#include "coex/experiment.h"
 #include "common/units.h"
 #include "obs/profile.h"
 #include "sim/arbiter.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/invariants.h"
+#include "sim/link_cache.h"
 #include "sim/traffic.h"
 #include "sledzig/encoder.h"
 #include "wifi/phy_params.h"
@@ -42,11 +42,54 @@ std::uint64_t vus(double t) {
   return static_cast<std::uint64_t>(std::llround(t));
 }
 
+/// One frame-relevant interferer, staged flat for the delivery scan: the
+/// transmission's segment times plus its received powers and the
+/// precomputed symbol error probabilities it would impose.  A frame's
+/// staging (a few dozen entries) lives in L1 across every window the
+/// delivery loop evaluates, where chasing the ledger and the power table
+/// per window re-missed cache on each of the ~40 entries every time.
+/// Kept in ledger (start-time) order so the worst-interferer scan visits
+/// entries exactly as the per-symbol reference does.
+struct RelevantTx {
+  double start_us;
+  double payload_start_us;
+  double end_us;
+  double preamble_mw;
+  double payload_mw;
+  double p_err_preamble;
+  double p_err_payload;
+};
+
+/// Recyclable heap storage for one run: the event heap, the arbiter's
+/// tables and ledger, the perr cache, the notify adjacency lists, and the
+/// delivery scratch vectors.  A run adopts the capacity on entry and hands
+/// it back on exit; every buffer is resized or cleared before use, so only
+/// *capacity* survives between runs — contents never do, which keeps
+/// workspace reuse invisible to the digest.
+struct RunWorkspace {
+  std::vector<Event> events;
+  ArbiterStorage arb;
+  std::vector<double> perr;
+  std::vector<std::uint32_t> adj;      // CSR: audible wifi listeners per tx
+  std::vector<std::uint32_t> adj_off;  // num_total + 1 offsets into adj
+  std::vector<RelevantTx> rel;         // delivery scratch: staged interferers
+  std::vector<double> bounds;          // delivery scratch: segment boundaries
+};
+
+/// Does a prebuilt cache describe this config's topology?  (Guards against
+/// a stale shared cache being carried into a differently-shaped scenario.)
+bool cache_matches(const LinkCache* cache, const ScenarioConfig& cfg) {
+  return cache != nullptr && cache->num_wifi == cfg.wifi.size() &&
+         cache->num_nodes == cfg.wifi.size() + cfg.zigbee.size() &&
+         cache->num_total ==
+             cfg.wifi.size() + cfg.zigbee.size() + cfg.faults.jammers.size();
+}
+
 /// Everything one run owns.  Constructed per call, so run_scenario holds
 /// no global state and replications can fan out freely.
 class Engine {
  public:
-  explicit Engine(const ScenarioConfig& cfg);
+  Engine(const ScenarioConfig& cfg, RunWorkspace& ws);
   SimResult run();
 
  private:
@@ -160,6 +203,11 @@ class Engine {
   std::vector<FaultAction> actions_;    // compiled fault schedule
   std::vector<double> perr_;  // M x num_total x {payload, preamble segment}
   double noise20_mw_;
+  std::shared_ptr<const LinkCache> cache_;
+  /// True powers of pruned links, filled only under fastpath.cross_check
+  /// (same 2T x T layout as the arbiter tables; empty otherwise).
+  std::vector<SegmentPower> shadow_;
+  RunWorkspace* ws_;
   Arbiter arbiter_;
   EventQueue queue_;
   SimInvariants inv_;
@@ -183,7 +231,7 @@ class Engine {
   void flush_metrics() const;
 };
 
-Engine::Engine(const ScenarioConfig& cfg)
+Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
     : cfg_(cfg),
       duration_us_(cfg.duration_s * 1e6),
       num_wifi_(cfg.wifi.size()),
@@ -192,7 +240,9 @@ Engine::Engine(const ScenarioConfig& cfg)
       num_jammers_(cfg.faults.jammers.size()),
       num_total_(num_nodes_ + num_jammers_),
       noise20_mw_(common::dbm_to_mw(channel::kNoiseFloor20MhzDbm)),
+      ws_(&ws),
       arbiter_(ArbiterTables{}),
+      queue_(std::move(ws.events)),
       inv_(cfg.invariants, cfg.seed) {
   if (!(cfg_.duration_s > 0.0)) {
     throw std::invalid_argument("ScenarioConfig: duration_s must be > 0");
@@ -201,8 +251,6 @@ Engine::Engine(const ScenarioConfig& cfg)
     throw std::invalid_argument("ScenarioConfig: queue_capacity must be >= 1");
   }
 
-  const coex::Scheme scheme =
-      cfg_.sledzig_enabled ? coex::Scheme::kSledzig : coex::Scheme::kNormalWifi;
   const double impair_penalty_db = cfg_.impairment.snr_penalty_db();
 
   // --- nodes, their machines and RNG streams (all index-derived) ---
@@ -269,89 +317,82 @@ Engine::Engine(const ScenarioConfig& cfg)
   // Point p in [0, T) is entry p's transmitter position (CCA); point T + p
   // is its receiver position (delivery), where T = nodes + jammers (a
   // jammer is a pseudo-node: it transmits through the same tables but
-  // never listens, so its listener rows are dead weight).  One lognormal
-  // shadowing draw per (point, transmitter) path, in fixed iteration order
-  // — with no jammers the draw sequence is exactly the pre-fault one.
+  // never listens).  The mean powers come from the scenario's LinkCache
+  // (shared across replications); this run only adds its lognormal
+  // shadowing draw — one per spectrally-coupled (point, transmitter) path,
+  // in fixed iteration order, drawn even for self-CCA and pruned entries
+  // so the RNG stream (and therefore every digest) is independent of the
+  // interference graph and bit-exact with the legacy fill on every
+  // single-channel scenario (where all pairs are coupled).
+  cache_ = cache_matches(cfg_.link_cache.get(), cfg_)
+               ? cfg_.link_cache
+               : LinkCache::build(cfg_);
   common::Rng shadow_rng(
       common::derive_seed(cfg_.seed, 4 * num_nodes_ + 3));
-  const auto wifi_link = channel::wifi_link();
-  const auto zigbee_link = channel::zigbee_link();
-  // A flat wideband jammer presents 2/20 MHz of its power to a ZigBee
-  // listener's measurement band.
-  const double kJammerBandFractionDb = -10.0;
-  ArbiterTables tables;
+  ArbiterStorage storage = std::move(ws.arb);
+  ArbiterTables& tables = storage.tables;
   tables.num_nodes = num_total_;
-  tables.power.resize(2 * num_total_ * num_total_);
+  tables.power.assign(2 * num_total_ * num_total_, SegmentPower{});
   tables.audible.assign(num_total_ * num_total_, 0);
-  tables.cca_noise_mw.resize(num_total_);
-  tables.cca_threshold_dbm.resize(num_total_);
+  tables.cca_noise_mw.assign(num_total_, 0.0);
+  tables.cca_threshold_dbm.assign(num_total_, 0.0);
+  const bool keep_shadow = cfg_.fastpath.cross_check;
+  shadow_.clear();
+  if (keep_shadow) shadow_.assign(2 * num_total_ * num_total_, SegmentPower{});
+  // The interference-graph bit index rides with the fast path; without it
+  // medium queries fall back to scanning the table (pre-graph behaviour).
+  const bool build_index = cfg_.fastpath.segment_runs || cfg_.fastpath.prune;
+  tables.bit_words = build_index ? (num_total_ + 63) / 64 : 0;
+  tables.nonzero_bits.assign(2 * num_total_ * tables.bit_words, 0);
+  // Coupling components partition the transmission ledger; off the fast
+  // path everything shares component 0 (one global ledger, the pre-split
+  // behaviour).
+  if (build_index) {
+    tables.comp.assign(cache_->comp.begin(), cache_->comp.end());
+    tables.num_comps = cache_->num_comps;
+  } else {
+    tables.comp.clear();
+    tables.num_comps = 1;
+  }
 
+  // Walk the cache's compact coupled-pair rows: only spectrally-coupled
+  // pairs consume a draw — which is every pair in a single-channel
+  // (legacy) scenario, so those streams are untouched; disjoint-band pairs
+  // skip both the scan and the (dominant, at 1000 nodes) gaussian cost.
+  // Pruned pairs still draw: the stream is invariant to the interference
+  // graph.
   for (std::size_t p = 0; p < 2 * num_total_; ++p) {
-    const std::size_t listener = p % num_total_;
-    const bool rx_point = p >= num_total_;
-    Position pos;
-    if (listener < num_wifi_) {
-      pos = rx_point ? cfg_.wifi[listener].rx : cfg_.wifi[listener].tx;
-    } else if (listener < num_nodes_) {
-      const auto& z = cfg_.zigbee[listener - num_wifi_];
-      pos = rx_point ? z.rx : z.tx;
-    } else {
-      pos = cfg_.faults.jammers[listener - num_nodes_].pos;
-    }
-    const bool listener_is_zigbee = listener >= num_wifi_ &&
-                                    listener < num_nodes_;
-    for (std::size_t t = 0; t < num_total_; ++t) {
+    for (std::size_t k = cache_->coupled_off[p]; k < cache_->coupled_off[p + 1];
+         ++k) {
+      const CoupledLink& e = cache_->coupled[k];
       const double jitter = shadow_rng.gaussian(cfg_.shadowing_sigma_db);
-      SegmentPower sp;
-      if (t == listener && !rx_point) {
-        // A node never interferes with its own CCA; leave 0.
-        tables.power[p * num_total_ + t] = sp;
-        continue;
-      }
-      if (t < num_wifi_) {
-        const auto& w = cfg_.wifi[t];
-        const double d = distance_m(w.tx, pos);
-        if (!listener_is_zigbee) {
-          // Full-band energy: payload and preamble carry the same total
-          // power (SledZig redistributes within the band, it does not
-          // shed power).
-          const double total =
-              wifi_link.received_power_dbm(
-                  channel::wifi_tx_power_dbm(w.usrp_gain), d) +
-              jitter;
-          sp.payload_mw = common::dbm_to_mw(total);
-          sp.preamble_mw = sp.payload_mw;
-        } else {
-          // 2 MHz slice through the PHY-measured offsets: the SledZig
-          // payload is 20+ dB down, the preamble never is.
-          const auto inband =
-              coex::wifi_inband_power(cfg_.sledzig, scheme, w.usrp_gain, d);
-          sp.payload_mw = common::dbm_to_mw(inband.payload_dbm + jitter);
-          sp.preamble_mw = common::dbm_to_mw(inband.preamble_dbm + jitter);
+      if (e.state == LinkState::kLive) {
+        SegmentPower sp;
+        // The coupling term is applied after the jitter so legacy paths
+        // (coupling_db == 0) reproduce the pre-cache sums bit-exactly.
+        sp.payload_mw =
+            common::dbm_to_mw((e.payload_dbm + jitter) + e.coupling_db);
+        sp.preamble_mw =
+            e.preamble_dbm == e.payload_dbm
+                ? sp.payload_mw
+                : common::dbm_to_mw((e.preamble_dbm + jitter) + e.coupling_db);
+        tables.power[p * num_total_ + e.tx] = sp;
+        if (build_index) {
+          tables.nonzero_bits[p * tables.bit_words + (e.tx >> 6)] |=
+              std::uint64_t{1} << (e.tx & 63);
         }
-      } else if (t < num_nodes_) {
-        const auto& z = cfg_.zigbee[t - num_wifi_];
-        const double d = distance_m(z.tx, pos);
-        // A 2 MHz ZigBee frame fits inside either measurement band at
-        // full received power.
-        const double total =
-            zigbee_link.received_power_dbm(zigbee::tx_power_dbm(z.gain), d) +
-            jitter;
-        sp.payload_mw = common::dbm_to_mw(total);
-        sp.preamble_mw = sp.payload_mw;
-      } else {
-        // Jammer: flat wideband burst through the WiFi link model — full
-        // power at a 20 MHz listener, the band fraction at a ZigBee one.
-        const auto& jm = cfg_.faults.jammers[t - num_nodes_];
-        const double d = distance_m(jm.pos, pos);
-        double total = wifi_link.received_power_dbm(
-                           channel::wifi_tx_power_dbm(jm.usrp_gain), d) +
-                       jitter;
-        if (listener_is_zigbee) total += kJammerBandFractionDb;
-        sp.payload_mw = common::dbm_to_mw(total);
-        sp.preamble_mw = sp.payload_mw;
+      } else if (keep_shadow && e.state == LinkState::kPruned) {
+        // What the table *would* have held: the cross-check compares this
+        // against the prune epsilon at every delivery.
+        SegmentPower sp;
+        sp.payload_mw =
+            common::dbm_to_mw((e.payload_dbm + jitter) + e.coupling_db);
+        sp.preamble_mw =
+            common::dbm_to_mw((e.preamble_dbm + jitter) + e.coupling_db);
+        shadow_[p * num_total_ + e.tx] = sp;
       }
-      tables.power[p * num_total_ + t] = sp;
+      // kZero (and kPruned): the table entry stays exactly 0 mW — inert in
+      // CCA energy sums and unable to win a strict-> worst-interferer.
     }
   }
 
@@ -363,13 +404,47 @@ Engine::Engine(const ScenarioConfig& cfg)
                                             : channel::kWifiCcaThresholdDbm;
     const double threshold_mw =
         common::dbm_to_mw(tables.cca_threshold_dbm[n]);
-    for (std::size_t t = 0; t < num_total_; ++t) {
-      if (t == n) continue;
-      // Energy-detect audibility (WiFi listeners defer on this; ZigBee
-      // listeners use the averaged-energy CCA instead).
-      tables.audible[n * num_total_ + t] =
-          tables.power[n * num_total_ + t].payload_mw >= threshold_mw ? 1 : 0;
+    // Energy-detect audibility (WiFi listeners defer on this; ZigBee
+    // listeners use the averaged-energy CCA instead).  A zero-power link
+    // can never clear the (positive) threshold, so with the bit index
+    // built only the set bits need the table read.
+    if (build_index) {
+      for (std::size_t w = 0; w < tables.bit_words; ++w) {
+        std::uint64_t bits = tables.nonzero_bits[n * tables.bit_words + w];
+        while (bits != 0) {
+          const std::size_t t =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (t == n) continue;
+          tables.audible[n * num_total_ + t] =
+              tables.power[n * num_total_ + t].payload_mw >= threshold_mw ? 1
+                                                                          : 0;
+        }
+      }
+    } else {
+      for (std::size_t t = 0; t < num_total_; ++t) {
+        if (t == n) continue;
+        tables.audible[n * num_total_ + t] =
+            tables.power[n * num_total_ + t].payload_mw >= threshold_mw ? 1
+                                                                        : 0;
+      }
     }
+  }
+
+  // --- notify adjacency: the audible WiFi listeners of each transmitter ---
+  // CSR lists in ascending listener order, exactly the order the old
+  // all-pairs notify_busy loop visited, so skipping inaudible listeners
+  // changes nothing but the iteration count.
+  ws.adj.clear();
+  ws.adj_off.assign(num_total_ + 1, 0);
+  for (std::size_t t = 0; t < num_total_; ++t) {
+    for (std::size_t w = 0; w < num_wifi_; ++w) {
+      if (w == t) continue;  // audible(w, w) is 0 anyway
+      if (tables.audible[w * num_total_ + t] != 0) {
+        ws.adj.push_back(static_cast<std::uint32_t>(w));
+      }
+    }
+    ws.adj_off[t + 1] = static_cast<std::uint32_t>(ws.adj.size());
   }
 
   // --- own-link budgets and cached per-interferer symbol error probs ---
@@ -378,6 +453,7 @@ Engine::Engine(const ScenarioConfig& cfg)
         tables.power[(num_total_ + i) * num_total_ + i].payload_mw;
   }
   const double noise2_mw = common::dbm_to_mw(channel::kNoiseFloor2MhzDbm);
+  perr_ = std::move(ws.perr);
   perr_.assign(num_zigbee_ * num_total_ * 2, 0.0);
   for (std::size_t j = 0; j < num_zigbee_; ++j) {
     auto& zn = zigbee_[j];
@@ -395,19 +471,56 @@ Engine::Engine(const ScenarioConfig& cfg)
       return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
     };
     zn.p_err_idle = p_err(0.0, false);
-    for (std::size_t t = 0; t < num_total_; ++t) {
-      if (t == g) continue;
-      const auto& sp = tables.power[(num_total_ + g) * num_total_ + t];
-      // The "preamble" shape of the error model is calibrated for the
-      // bursty WiFi preamble; a ZigBee interferer's whole frame — and a
-      // jammer's noise-like burst — behaves like payload.
-      const bool wifi_tx = t < num_wifi_;
-      perr_[(j * num_total_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
-      perr_[(j * num_total_ + t) * 2 + 1] = p_err(sp.preamble_mw, wifi_tx);
+    // Zeroed links (pruned edges, disjoint channels) all share the same
+    // two values; evaluating the error model once per shape instead of
+    // per link is what keeps dense-campus construction O(edges).
+    const double p0_payload = zn.p_err_idle;
+    const double p0_preamble = p_err(0.0, true);
+    // The "preamble" shape of the error model is calibrated for the
+    // bursty WiFi preamble; a ZigBee interferer's whole frame — and a
+    // jammer's noise-like burst — behaves like payload.
+    if (build_index) {
+      // Default every link to the shared zero-power values without touching
+      // the power table, then overwrite the (few, at campus scale) nonzero
+      // links the bit index names.
+      for (std::size_t t = 0; t < num_total_; ++t) {
+        if (t == g) continue;
+        perr_[(j * num_total_ + t) * 2 + 0] = p0_payload;
+        perr_[(j * num_total_ + t) * 2 + 1] =
+            t < num_wifi_ ? p0_preamble : p0_payload;
+      }
+      const std::size_t pr = num_total_ + g;
+      for (std::size_t w = 0; w < tables.bit_words; ++w) {
+        std::uint64_t bits = tables.nonzero_bits[pr * tables.bit_words + w];
+        while (bits != 0) {
+          const std::size_t t =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (t == g) continue;
+          const auto& sp = tables.power[pr * num_total_ + t];
+          perr_[(j * num_total_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
+          perr_[(j * num_total_ + t) * 2 + 1] =
+              p_err(sp.preamble_mw, t < num_wifi_);
+        }
+      }
+    } else {
+      for (std::size_t t = 0; t < num_total_; ++t) {
+        if (t == g) continue;
+        const auto& sp = tables.power[(num_total_ + g) * num_total_ + t];
+        const bool wifi_tx = t < num_wifi_;
+        if (sp.payload_mw == 0.0 && sp.preamble_mw == 0.0) {
+          perr_[(j * num_total_ + t) * 2 + 0] = p0_payload;
+          perr_[(j * num_total_ + t) * 2 + 1] =
+              wifi_tx ? p0_preamble : p0_payload;
+          continue;
+        }
+        perr_[(j * num_total_ + t) * 2 + 0] = p_err(sp.payload_mw, false);
+        perr_[(j * num_total_ + t) * 2 + 1] = p_err(sp.preamble_mw, wifi_tx);
+      }
     }
   }
 
-  arbiter_ = Arbiter(std::move(tables));
+  arbiter_ = Arbiter(std::move(storage));
 }
 
 void Engine::trace(double t, std::uint32_t node, TraceType type,
@@ -647,12 +760,14 @@ void Engine::start_zigbee_tx(std::size_t j, double now) {
 
 void Engine::notify_busy(std::uint32_t tx_node, double now) {
   // Only WiFi nodes carrier-sense between their own transmissions;
-  // unslotted 802.15.4 is oblivious outside its CCA windows.
-  for (std::size_t w = 0; w < num_wifi_; ++w) {
-    const auto g = global(w);
-    if (g == tx_node || !fstate_[g].alive || !arbiter_.audible(g, tx_node)) {
-      continue;
-    }
+  // unslotted 802.15.4 is oblivious outside its CCA windows.  The
+  // adjacency list holds exactly the audible listeners, in the ascending
+  // order the old all-pairs loop visited them, so this is O(degree).
+  const auto lo = ws_->adj_off[tx_node];
+  const auto hi = ws_->adj_off[tx_node + 1];
+  for (auto a = lo; a < hi; ++a) {
+    const std::size_t w = ws_->adj[a];
+    if (!fstate_[w].alive) continue;
     ++wifi_[w].token;
     apply_wifi_step(w, wifi_[w].machine.medium_busy(now), now);
   }
@@ -660,6 +775,11 @@ void Engine::notify_busy(std::uint32_t tx_node, double now) {
 
 void Engine::notify_idle(double now) {
   for (std::size_t w = 0; w < num_wifi_; ++w) {
+    // In kIdle and kTx medium_idle() is a stateless no-op and no valid
+    // timer is pending (every path into those states bumps the token), so
+    // skipping non-waiting machines skips only an unobservable token bump
+    // — the busy_at scan runs just for the few nodes actually deferring.
+    if (!wifi_[w].machine.waiting()) continue;
     const auto g = global(w);
     if (!fstate_[g].alive || arbiter_.busy_at(g, now)) continue;
     ++wifi_[w].token;
@@ -672,10 +792,14 @@ bool Engine::wifi_frame_delivered(std::size_t i, const Transmission& tx) const {
   const std::uint32_t g = global(i);
   // A deaf station cannot decode anything, interference or not.
   if (fstate_[g].deaf) return false;
-  const auto [lo, hi] = arbiter_.overlap_range(tx.start_us, tx.end_us);
-  for (std::size_t k = lo; k < hi; ++k) {
-    const auto& x = arbiter_.tx(static_cast<std::uint32_t>(k));
+  const auto [lo, hi] = arbiter_.overlap_ids(g, tx.start_us, tx.end_us);
+  const bool indexed = arbiter_.has_link_index();
+  for (const std::uint32_t* it = lo; it != hi; ++it) {
+    const auto& x = arbiter_.tx(*it);
     if (x.node == g) continue;
+    // Zero-power links can only yield worst_mw <= 0.0 below; the index
+    // skips them without the (cache-cold at campus scale) table read.
+    if (indexed && !arbiter_.rx_nonzero(g, x.node)) continue;
     const auto& sp = arbiter_.rx_power(g, x.node);
     const bool pre_overlap =
         std::min(tx.end_us, x.payload_start_us) >
@@ -704,35 +828,145 @@ bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
   const double symbol_us = zigbee::kSymbolDurationUs;
   const auto num_symbols =
       static_cast<std::size_t>((tx.end_us - tx.start_us) / symbol_us);
-  const auto [lo, hi] = arbiter_.overlap_range(tx.start_us, tx.end_us);
+  const auto [lo, hi] = arbiter_.overlap_ids(g, tx.start_us, tx.end_us);
+
+  if (!cfg_.fastpath.segment_runs) {
+    // Reference path: resolve the worst interferer per 16 us symbol (same
+    // precedence as the closed-form model: a payload segment displaces a
+    // preamble hit only at strictly higher power).
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      const double s0 = tx.start_us + static_cast<double>(s) * symbol_us;
+      const double s1 = s0 + symbol_us;
+      double worst_mw = 0.0;
+      bool preamble_seg = false;
+      std::uint32_t worst_tx = UINT32_MAX;
+      for (const std::uint32_t* it = lo; it != hi; ++it) {
+        const auto& x = arbiter_.tx(*it);
+        if (x.node == g) continue;
+        const auto& sp = arbiter_.rx_power(g, x.node);
+        if (std::min(s1, x.payload_start_us) > std::max(s0, x.start_us) &&
+            sp.preamble_mw > worst_mw) {
+          worst_mw = sp.preamble_mw;
+          preamble_seg = true;
+          worst_tx = x.node;
+        }
+        if (std::min(s1, x.end_us) > std::max(s0, x.payload_start_us) &&
+            sp.payload_mw > worst_mw) {
+          worst_mw = sp.payload_mw;
+          preamble_seg = false;
+          worst_tx = x.node;
+        }
+      }
+      const double p = worst_tx == UINT32_MAX ? n.p_err_idle
+                                              : perr(j, worst_tx, preamble_seg);
+      if (n.delivery_rng.uniform() < p) return false;
+    }
+    return true;
+  }
+
+  // Fast path (DESIGN.md §15).  Exactness: between consecutive boundary
+  // times (every overlapping transmission's start, payload start and end,
+  // clamped to the frame) each interval endpoint used by the per-symbol
+  // overlap tests is either <= the segment's left edge or >= its right
+  // edge, so every symbol fully inside a segment reaches the identical
+  // worst-interferer verdict — compute it once and reuse it.  Symbols that
+  // straddle a boundary fall back to the per-symbol scan.  One uniform()
+  // is still drawn per symbol, stopping at the first failure, so the RNG
+  // stream and the digest are bit-identical to the reference path.
+  if (!shadow_.empty()) {
+    // Cross-check: would any pruned link have been worth hearing here?
+    // (Pruned links couple, so they are inside the listener's component.)
+    for (const std::uint32_t* it = lo; it != hi; ++it) {
+      const auto& x = arbiter_.tx(*it);
+      if (x.node == g) continue;
+      const auto& sh = shadow_[(num_total_ + g) * num_total_ + x.node];
+      if (std::max(sh.payload_mw, sh.preamble_mw) > cache_->eps_mw[g]) {
+        throw std::logic_error(
+            "fastpath cross-check: pruned link above the prune epsilon at "
+            "listener " +
+            std::to_string(g) + " (tx " + std::to_string(x.node) + ")");
+      }
+    }
+  }
+
+  // Zero-power ledger entries (pruned or channel-disjoint interferers,
+  // which the table holds as exactly 0 mW) can never win the strict->
+  // comparison; dropping them up front is what makes the scan O(degree).
+  // The bit index (always built on this branch) answers "is the link
+  // nonzero" without touching the power table at all.
+  auto& rel = ws_->rel;
+  rel.clear();
+  for (const std::uint32_t* it = lo; it != hi; ++it) {
+    const auto& x = arbiter_.tx(*it);
+    if (x.node == g) continue;
+    if (!arbiter_.rx_nonzero(g, x.node)) continue;
+    const auto& sp = arbiter_.rx_power(g, x.node);
+    rel.push_back({x.start_us, x.payload_start_us, x.end_us, sp.preamble_mw,
+                   sp.payload_mw, perr(j, x.node, true), perr(j, x.node, false)});
+  }
+  if (rel.empty()) {
+    for (std::size_t s = 0; s < num_symbols; ++s) {
+      if (n.delivery_rng.uniform() < n.p_err_idle) return false;
+    }
+    return true;
+  }
+
+  auto& b = ws_->bounds;
+  b.clear();
+  b.push_back(tx.start_us);
+  for (const auto& e : rel) {
+    for (const double v : {e.start_us, e.payload_start_us, e.end_us}) {
+      if (v > tx.start_us && v < tx.end_us) b.push_back(v);
+    }
+  }
+  b.push_back(tx.end_us);
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+
+  // Identical scan to the reference inner loop, over the staged entries:
+  // same order, same strict-> comparisons — the tracked probability is
+  // exactly the perr() value of the tracked (worst_tx, segment) pair.
+  // Entries are start-ordered, so once one starts at/after the window
+  // nothing later can overlap it and the scan stops early.
+  const auto window_p = [&](double w0, double w1) {
+    double worst_mw = 0.0;
+    double p = n.p_err_idle;
+    for (const auto& e : rel) {
+      if (e.start_us >= w1) break;
+      if (std::min(w1, e.payload_start_us) > std::max(w0, e.start_us) &&
+          e.preamble_mw > worst_mw) {
+        worst_mw = e.preamble_mw;
+        p = e.p_err_preamble;
+      }
+      if (std::min(w1, e.end_us) > std::max(w0, e.payload_start_us) &&
+          e.payload_mw > worst_mw) {
+        worst_mw = e.payload_mw;
+        p = e.p_err_payload;
+      }
+    }
+    return p;
+  };
+
+  std::size_t bi = 0;
+  double seg_p = 0.0;
+  bool seg_valid = false;
   for (std::size_t s = 0; s < num_symbols; ++s) {
     const double s0 = tx.start_us + static_cast<double>(s) * symbol_us;
     const double s1 = s0 + symbol_us;
-    // Worst interferer over this symbol (same precedence as the
-    // closed-form model: a payload segment displaces a preamble hit only
-    // at strictly higher power).
-    double worst_mw = 0.0;
-    bool preamble_seg = false;
-    std::uint32_t worst_tx = UINT32_MAX;
-    for (std::size_t k = lo; k < hi; ++k) {
-      const auto& x = arbiter_.tx(static_cast<std::uint32_t>(k));
-      if (x.node == g) continue;
-      const auto& sp = arbiter_.rx_power(g, x.node);
-      if (std::min(s1, x.payload_start_us) > std::max(s0, x.start_us) &&
-          sp.preamble_mw > worst_mw) {
-        worst_mw = sp.preamble_mw;
-        preamble_seg = true;
-        worst_tx = x.node;
-      }
-      if (std::min(s1, x.end_us) > std::max(s0, x.payload_start_us) &&
-          sp.payload_mw > worst_mw) {
-        worst_mw = sp.payload_mw;
-        preamble_seg = false;
-        worst_tx = x.node;
-      }
+    while (bi + 2 < b.size() && b[bi + 1] <= s0) {
+      ++bi;
+      seg_valid = false;
     }
-    const double p =
-        worst_tx == UINT32_MAX ? n.p_err_idle : perr(j, worst_tx, preamble_seg);
+    double p;
+    if (s1 <= b[bi + 1]) {
+      if (!seg_valid) {
+        seg_p = window_p(b[bi], b[bi + 1]);
+        seg_valid = true;
+      }
+      p = seg_p;
+    } else {
+      p = window_p(s0, s1);  // straddles a boundary (or FP end overshoot)
+    }
     if (n.delivery_rng.uniform() < p) return false;
   }
   return true;
@@ -1052,6 +1286,12 @@ SimResult Engine::run() {
     result.zigbee.push_back(n.stats);
   }
   flush_metrics();
+  // Hand the heap storage back for the next run on this thread (capacity-
+  // only reuse; see RunWorkspace).  On a throw the buffers simply die with
+  // the engine and the next run reallocates.
+  ws_->events = queue_.release();
+  ws_->arb = arbiter_.release();
+  ws_->perr = std::move(perr_);
   return result;
 }
 
@@ -1110,7 +1350,8 @@ SimResult run_scenario(const ScenarioConfig& config) {
   if (auto errors = config.validate(); !errors.empty()) {
     throw std::invalid_argument(describe(errors));
   }
-  return Engine(config).run();
+  RunWorkspace ws;
+  return Engine(config, ws).run();
 }
 
 std::vector<SimResult> run_replications(common::ThreadPool& pool,
@@ -1122,14 +1363,26 @@ std::vector<SimResult> run_replications(common::ThreadPool& pool,
   if (auto errors = config.validate(); !errors.empty()) {
     throw std::invalid_argument(describe(errors));
   }
+  // The link cache is pure per topology (no seed in it), so every
+  // replication shares one build instead of redoing the O(T^2) geometry
+  // and PHY work per seed.
+  std::shared_ptr<const LinkCache> cache =
+      cache_matches(config.link_cache.get(), config)
+          ? config.link_cache
+          : LinkCache::build(config);
   return common::parallel_map(pool, replications, [&](std::size_t rep) {
+    // Each pool worker keeps one workspace across the replications it
+    // runs.  Reuse is capacity-only (every buffer is refilled or cleared
+    // per run), so results stay bit-identical for any thread count.
+    thread_local RunWorkspace ws;
     ScenarioConfig c = config;
     c.seed = common::derive_seed(config.seed, rep);
     // A TraceLog is single-writer; replications would race on a shared
     // sink, so spans are a single-run feature.  Metrics stay attached —
     // the registry is thread-safe and its sums are commutative.
     c.span_log = nullptr;
-    return run_scenario(c);
+    c.link_cache = cache;
+    return Engine(c, ws).run();
   });
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "sim/link_cache.h"
+
 namespace sledzig::sim {
 
 double distance_m(const Position& a, const Position& b) {
@@ -93,6 +95,9 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
     if (!(n.mac.airtime_us > 0.0) || !finite(n.mac.airtime_us)) {
       errs.push_back({field + ".mac.airtime_us", "must be finite and > 0"});
     }
+    if (n.channel > 13) {
+      errs.push_back({field + ".channel", "must be 0 (legacy) or 1..13"});
+    }
     check_traffic(errs, field + ".traffic", n.traffic);
   }
   for (std::size_t j = 0; j < zigbee.size(); ++j) {
@@ -106,7 +111,14 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
     if (n.mac.payload_octets == 0) {
       errs.push_back({field + ".mac.payload_octets", "must be >= 1"});
     }
+    if (n.channel != 0 && (n.channel < 11 || n.channel > 26)) {
+      errs.push_back({field + ".channel", "must be 0 (legacy) or 11..26"});
+    }
     check_traffic(errs, field + ".traffic", n.traffic);
+  }
+
+  if (!finite(fastpath.prune_floor_db)) {
+    errs.push_back({"fastpath.prune_floor_db", "must be finite"});
   }
 
   // --- fault plan ---
@@ -218,6 +230,50 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
   // mean CSMA + frame airtime), the 63 Kbps interference-free ceiling.
   mote.traffic = {TrafficKind::kCbr, 6346.0, 1.0};
   cfg.zigbee.push_back(mote);
+  return cfg;
+}
+
+ScenarioConfig campus_scenario(std::size_t ap_grid_x, std::size_t ap_grid_y,
+                               std::size_t sensors_per_ap, double spacing_m,
+                               double duration_s, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.sledzig_enabled = true;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+  cfg.wifi.reserve(ap_grid_x * ap_grid_y);
+  cfg.zigbee.reserve(ap_grid_x * ap_grid_y * sensors_per_ap);
+
+  // The classic dense-deployment plan: the three non-overlapping 20 MHz
+  // channels tiled so adjacent cells never share one.
+  constexpr unsigned kChannelPlan[3] = {1, 6, 11};
+
+  for (std::size_t iy = 0; iy < ap_grid_y; ++iy) {
+    for (std::size_t ix = 0; ix < ap_grid_x; ++ix) {
+      const double x = static_cast<double>(ix) * spacing_m;
+      const double y = static_cast<double>(iy) * spacing_m;
+      WifiNodeConfig ap;
+      ap.tx = {x, y};
+      ap.rx = {x + 2.0, y + 1.0};
+      ap.channel = kChannelPlan[(ix + iy) % 3];
+      ap.traffic = {TrafficKind::kDutyCycle, 0.0, 0.35};
+      cfg.wifi.push_back(ap);
+
+      // Sensors ring the AP, each parked in one of the four 2 MHz overlap
+      // windows of its cell's WiFi channel — the SledZig coexistence
+      // geometry, repeated per cell.
+      for (std::size_t s = 0; s < sensors_per_ap; ++s) {
+        const double dx = 2.0 + 3.0 * static_cast<double>(s % 3);
+        const double dy = 3.0 + 3.0 * static_cast<double>(s / 3);
+        ZigbeeNodeConfig mote;
+        mote.tx = {x + dx, y + dy};
+        mote.rx = {x + dx, y + dy + 1.0};
+        mote.channel = overlapping_zigbee_channel(
+            ap.channel, core::kAllOverlapChannels[s % 4]);
+        mote.traffic = {TrafficKind::kCbr, 25000.0, 1.0};
+        cfg.zigbee.push_back(mote);
+      }
+    }
+  }
   return cfg;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "sledzig/significant_bits.h"
 
 namespace sledzig::sim {
+
+struct LinkCache;  // sim/link_cache.h: per-scenario mean received powers
 
 /// Planar placement in metres (the paper's 10 m x 15 m office).
 struct Position {
@@ -55,6 +58,11 @@ struct WifiNodeConfig {
   double usrp_gain = 15.0;  // maps to dBm via channel::wifi_tx_power_dbm
   mac::WifiMacParams mac{};
   TrafficConfig traffic{};
+  /// 2.4 GHz WiFi channel 1..13.  0 is the legacy single-BSS default:
+  /// channel 6, with every channel-0 ZigBee node sitting in the protected
+  /// window — which reproduces the original single-channel power model
+  /// bit-exactly (DESIGN.md §15).
+  unsigned channel = 0;
 };
 
 /// One ZigBee transmitter/receiver pair.
@@ -65,6 +73,35 @@ struct ZigbeeNodeConfig {
   double sensitivity_dbm = -85.0;
   mac::ZigbeeMacParams mac{};
   TrafficConfig traffic{TrafficKind::kCbr, 6346.0, 1.0};
+  /// 802.15.4 channel 11..26.  0 is the legacy default: the protected
+  /// 2 MHz window (the channel-0 WiFi centre plus the configured
+  /// sledzig.channel offset), exactly where the paper's mote sits.
+  unsigned channel = 0;
+};
+
+/// Hybrid-fidelity fast-path knobs (DESIGN.md §15).  The defaults are safe
+/// for every scenario: segment runs are bit-exact, and the prune epsilon
+/// sits `prune_floor_db` under the listener's noise floor with a 10-sigma
+/// shadowing margin, so a pruned link could never have moved a SINR by a
+/// measurable amount.
+struct FastPathConfig {
+  /// Segment-run delivery: the interferer set is piecewise-constant
+  /// between transmission boundaries, so the worst interferer is resolved
+  /// once per segment instead of once per 16 us symbol.  Exact: the
+  /// per-symbol RNG stream and every delivery verdict are bit-identical
+  /// to the per-symbol reference (turn off to time the reference path).
+  bool segment_runs = true;
+  /// Interference-graph pruning: zero out links whose received power can
+  /// never come within `prune_floor_db` of the listener's noise floor
+  /// (10-sigma shadowing margin included), so delivery and CCA iterate
+  /// over O(degree) neighbors.  Conservative approximation; cross-checked
+  /// when `cross_check` is set.
+  bool prune = true;
+  double prune_floor_db = 30.0;
+  /// Debug: keep a shadow table of the true (unpruned) powers and throw
+  /// std::logic_error if a pruned link ever shows up above the prune
+  /// epsilon at a delivery — i.e. if it could have won worst-interferer.
+  bool cross_check = false;
 };
 
 // --- fault model (DESIGN.md §14) -----------------------------------------
@@ -192,6 +229,18 @@ struct ScenarioConfig {
   /// instants).  Single-writer: run_replications nulls it in its
   /// per-replication copies, so set it only for individual runs.
   obs::TraceLog* span_log = nullptr;
+  /// Hybrid-fidelity fast path (DESIGN.md §15): segment-run delivery and
+  /// interference-graph pruning.  Defaults on; the two-node flagship
+  /// digests are bit-identical either way (asserted in tests).
+  FastPathConfig fastpath{};
+  /// Optional shared per-scenario link cache: the mean (pre-shadowing)
+  /// received power of every transmitter at every listening point, which
+  /// is seed-independent and therefore identical across replications.
+  /// run_replications builds one and shares it across the fan-out; leave
+  /// null to let each run build its own.  Rebuilt automatically if the
+  /// dimensions don't match the topology, so a stale handle can degrade
+  /// performance but never correctness.
+  std::shared_ptr<const LinkCache> link_cache;
   /// Fault-injection plan (empty by default: no faults, digests untouched).
   FaultPlanConfig faults{};
   /// Runtime invariant checking (sim/invariants.h).  Disabled by default;
@@ -217,5 +266,16 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
                                        double wifi_duty_ratio, double d_wz_m,
                                        double d_z_m, double duration_s,
                                        std::uint64_t seed);
+
+/// A generated campus: `ap_grid_x` x `ap_grid_y` WiFi APs on a
+/// `spacing_m` grid cycling channels 1/6/11 (the classic non-overlapping
+/// plan), each surrounded by `sensors_per_ap` ZigBee pairs cycling the
+/// four 802.15.4 channels that overlap their AP's 20 MHz band.  APs run a
+/// closed-loop 35% duty load; sensors run a moderate CBR.  This is the
+/// dense multi-channel topology bench_sim_scaling pushes past 1000 nodes
+/// (EXPERIMENTS.md).
+ScenarioConfig campus_scenario(std::size_t ap_grid_x, std::size_t ap_grid_y,
+                               std::size_t sensors_per_ap, double spacing_m,
+                               double duration_s, std::uint64_t seed);
 
 }  // namespace sledzig::sim
