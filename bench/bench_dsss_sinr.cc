@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "channel/medium.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "mac/zigbee_csma.h"
@@ -21,7 +22,10 @@ namespace {
 /// Delivery rate of ZigBee frames whose payload is fully covered by WiFi
 /// payload interference at the given in-band SINR.
 double measured_delivery(double sinr_db, int trials) {
-  common::Rng rng(static_cast<std::uint64_t>(sinr_db * 7.0) + 900);
+  // One decorrelated stream per sweep point; the int64 hop keeps negative
+  // SINRs well-defined before the unsigned index conversion.
+  const auto point = static_cast<std::int64_t>(sinr_db * 7.0);
+  common::Rng rng(common::derive_seed(900, static_cast<std::uint64_t>(point)));
   int ok = 0;
   const double zb_power = -70.0;
   // WiFi total power such that its CH4 in-band level sits sinr_db below
@@ -56,7 +60,8 @@ double measured_delivery(double sinr_db, int trials) {
 /// The MAC model's prediction for a fully-overlapped 20-octet frame.
 double model_delivery(double sinr_db) {
   mac::SymbolErrorModel model;
-  const double p = model.symbol_error_prob(sinr_db, /*preamble=*/false);
+  const double p =
+      model.symbol_error_prob(common::Db{sinr_db}, /*preamble=*/false);
   const double symbols = 2.0 * (4 + 2 + 20 + 2);  // whole frame overlapped
   return std::pow(1.0 - p, symbols);
 }

@@ -30,8 +30,8 @@ int main() {
   for (std::size_t di = 0; di < kDistances.size(); ++di) {
     std::vector<double> wifi_vals, zb_vals;
     for (std::size_t s = 0; s < kSeeds; ++s) {
-      wifi_vals.push_back(trials[di * kSeeds + s].wifi_dbm);
-      zb_vals.push_back(trials[di * kSeeds + s].zigbee_dbm);
+      wifi_vals.push_back(trials[di * kSeeds + s].wifi_dbm.value());
+      zb_vals.push_back(trials[di * kSeeds + s].zigbee_dbm.value());
     }
     const double w = common::mean(wifi_vals);
     const double z = common::mean(zb_vals);

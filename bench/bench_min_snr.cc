@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "wifi/receiver.h"
@@ -17,7 +18,8 @@ namespace {
 
 double packet_error_rate(wifi::Modulation m, wifi::CodingRate r,
                          double snr_db, int trials, bool soft = true) {
-  common::Rng rng(static_cast<std::uint64_t>(snr_db * 10) + 77);
+  const auto point = static_cast<std::int64_t>(snr_db * 10);
+  common::Rng rng(common::derive_seed(77, static_cast<std::uint64_t>(point)));
   int errors = 0;
   for (int t = 0; t < trials; ++t) {
     const auto psdu = rng.bytes(300);

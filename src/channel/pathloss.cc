@@ -5,25 +5,27 @@
 
 namespace sledzig::channel {
 
-double LinkModel::received_power_dbm(double tx_power_dbm,
-                                     double distance_m) const {
+common::Dbm LinkModel::received_power_dbm(common::Dbm tx_power_dbm,
+                                          double distance_m) const {
   if (distance_m <= 0.0) {
     throw std::invalid_argument("received_power_dbm: distance must be > 0");
   }
   return tx_power_dbm + system_gain_db -
-         10.0 * exponent * std::log10(distance_m);
+         common::Db{10.0 * exponent * std::log10(distance_m)};
 }
 
-double wifi_tx_power_dbm(double usrp_gain) { return usrp_gain; }
+common::Dbm wifi_tx_power_dbm(double usrp_gain) {
+  return common::Dbm{usrp_gain};
+}
 
 LinkModel wifi_link() {
   // Anchor: gain 15 -> -52 dBm total at 1 m  =>  G = -67 dB.
-  return LinkModel{-67.0, kPathLossExponent};
+  return LinkModel{common::Db{-67.0}, kPathLossExponent};
 }
 
 LinkModel zigbee_link() {
   // Anchor: 0 dBm -> -75 dBm at 0.5 m  =>  G = -75 - 18*log10(2) = -80.4 dB.
-  return LinkModel{-80.4, kPathLossExponent};
+  return LinkModel{common::Db{-80.4}, kPathLossExponent};
 }
 
 }  // namespace sledzig::channel

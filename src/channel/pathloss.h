@@ -16,31 +16,34 @@
 //     receiver 0.5 m away (Fig 17; the 10 dB gap is bandwidth dilution).
 #pragma once
 
+#include "common/units.h"
+
 namespace sledzig::channel {
 
 inline constexpr double kPathLossExponent = 1.8;
 /// Thermal + receiver noise integrated over a 2 MHz ZigBee channel.
-inline constexpr double kNoiseFloor2MhzDbm = -91.0;
+inline constexpr common::Dbm kNoiseFloor2MhzDbm{-91.0};
 /// The same noise density integrated over the full 20 MHz band.
-inline constexpr double kNoiseFloor20MhzDbm = -81.0;
+inline constexpr common::Dbm kNoiseFloor20MhzDbm{-81.0};
 /// CC2420 energy-detect CCA threshold (2 MHz).
-inline constexpr double kZigbeeCcaThresholdDbm = -77.0;
+inline constexpr common::Dbm kZigbeeCcaThresholdDbm{-77.0};
 /// 802.11 energy-detect CCA threshold (20 MHz).
-inline constexpr double kWifiCcaThresholdDbm = -62.0;
+inline constexpr common::Dbm kWifiCcaThresholdDbm{-62.0};
 
 /// Lognormal shadowing spread reproducing the paper's 1-3 dB RSSI jitter.
-inline constexpr double kShadowingSigmaDb = 1.0;
+inline constexpr common::Db kShadowingSigmaDb{1.0};
 
 struct LinkModel {
-  double system_gain_db = 0.0;
+  common::Db system_gain_db{};
   double exponent = kPathLossExponent;
 
   /// Mean received power for a transmit power and distance (no shadowing).
-  double received_power_dbm(double tx_power_dbm, double distance_m) const;
+  common::Dbm received_power_dbm(common::Dbm tx_power_dbm,
+                                 double distance_m) const;
 };
 
 /// USRP WiFi transmitter: "Tx gain" g maps to g dBm (gain 15 -> 15 dBm).
-double wifi_tx_power_dbm(double usrp_gain);
+common::Dbm wifi_tx_power_dbm(double usrp_gain);
 
 /// Link models calibrated to the paper (see header comment).
 LinkModel wifi_link();    // WiFi transmitter -> any receiver

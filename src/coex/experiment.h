@@ -51,8 +51,8 @@ mac::ZigbeeLinkBudget scenario_link_budget(const Scenario& s);
 /// SledZig) and the always-full-power preamble, in dBm.  Shared by the
 /// closed-form MAC experiment and the discrete-event engine (src/sim).
 struct WifiInbandPower {
-  double payload_dbm = 0.0;
-  double preamble_dbm = 0.0;
+  common::Dbm payload_dbm{};
+  common::Dbm preamble_dbm{};
 };
 WifiInbandPower wifi_inband_power(const core::SledzigConfig& cfg,
                                   Scheme scheme, double wifi_gain,
@@ -79,8 +79,8 @@ double measure_zigbee_rssi(unsigned zigbee_gain, double distance_m,
 /// "2 MHz-slice" RSSI of WiFi / ZigBee signals at the WiFi receiver
 /// (Fig 17).
 struct WifiRxRssi {
-  double wifi_dbm;
-  double zigbee_dbm;
+  common::Dbm wifi_dbm{};
+  common::Dbm zigbee_dbm{};
 };
 WifiRxRssi measure_rssi_at_wifi_rx(double wifi_gain, unsigned zigbee_gain,
                                    double distance_m, std::uint64_t seed,

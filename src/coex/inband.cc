@@ -25,7 +25,7 @@ namespace {
 /// under the ZigBee channel collapse toward the noise bound.  Observational
 /// only; runs once per memoised config, never on a result path.
 void observe_subcarrier_power(std::span<const common::Cplx> payload_samples,
-                              double center_offset_hz, bool sledzig) {
+                              common::Hz center_offset_hz, bool sledzig) {
   constexpr double kDbmBounds[] = {-80, -75, -70, -65, -60, -55, -50, -45,
                                    -40, -35, -30, -25, -20, -15, -10, -5, 0};
   auto hist = obs::Registry::global().histogram(
@@ -36,7 +36,10 @@ void observe_subcarrier_power(std::span<const common::Cplx> payload_samples,
       common::welch_psd(payload_samples, wifi::kSampleRateHz, 64);
   for (std::size_t b = 0; b < psd.bins.size(); ++b) {
     const double fb = psd.bin_frequency(b);
-    if (fb < center_offset_hz - 1e6 || fb > center_offset_hz + 1e6) continue;
+    if (fb < center_offset_hz.value() - 1e6 ||
+        fb > center_offset_hz.value() + 1e6) {
+      continue;
+    }
     // Zero-power bins map to the -inf sentinel, which lands in the lowest
     // bucket rather than poisoning the histogram with NaN.
     hist.observe(common::mw_to_dbm(psd.bins[b]));
@@ -66,7 +69,7 @@ InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
   const auto payload_samples = samples.subspan(payload_start);
 
   const double f = core::channel_center_offset_hz(cfg.channel);
-  observe_subcarrier_power(payload_samples, f, sledzig);
+  observe_subcarrier_power(payload_samples, common::Hz{f}, sledzig);
   // Reference: total power of a *normal* payload at the same transmit
   // scale.  Measured once per modulation/rate from a random payload.
   const auto normal = wifi::wifi_transmit(rng.bytes(600), tx);
@@ -75,10 +78,10 @@ InbandOffsets measure_uncached(const core::SledzigConfig& cfg, bool sledzig) {
 
   InbandOffsets offsets;
   offsets.payload_offset_db =
-      channel::rssi_2mhz_dbm(payload_samples, f) - reference_dbm;
-  offsets.preamble_offset_db =
+      common::Db{channel::rssi_2mhz_dbm(payload_samples, f) - reference_dbm};
+  offsets.preamble_offset_db = common::Db{
       channel::rssi_2mhz_dbm(samples.first(wifi::kPreambleLen), f) -
-      reference_dbm;
+      reference_dbm};
   return offsets;
 }
 

@@ -5,17 +5,18 @@
 // budget the MAC simulation uses.
 #pragma once
 
+#include "common/units.h"
 #include "sledzig/significant_bits.h"
 
 namespace sledzig::coex {
 
 struct InbandOffsets {
   /// Payload in-band power relative to the total power of a normal payload
-  /// (dB, negative).
-  double payload_offset_db = 0.0;
-  /// Preamble in-band power relative to the same reference (dB, negative).
+  /// (negative).
+  common::Db payload_offset_db{};
+  /// Preamble in-band power relative to the same reference (negative).
   /// Identical for normal and SledZig packets — the preamble is untouched.
-  double preamble_offset_db = 0.0;
+  common::Db preamble_offset_db{};
 };
 
 /// Measures (and caches) the offsets for one configuration.  `sledzig`

@@ -1,14 +1,30 @@
-// dB / dBm / linear-power conversions and sample-power helpers.
+// dB / dBm / linear-power conversions, sample-power helpers, and the
+// strong physical-unit types the power spine is written in.
 //
 // Convention: "power" of a complex-baseband sample vector is the mean of
 // |x|^2, interpreted in milliwatts when the signal has been scaled by the
 // channel model (so 10*log10(power) is directly a dBm figure).
+//
+// The strong types (Db, Dbm, MilliWatt, Hz, MHz) are zero-overhead
+// constexpr wrappers over double with only the physically meaningful
+// operators defined: a gain can be added to an absolute power
+// (Dbm + Db -> Dbm), two absolute powers subtract to a gap
+// (Dbm - Dbm -> Db), but Dbm + Dbm does not compile — the class of
+// dB-vs-mW mixups that used to ride silently through bare doubles is a
+// type error now.  Conversions between the log and linear domains go
+// through to_mw()/to_dbm(), which route through the kNoPowerDb-sentinel
+// guards below so "no measurable power" round-trips exactly.  The
+// analyzer in tools/sledzig_analyzer flags any raw-double parameter or
+// field whose name still matches a unit convention outside the
+// sample-domain allowlist.
 #pragma once
 
 #include <cmath>
+#include <compare>
 #include <complex>
 #include <limits>
 #include <span>
+#include <type_traits>
 
 namespace sledzig::common {
 
@@ -36,6 +52,132 @@ inline double linear_to_db(double lin) {
 
 inline double dbm_to_mw(double dbm) { return db_to_linear(dbm); }
 inline double mw_to_dbm(double mw) { return linear_to_db(mw); }
+
+// --- strong unit types ----------------------------------------------------
+
+/// A relative level / gain / gap in decibels.  Dimensionless ratio in the
+/// log domain: gains add, a gap divided by a width is a plain number.
+class Db {
+ public:
+  Db() = default;
+  constexpr explicit Db(double value) : v_(value) {}
+  constexpr double value() const { return v_; }
+
+  constexpr Db& operator+=(Db o) { v_ += o.v_; return *this; }
+  constexpr Db& operator-=(Db o) { v_ -= o.v_; return *this; }
+
+  friend constexpr Db operator+(Db a, Db b) { return Db{a.v_ + b.v_}; }
+  friend constexpr Db operator-(Db a, Db b) { return Db{a.v_ - b.v_}; }
+  friend constexpr Db operator-(Db a) { return Db{-a.v_}; }
+  friend constexpr Db operator*(double k, Db a) { return Db{k * a.v_}; }
+  friend constexpr Db operator*(Db a, double k) { return Db{a.v_ * k}; }
+  /// Gap over width: a dimensionless count of widths (logistic arguments).
+  friend constexpr double operator/(Db a, Db b) { return a.v_ / b.v_; }
+  friend constexpr auto operator<=>(Db, Db) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// An absolute power level in dBm.  Offsetting by a gain stays absolute
+/// (Dbm + Db -> Dbm); the difference of two levels is a gap
+/// (Dbm - Dbm -> Db).  Dbm + Dbm is deliberately not defined: adding two
+/// absolute log-domain powers is never physically meaningful.
+class Dbm {
+ public:
+  Dbm() = default;
+  constexpr explicit Dbm(double value) : v_(value) {}
+  constexpr double value() const { return v_; }
+
+  constexpr Dbm& operator+=(Db o) { v_ += o.value(); return *this; }
+  constexpr Dbm& operator-=(Db o) { v_ -= o.value(); return *this; }
+
+  friend constexpr Dbm operator+(Dbm a, Db b) { return Dbm{a.v_ + b.value()}; }
+  friend constexpr Dbm operator-(Dbm a, Db b) { return Dbm{a.v_ - b.value()}; }
+  friend constexpr Db operator-(Dbm a, Dbm b) { return Db{a.v_ - b.v_}; }
+  friend constexpr auto operator<=>(Dbm, Dbm) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// An absolute power in the linear domain (milliwatts).  Powers add;
+/// the ratio of two powers is a plain number (SINR arguments).  mW does
+/// not add to or compare against dBm without an explicit conversion.
+class MilliWatt {
+ public:
+  MilliWatt() = default;
+  constexpr explicit MilliWatt(double value) : v_(value) {}
+  constexpr double value() const { return v_; }
+
+  constexpr MilliWatt& operator+=(MilliWatt o) { v_ += o.v_; return *this; }
+
+  friend constexpr MilliWatt operator+(MilliWatt a, MilliWatt b) {
+    return MilliWatt{a.v_ + b.v_};
+  }
+  friend constexpr double operator/(MilliWatt a, MilliWatt b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr auto operator<=>(MilliWatt, MilliWatt) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A frequency in hertz (band centres, offsets, widths).
+class Hz {
+ public:
+  Hz() = default;
+  constexpr explicit Hz(double value) : v_(value) {}
+  constexpr double value() const { return v_; }
+
+  friend constexpr Hz operator+(Hz a, Hz b) { return Hz{a.v_ + b.v_}; }
+  friend constexpr Hz operator-(Hz a, Hz b) { return Hz{a.v_ - b.v_}; }
+  /// Band-overlap fraction: a bandwidth over a bandwidth is a plain ratio.
+  friend constexpr double operator/(Hz a, Hz b) { return a.v_ / b.v_; }
+  friend constexpr auto operator<=>(Hz, Hz) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// A frequency in megahertz; converts to Hz explicitly (exact for the
+/// integral channel widths this codebase uses).
+class MHz {
+ public:
+  MHz() = default;
+  constexpr explicit MHz(double value) : v_(value) {}
+  constexpr double value() const { return v_; }
+  constexpr Hz to_hz() const { return Hz{v_ * 1e6}; }
+  friend constexpr auto operator<=>(MHz, MHz) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// The sentinel, typed: the dBm of exactly zero linear power.
+inline constexpr Dbm kNoPowerDbm{kNoPowerDb};
+
+/// Log -> linear, through the NaN-proof sentinel guard: to_mw(kNoPowerDbm)
+/// is exactly 0 mW.
+inline MilliWatt to_mw(Dbm p) { return MilliWatt{db_to_linear(p.value())}; }
+/// Linear -> log, through the sentinel guard: any non-positive (or NaN)
+/// power comes back as kNoPowerDbm.
+inline Dbm to_dbm(MilliWatt p) { return Dbm{linear_to_db(p.value())}; }
+/// A linear power ratio (e.g. SINR) expressed as a relative level.
+inline Db ratio_to_db(double ratio) { return Db{linear_to_db(ratio)}; }
+
+// The wrappers must compile away: same size and layout as the double they
+// wrap, trivially copyable, no vtable, no padding.
+static_assert(sizeof(Db) == sizeof(double) &&
+              sizeof(Dbm) == sizeof(double) &&
+              sizeof(MilliWatt) == sizeof(double) &&
+              sizeof(Hz) == sizeof(double) && sizeof(MHz) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Db> &&
+              std::is_trivially_copyable_v<Dbm> &&
+              std::is_trivially_copyable_v<MilliWatt> &&
+              std::is_trivially_copyable_v<Hz> &&
+              std::is_trivially_copyable_v<MHz>);
 
 /// Mean |x|^2 over the span (0 for an empty span).
 double mean_power(std::span<const std::complex<double>> x);

@@ -9,16 +9,16 @@
 
 namespace sledzig::mac {
 
-double SymbolErrorModel::symbol_error_prob(double sinr_db,
+double SymbolErrorModel::symbol_error_prob(common::Db sinr_db,
                                            bool preamble) const {
-  const double mid = preamble ? preamble_midpoint_db : payload_midpoint_db;
-  const double width = preamble ? preamble_width_db : payload_width_db;
+  const common::Db mid = preamble ? preamble_midpoint_db : payload_midpoint_db;
+  const common::Db width = preamble ? preamble_width_db : payload_width_db;
   const double p = 1.0 / (1.0 + std::exp((sinr_db - mid) / width));
   return preamble ? preamble_max_error * p : p;
 }
 
-double SymbolErrorModel::sensitivity_loss_prob(double signal_dbm,
-                                               double sensitivity_dbm) const {
+double SymbolErrorModel::sensitivity_loss_prob(
+    common::Dbm signal_dbm, common::Dbm sensitivity_dbm) const {
   return 1.0 /
          (1.0 + std::exp((signal_dbm - sensitivity_dbm) / sensitivity_width_db));
 }
@@ -95,28 +95,28 @@ namespace {
 /// of per symbol/CCA.  The cached values come from the same expressions the
 /// per-symbol code used, so simulation results are bit-identical.
 struct BudgetTables {
-  double noise_mw;
-  double signal_mw;
-  double payload_mw;
-  double preamble_mw;
+  common::MilliWatt noise_mw;
+  common::MilliWatt signal_mw;
+  common::MilliWatt payload_mw;
+  common::MilliWatt preamble_mw;
   double sensitivity_loss;
   double p_err_idle;      // no WiFi overlap
   double p_err_preamble;  // worst interferer = full-power preamble
   double p_err_payload;   // worst interferer = (power-reduced) payload
 
   BudgetTables(const ZigbeeLinkBudget& budget, const SymbolErrorModel& model) {
-    noise_mw = common::dbm_to_mw(budget.noise_dbm);
-    signal_mw = common::dbm_to_mw(budget.signal_dbm);
-    payload_mw = common::dbm_to_mw(budget.wifi_payload_inband_dbm);
-    preamble_mw = common::dbm_to_mw(budget.wifi_preamble_inband_dbm);
+    noise_mw = common::to_mw(budget.noise_dbm);
+    signal_mw = common::to_mw(budget.signal_dbm);
+    payload_mw = common::to_mw(budget.wifi_payload_inband_dbm);
+    preamble_mw = common::to_mw(budget.wifi_preamble_inband_dbm);
     sensitivity_loss =
         model.sensitivity_loss_prob(budget.signal_dbm, budget.sensitivity_dbm);
-    const auto p_err = [&](double interference_mw, bool preamble) {
-      const double sinr_db =
-          common::linear_to_db(signal_mw / (interference_mw + noise_mw));
+    const auto p_err = [&](common::MilliWatt interference_mw, bool preamble) {
+      const common::Db sinr_db =
+          common::ratio_to_db(signal_mw / (interference_mw + noise_mw));
       return model.symbol_error_prob(sinr_db, preamble);
     };
-    p_err_idle = p_err(0.0, false);
+    p_err_idle = p_err(common::MilliWatt{}, false);
     p_err_preamble = p_err(preamble_mw, true);
     p_err_payload = p_err(payload_mw, false);
   }
@@ -141,9 +141,10 @@ bool cca_busy(const WifiTimeline& wifi, const ZigbeeLinkBudget& budget,
         std::max(0.0, std::min(t1, b.payload_start_us) - std::max(t0, b.start_us));
     const double pay =
         std::max(0.0, std::min(t1, b.end_us) - std::max(t0, b.payload_start_us));
-    energy += pre * tables.preamble_mw + pay * tables.payload_mw;
+    energy += pre * tables.preamble_mw.value() + pay * tables.payload_mw.value();
   }
-  const double avg_dbm = common::mw_to_dbm(energy / window + tables.noise_mw);
+  const common::Dbm avg_dbm =
+      common::to_dbm(common::MilliWatt{energy / window} + tables.noise_mw);
   return avg_dbm >= budget.cca_threshold_dbm;
 }
 
@@ -162,7 +163,7 @@ bool frame_delivered(const WifiTimeline& wifi, const BudgetTables& tables,
     const double s0 = tx_start + static_cast<double>(s) * symbol_us;
     const double s1 = s0 + symbol_us;
     // Worst interferer over this symbol.
-    double interference_mw = 0.0;
+    common::MilliWatt interference_mw{};
     bool preamble_hit = false;
     const auto [lo, hi] = wifi.overlapping(s0, s1);
     for (std::size_t i = lo; i < hi; ++i) {
@@ -179,8 +180,9 @@ bool frame_delivered(const WifiTimeline& wifi, const BudgetTables& tables,
       }
     }
     const double p_err = preamble_hit ? tables.p_err_preamble
-                         : interference_mw == 0.0 ? tables.p_err_idle
-                                                  : tables.p_err_payload;
+                         : interference_mw == common::MilliWatt{}
+                             ? tables.p_err_idle
+                             : tables.p_err_payload;
     if (rng.uniform() < p_err) return false;
   }
   return true;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "mac/wifi_timeline.h"
 
 namespace sledzig::mac {
@@ -40,18 +41,19 @@ struct ZigbeeMacParams {
 };
 
 /// Received powers at the ZigBee receiver / clear-channel levels at the
-/// ZigBee transmitter, all in dBm.
+/// ZigBee transmitter.
 struct ZigbeeLinkBudget {
-  double signal_dbm = -80.0;          // ZigBee Tx -> Rx
-  double wifi_payload_inband_dbm = -200.0;  // WiFi payload inside the 2 MHz channel
-  double wifi_preamble_inband_dbm = -200.0; // WiFi preamble inside the channel
-  double noise_dbm = -91.0;
-  double cca_threshold_dbm = -77.0;
+  common::Dbm signal_dbm{-80.0};  // ZigBee Tx -> Rx
+  // WiFi payload / preamble power inside the 2 MHz channel.
+  common::Dbm wifi_payload_inband_dbm{-200.0};
+  common::Dbm wifi_preamble_inband_dbm{-200.0};
+  common::Dbm noise_dbm{-91.0};
+  common::Dbm cca_threshold_dbm{-77.0};
   /// Practical receiver sensitivity: frames below this fail regardless of
   /// interference.  The CC2420 datasheet requires -85 dBm; the paper's
   /// Fig 15 link collapses once the signal drops to about that level
   /// (d_Z ~ 1.6-1.8 m), well above the -91 dBm RSSI noise floor.
-  double sensitivity_dbm = -85.0;
+  common::Dbm sensitivity_dbm{-85.0};
 };
 
 /// Error-model parameters, calibrated against the sample-domain DSSS
@@ -62,27 +64,28 @@ struct SymbolErrorModel {
   /// sharp cliff — calibrated so the paper's Fig 14 curves jump to full
   /// throughput right at their CCA cutoffs while Fig 16's QAM-16 case
   /// (SINR ~ -9 dB) still fails.
-  double payload_midpoint_db = -11.0;
-  double payload_width_db = 0.8;
+  common::Db payload_midpoint_db{-11.0};
+  common::Db payload_width_db{0.8};
   /// Midpoint of the preamble-collision penalty: the full-power 16 us
   /// preamble burst is harsher per overlapped chip than the (possibly
   /// SledZig-attenuated) OFDM payload.
-  double preamble_midpoint_db = -6.0;
-  double preamble_width_db = 1.2;
+  common::Db preamble_midpoint_db{-6.0};
+  common::Db preamble_width_db{1.2};
   /// A preamble burst overlaps at most ~32 chips of a symbol, so even a
   /// hopeless SINR only corrupts the symbol with this probability (the
   /// paper's Fig 14(b) requires ZigBee frames to usually survive preamble
   /// hits).
   double preamble_max_error = 0.25;
   /// Width of the frame-level sensitivity cliff.
-  double sensitivity_width_db = 0.4;
+  common::Db sensitivity_width_db{0.4};
 
   /// Symbol error probability given SINR against a given interferer kind.
-  double symbol_error_prob(double sinr_db, bool preamble) const;
+  double symbol_error_prob(common::Db sinr_db, bool preamble) const;
 
   /// Probability the whole frame is lost because the signal sits at or
   /// below the receiver sensitivity.
-  double sensitivity_loss_prob(double signal_dbm, double sensitivity_dbm) const;
+  double sensitivity_loss_prob(common::Dbm signal_dbm,
+                               common::Dbm sensitivity_dbm) const;
 };
 
 /// Event-driven 802.15.4 unslotted CSMA/CA state machine, advanced by an

@@ -32,9 +32,11 @@ ArbiterStorage Arbiter::release() {
   return out;
 }
 
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 std::uint32_t Arbiter::begin_tx(std::uint32_t node, NodeKind kind,
                                 double start_us, double payload_start_us,
                                 double end_us) {
+  // NOLINTEND(bugprone-easily-swappable-parameters)
   const auto id = static_cast<std::uint32_t>(txs_.size());
   txs_.push_back(
       Transmission{node, kind, start_us, payload_start_us, end_us, true});
@@ -111,10 +113,10 @@ bool Arbiter::zigbee_cca_busy(std::uint32_t listener, double t0_us,
     // before the power-table read, which is the expensive part.
     if (pre <= 0.0 && pay <= 0.0) continue;
     const auto& p = cca_power(listener, x.node);
-    energy += pre * p.preamble_mw + pay * p.payload_mw;
+    energy += pre * p.preamble_mw.value() + pay * p.payload_mw.value();
   }
-  const double avg_dbm =
-      common::mw_to_dbm(energy / window + tables_.cca_noise_mw[listener]);
+  const common::Dbm avg_dbm = common::to_dbm(
+      common::MilliWatt{energy / window} + tables_.cca_noise_mw[listener]);
   return avg_dbm >= tables_.cca_threshold_dbm[listener];
 }
 

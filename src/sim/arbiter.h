@@ -13,16 +13,18 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.h"
+
 namespace sledzig::sim {
 
 enum class NodeKind : std::uint8_t { kWifi, kZigbee, kJammer };
 
 /// Received power of one transmitter at one listening point, split by
 /// frame segment, in the listener's measurement band (2 MHz for ZigBee
-/// listeners, the full 20 MHz for WiFi listeners), in mW.
+/// listeners, the full 20 MHz for WiFi listeners).
 struct SegmentPower {
-  double payload_mw = 0.0;
-  double preamble_mw = 0.0;  // == payload_mw for ZigBee transmitters
+  common::MilliWatt payload_mw{};
+  common::MilliWatt preamble_mw{};  // == payload_mw for ZigBee transmitters
 };
 
 struct Transmission {
@@ -44,9 +46,9 @@ struct Transmission {
 struct ArbiterTables {
   std::size_t num_nodes = 0;
   std::vector<SegmentPower> power;        // 2N x N
-  std::vector<char> audible;              // N x N: ED-visible at tx point
-  std::vector<double> cca_noise_mw;       // per node, in its CCA band
-  std::vector<double> cca_threshold_dbm;  // per node
+  std::vector<char> audible;  // N x N: ED-visible at tx point
+  std::vector<common::MilliWatt> cca_noise_mw;     // per node, in its CCA band
+  std::vector<common::Dbm> cca_threshold_dbm;      // per node
   /// Interference-graph index (fast path only): bit `tx` of row `point`
   /// is set iff power[point * num_nodes + tx] is nonzero.  At dense node
   /// counts the power table outgrows every cache level while this index
@@ -90,8 +92,12 @@ class Arbiter {
 
   /// Registers a transmission starting now.  Starts are non-decreasing
   /// (event time only moves forward), which keeps the ledger sorted.
+  /// The time triple is ordered (start <= payload_start <= end), so the
+  /// params are not really swappable despite sharing a type.
+  // NOLINTBEGIN(bugprone-easily-swappable-parameters)
   std::uint32_t begin_tx(std::uint32_t node, NodeKind kind, double start_us,
                          double payload_start_us, double end_us);
+  // NOLINTEND(bugprone-easily-swappable-parameters)
   void end_tx(std::uint32_t tx_id);
 
   /// Retires a transmission early (the transmitter died mid-air at `now`):

@@ -54,8 +54,8 @@ struct RelevantTx {
   double start_us;
   double payload_start_us;
   double end_us;
-  double preamble_mw;
-  double payload_mw;
+  common::MilliWatt preamble_mw;
+  common::MilliWatt payload_mw;
   double p_err_preamble;
   double p_err_payload;
 };
@@ -103,7 +103,8 @@ class Engine {
     NodeStats stats;
     double burst_us = 0.0;
     double bits_per_frame = 0.0;
-    double signal_mw = 0.0;  // own frame's power at the served station
+    // Own frame's power at the served station.
+    common::MilliWatt signal_mw{};
     double serve_start_us = 0.0;  // when the head frame entered CSMA
   };
 
@@ -118,7 +119,7 @@ class Engine {
     NodeStats stats;
     double airtime_us = 0.0;  // frame duration
     double bits_per_frame = 0.0;
-    double signal_mw = 0.0;
+    common::MilliWatt signal_mw{};
     double sensitivity_loss = 0.0;
     double p_err_idle = 0.0;
     double serve_start_us = 0.0;  // when the head frame (re-)entered CSMA
@@ -202,7 +203,7 @@ class Engine {
   std::vector<NodeFaultState> fstate_;  // per real node
   std::vector<FaultAction> actions_;    // compiled fault schedule
   std::vector<double> perr_;  // M x num_total x {payload, preamble segment}
-  double noise20_mw_;
+  common::MilliWatt noise20_mw_;
   std::shared_ptr<const LinkCache> cache_;
   /// True powers of pruned links, filled only under fastpath.cross_check
   /// (same 2T x T layout as the arbiter tables; empty otherwise).
@@ -239,7 +240,7 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
       num_nodes_(num_wifi_ + num_zigbee_),
       num_jammers_(cfg.faults.jammers.size()),
       num_total_(num_nodes_ + num_jammers_),
-      noise20_mw_(common::dbm_to_mw(channel::kNoiseFloor20MhzDbm)),
+      noise20_mw_(common::to_mw(channel::kNoiseFloor20MhzDbm)),
       ws_(&ws),
       arbiter_(ArbiterTables{}),
       queue_(std::move(ws.events)),
@@ -251,7 +252,7 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
     throw std::invalid_argument("ScenarioConfig: queue_capacity must be >= 1");
   }
 
-  const double impair_penalty_db = cfg_.impairment.snr_penalty_db();
+  const common::Db impair_penalty_db{cfg_.impairment.snr_penalty_db()};
 
   // --- nodes, their machines and RNG streams (all index-derived) ---
   wifi_.reserve(num_wifi_);
@@ -277,7 +278,7 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
         {},
         burst,
         bits,
-        0.0});
+        {}});
   }
   zigbee_.reserve(num_zigbee_);
   for (std::size_t j = 0; j < num_zigbee_; ++j) {
@@ -296,7 +297,7 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
         {},
         airtime,
         static_cast<double>(nc.mac.payload_octets) * 8.0,
-        0.0,
+        {},
         0.0,
         0.0});
   }
@@ -334,8 +335,8 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
   tables.num_nodes = num_total_;
   tables.power.assign(2 * num_total_ * num_total_, SegmentPower{});
   tables.audible.assign(num_total_ * num_total_, 0);
-  tables.cca_noise_mw.assign(num_total_, 0.0);
-  tables.cca_threshold_dbm.assign(num_total_, 0.0);
+  tables.cca_noise_mw.assign(num_total_, common::MilliWatt{});
+  tables.cca_threshold_dbm.assign(num_total_, common::Dbm{});
   const bool keep_shadow = cfg_.fastpath.cross_check;
   shadow_.clear();
   if (keep_shadow) shadow_.assign(2 * num_total_ * num_total_, SegmentPower{});
@@ -365,17 +366,18 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
     for (std::size_t k = cache_->coupled_off[p]; k < cache_->coupled_off[p + 1];
          ++k) {
       const CoupledLink& e = cache_->coupled[k];
-      const double jitter = shadow_rng.gaussian(cfg_.shadowing_sigma_db);
+      const common::Db jitter{
+          shadow_rng.gaussian(cfg_.shadowing_sigma_db.value())};
       if (e.state == LinkState::kLive) {
         SegmentPower sp;
         // The coupling term is applied after the jitter so legacy paths
         // (coupling_db == 0) reproduce the pre-cache sums bit-exactly.
         sp.payload_mw =
-            common::dbm_to_mw((e.payload_dbm + jitter) + e.coupling_db);
+            common::to_mw((e.payload_dbm + jitter) + e.coupling_db);
         sp.preamble_mw =
             e.preamble_dbm == e.payload_dbm
                 ? sp.payload_mw
-                : common::dbm_to_mw((e.preamble_dbm + jitter) + e.coupling_db);
+                : common::to_mw((e.preamble_dbm + jitter) + e.coupling_db);
         tables.power[p * num_total_ + e.tx] = sp;
         if (build_index) {
           tables.nonzero_bits[p * tables.bit_words + (e.tx >> 6)] |=
@@ -386,9 +388,9 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
         // against the prune epsilon at every delivery.
         SegmentPower sp;
         sp.payload_mw =
-            common::dbm_to_mw((e.payload_dbm + jitter) + e.coupling_db);
+            common::to_mw((e.payload_dbm + jitter) + e.coupling_db);
         sp.preamble_mw =
-            common::dbm_to_mw((e.preamble_dbm + jitter) + e.coupling_db);
+            common::to_mw((e.preamble_dbm + jitter) + e.coupling_db);
         shadow_[p * num_total_ + e.tx] = sp;
       }
       // kZero (and kPruned): the table entry stays exactly 0 mW — inert in
@@ -398,12 +400,12 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
 
   for (std::size_t n = 0; n < num_total_; ++n) {
     const bool is_zigbee = n >= num_wifi_ && n < num_nodes_;
-    tables.cca_noise_mw[n] = common::dbm_to_mw(
+    tables.cca_noise_mw[n] = common::to_mw(
         is_zigbee ? channel::kNoiseFloor2MhzDbm : channel::kNoiseFloor20MhzDbm);
     tables.cca_threshold_dbm[n] = is_zigbee ? channel::kZigbeeCcaThresholdDbm
                                             : channel::kWifiCcaThresholdDbm;
-    const double threshold_mw =
-        common::dbm_to_mw(tables.cca_threshold_dbm[n]);
+    const common::MilliWatt threshold_mw =
+        common::to_mw(tables.cca_threshold_dbm[n]);
     // Energy-detect audibility (WiFi listeners defer on this; ZigBee
     // listeners use the averaged-energy CCA instead).  A zero-power link
     // can never clear the (positive) threshold, so with the bit index
@@ -452,30 +454,30 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
     wifi_[i].signal_mw =
         tables.power[(num_total_ + i) * num_total_ + i].payload_mw;
   }
-  const double noise2_mw = common::dbm_to_mw(channel::kNoiseFloor2MhzDbm);
+  const common::MilliWatt noise2_mw = common::to_mw(channel::kNoiseFloor2MhzDbm);
   perr_ = std::move(ws.perr);
   perr_.assign(num_zigbee_ * num_total_ * 2, 0.0);
   for (std::size_t j = 0; j < num_zigbee_; ++j) {
     auto& zn = zigbee_[j];
     const std::size_t g = global_z(j);
-    const double signal_dbm =
-        common::mw_to_dbm(
+    const common::Dbm signal_dbm =
+        common::to_dbm(
             tables.power[(num_total_ + g) * num_total_ + g].payload_mw) -
         impair_penalty_db;
-    zn.signal_mw = common::dbm_to_mw(signal_dbm);
+    zn.signal_mw = common::to_mw(signal_dbm);
     zn.sensitivity_loss = cfg_.error_model.sensitivity_loss_prob(
         signal_dbm, zn.cfg.sensitivity_dbm);
-    const auto p_err = [&](double interference_mw, bool preamble) {
-      const double sinr_db = common::linear_to_db(
+    const auto p_err = [&](common::MilliWatt interference_mw, bool preamble) {
+      const common::Db sinr_db = common::ratio_to_db(
           zn.signal_mw / (interference_mw + noise2_mw));
       return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
     };
-    zn.p_err_idle = p_err(0.0, false);
+    zn.p_err_idle = p_err(common::MilliWatt{}, false);
     // Zeroed links (pruned edges, disjoint channels) all share the same
     // two values; evaluating the error model once per shape instead of
     // per link is what keeps dense-campus construction O(edges).
     const double p0_payload = zn.p_err_idle;
-    const double p0_preamble = p_err(0.0, true);
+    const double p0_preamble = p_err(common::MilliWatt{}, true);
     // The "preamble" shape of the error model is calibrated for the
     // bursty WiFi preamble; a ZigBee interferer's whole frame — and a
     // jammer's noise-like burst — behaves like payload.
@@ -508,7 +510,8 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
         if (t == g) continue;
         const auto& sp = tables.power[(num_total_ + g) * num_total_ + t];
         const bool wifi_tx = t < num_wifi_;
-        if (sp.payload_mw == 0.0 && sp.preamble_mw == 0.0) {
+        if (sp.payload_mw == common::MilliWatt{} &&
+            sp.preamble_mw == common::MilliWatt{}) {
           perr_[(j * num_total_ + t) * 2 + 0] = p0_payload;
           perr_[(j * num_total_ + t) * 2 + 1] =
               wifi_tx ? p0_preamble : p0_payload;
@@ -541,6 +544,9 @@ void Engine::push_arrival(std::uint32_t node, double t) {
   }
 }
 
+// lint: allow(token-lifecycle): the single funnel for timer arming; every
+// caller passes the node's live token and cancellation happens by epoch
+// bump (the stale event is dropped at pop), not by queue removal.
 void Engine::push_timer(std::uint32_t node, double t, std::uint64_t token) {
   if (t < duration_us_) {
     queue_.push(t, EventType::kTimer, node, token);
@@ -806,11 +812,12 @@ bool Engine::wifi_frame_delivered(std::size_t i, const Transmission& tx) const {
         std::max(tx.start_us, x.start_us);
     const bool pay_overlap =
         std::min(tx.end_us, x.end_us) > std::max(tx.start_us, x.payload_start_us);
-    const double worst_mw = std::max(pre_overlap ? sp.preamble_mw : 0.0,
-                                     pay_overlap ? sp.payload_mw : 0.0);
-    if (worst_mw <= 0.0) continue;
-    const double sinr_db =
-        common::linear_to_db(n.signal_mw / (worst_mw + noise20_mw_));
+    const common::MilliWatt worst_mw =
+        std::max(pre_overlap ? sp.preamble_mw : common::MilliWatt{},
+                 pay_overlap ? sp.payload_mw : common::MilliWatt{});
+    if (worst_mw <= common::MilliWatt{}) continue;
+    const common::Db sinr_db =
+        common::ratio_to_db(n.signal_mw / (worst_mw + noise20_mw_));
     if (sinr_db < cfg_.wifi_capture_sinr_db) return false;
   }
   return true;
@@ -837,7 +844,7 @@ bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
     for (std::size_t s = 0; s < num_symbols; ++s) {
       const double s0 = tx.start_us + static_cast<double>(s) * symbol_us;
       const double s1 = s0 + symbol_us;
-      double worst_mw = 0.0;
+      common::MilliWatt worst_mw{};
       bool preamble_seg = false;
       std::uint32_t worst_tx = UINT32_MAX;
       for (const std::uint32_t* it = lo; it != hi; ++it) {
@@ -929,7 +936,7 @@ bool Engine::zigbee_frame_delivered(std::size_t j, const Transmission& tx) {
   // Entries are start-ordered, so once one starts at/after the window
   // nothing later can overlap it and the scan stops early.
   const auto window_p = [&](double w0, double w1) {
-    double worst_mw = 0.0;
+    common::MilliWatt worst_mw{};
     double p = n.p_err_idle;
     for (const auto& e : rel) {
       if (e.start_us >= w1) break;

@@ -35,10 +35,12 @@ double exp_draw(common::Rng& rng, double mean) {
 /// never overlap themselves — the next onset gap starts where the previous
 /// window ended.  A recovery landing at/past the horizon is dropped; the
 /// node stays faulted to the end.
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 void emit_windows(std::vector<FaultAction>& out, common::Rng& rng,
                   std::uint32_t node, double rate_per_s, double mean_len_us,
                   double duration_us, FaultKind on, FaultKind off,
                   double magnitude) {
+  // NOLINTEND(bugprone-easily-swappable-parameters)
   if (!(rate_per_s > 0.0)) return;
   const double mean_gap_us = 1e6 / rate_per_s;
   double t = exp_draw(rng, mean_gap_us);

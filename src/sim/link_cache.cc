@@ -14,12 +14,14 @@ namespace {
 
 /// A flat wideband jammer presents 2/20 MHz of its power to a ZigBee
 /// listener's measurement band (same constant the engine always used).
-constexpr double kJammerBandFractionDb = -10.0;
+constexpr common::Db kJammerBandFractionDb{-10.0};
 
 constexpr double kWifiBandHz = 20e6;
 constexpr double kZigbeeBandHz = 2e6;
 
 /// Overlap in Hz of two bands centred at c1/c2 with widths w1/w2.
+/// Symmetric in the (centre, width) pairs, so a swap is harmless.
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
 double band_overlap_hz(double c1, double w1, double c2, double w2) {
   return std::max(0.0, std::min(c1 + w1 / 2.0, c2 + w2 / 2.0) -
                            std::max(c1 - w1 / 2.0, c2 - w2 / 2.0));
@@ -67,7 +69,7 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
   const std::size_t num_nodes = lc->num_nodes;
   const std::size_t T = lc->num_total;
   lc->coupled_off.assign(2 * T + 1, 0);
-  lc->eps_mw.assign(T, 0.0);
+  lc->eps_mw.assign(T, common::MilliWatt{});
 
   // Union-find over spectral coupling (live or pruned links both couple —
   // pruning approximates, it does not decouple), folded into the fill
@@ -110,11 +112,11 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
   // ~1e-23-probability tail (the cross-check would catch even that).
   for (std::size_t n = 0; n < T && cfg.fastpath.prune; ++n) {
     const bool is_zigbee = n >= num_wifi && n < num_nodes;
-    const double noise_dbm = is_zigbee ? channel::kNoiseFloor2MhzDbm
-                                       : channel::kNoiseFloor20MhzDbm;
-    lc->eps_mw[n] = common::dbm_to_mw(noise_dbm - cfg.fastpath.prune_floor_db);
+    const common::Dbm noise_dbm = is_zigbee ? channel::kNoiseFloor2MhzDbm
+                                            : channel::kNoiseFloor20MhzDbm;
+    lc->eps_mw[n] = common::to_mw(noise_dbm - cfg.fastpath.prune_floor_db);
   }
-  const double margin_db = 10.0 * cfg.shadowing_sigma_db;
+  const common::Db margin_db = 10.0 * cfg.shadowing_sigma_db;
 
   for (std::size_t p = 0; p < 2 * T; ++p) {
     const std::size_t listener = p % T;
@@ -124,7 +126,8 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
     // legacy fill drew jitter for them, and the stream must not move.
     if (listener >= num_nodes) {
       for (std::size_t t = 0; t < T; ++t) {
-        lc->coupled.push_back({0.0, 0.0, 0.0, static_cast<std::uint32_t>(t),
+        lc->coupled.push_back({common::Dbm{}, common::Dbm{}, common::Db{},
+                               static_cast<std::uint32_t>(t),
                                LinkState::kZero});
       }
       lc->coupled_off[p + 1] = static_cast<std::uint32_t>(lc->coupled.size());
@@ -144,7 +147,8 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
       LinkEntry e;
       if (t == listener && !rx_point) {
         // Own CCA point: silent, but the legacy fill drew for it.
-        lc->coupled.push_back({0.0, 0.0, 0.0, static_cast<std::uint32_t>(t),
+        lc->coupled.push_back({common::Dbm{}, common::Dbm{}, common::Db{},
+                               static_cast<std::uint32_t>(t),
                                LinkState::kZero});
         continue;
       }
@@ -161,7 +165,7 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
             // down, preamble at full power).
             const auto inband =
                 coex::wifi_inband_power(cfg.sledzig, scheme, w.usrp_gain, d);
-            e = {inband.payload_dbm, inband.preamble_dbm, 0.0,
+            e = {inband.payload_dbm, inband.preamble_dbm, common::Db{},
                  LinkState::kLive};
           } else {
             const double ov = band_overlap_hz(f_tx, kWifiBandHz, f_listener,
@@ -169,9 +173,10 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
             if (ov > 0.0) {
               // Flat-PSD slice of the 20 MHz band (a full 2 MHz slice is
               // -10 dB, matching the jammer band fraction).
-              const double total = wifi_link.received_power_dbm(
+              const common::Dbm total = wifi_link.received_power_dbm(
                   channel::wifi_tx_power_dbm(w.usrp_gain), d);
-              e = {total, total, 10.0 * std::log10(ov / kWifiBandHz),
+              e = {total, total,
+                   common::Db{10.0 * std::log10(ov / kWifiBandHz)},
                    LinkState::kLive};
             }
           }
@@ -179,10 +184,11 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
           const double ov =
               band_overlap_hz(f_tx, kWifiBandHz, f_listener, kWifiBandHz);
           if (ov > 0.0) {
-            const double total = wifi_link.received_power_dbm(
+            const common::Dbm total = wifi_link.received_power_dbm(
                 channel::wifi_tx_power_dbm(w.usrp_gain), d);
             // Co-channel: coupling is exactly 0.0 (legacy bit-exact).
-            e = {total, total, 10.0 * std::log10(ov / kWifiBandHz),
+            e = {total, total,
+                 common::Db{10.0 * std::log10(ov / kWifiBandHz)},
                  LinkState::kLive};
           }
         }
@@ -193,11 +199,12 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
             center_hz[t], kZigbeeBandHz, f_listener,
             listener_is_zigbee ? kZigbeeBandHz : kWifiBandHz);
         if (ov > 0.0) {
-          const double total = zigbee_link.received_power_dbm(
+          const common::Dbm total = zigbee_link.received_power_dbm(
               zigbee::tx_power_dbm(z.gain), d);
           // Fraction of the 2 MHz frame inside the listener's band; a
           // fully-contained frame couples at exactly 0.0 dB (legacy).
-          e = {total, total, 10.0 * std::log10(ov / kZigbeeBandHz),
+          e = {total, total,
+               common::Db{10.0 * std::log10(ov / kZigbeeBandHz)},
                LinkState::kLive};
         }
       } else {
@@ -206,10 +213,10 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
         // whatever the listener's channel (it jams all of them).
         const auto& jm = cfg.faults.jammers[t - num_nodes];
         const double d = distance_m(jm.pos, pos);
-        const double total = wifi_link.received_power_dbm(
+        const common::Dbm total = wifi_link.received_power_dbm(
             channel::wifi_tx_power_dbm(jm.usrp_gain), d);
         e = {total, total,
-             listener_is_zigbee ? kJammerBandFractionDb : 0.0,
+             listener_is_zigbee ? kJammerBandFractionDb : common::Db{},
              LinkState::kLive};
       }
 
@@ -221,13 +228,14 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
 
       // Interference-graph decision.  A node's own receive link (its
       // signal) is never pruned — pruning is for interference edges only.
-      if (lc->eps_mw[listener] > 0.0 && !(rx_point && t == listener)) {
-        const double best_dbm =
+      if (lc->eps_mw[listener] > common::MilliWatt{} &&
+          !(rx_point && t == listener)) {
+        const common::Dbm best_dbm =
             std::max(e.payload_dbm, e.preamble_dbm) + e.coupling_db +
             margin_db;
-        const double noise_dbm = listener_is_zigbee
-                                     ? channel::kNoiseFloor2MhzDbm
-                                     : channel::kNoiseFloor20MhzDbm;
+        const common::Dbm noise_dbm = listener_is_zigbee
+                                          ? channel::kNoiseFloor2MhzDbm
+                                          : channel::kNoiseFloor20MhzDbm;
         if (best_dbm < noise_dbm - cfg.fastpath.prune_floor_db) {
           e.state = LinkState::kPruned;
         }

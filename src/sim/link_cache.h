@@ -37,6 +37,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/units.h"
 #include "sledzig/channels.h"
 #include "sledzig/significant_bits.h"
 
@@ -51,12 +52,12 @@ enum class LinkState : std::uint8_t {
 };
 
 /// Mean (pre-shadowing) received power of one transmitter at one listening
-/// point, split by frame segment, in dBm, plus the spectral-overlap
-/// coupling applied after the per-run shadowing draw.
+/// point, split by frame segment, plus the spectral-overlap coupling
+/// applied after the per-run shadowing draw.
 struct LinkEntry {
-  double payload_dbm = 0.0;
-  double preamble_dbm = 0.0;
-  double coupling_db = 0.0;
+  common::Dbm payload_dbm{};
+  common::Dbm preamble_dbm{};
+  common::Db coupling_db{};
   LinkState state = LinkState::kZero;
   /// Does this pair consume a shadowing draw from the run's jitter stream?
   /// True for every pair the legacy single-channel fill drew for (which is
@@ -71,9 +72,9 @@ struct LinkEntry {
 /// One coupled (listening point, transmitter) pair in the compact
 /// row-major link list: the LinkEntry fields plus the transmitter id.
 struct CoupledLink {
-  double payload_dbm = 0.0;
-  double preamble_dbm = 0.0;
-  double coupling_db = 0.0;
+  common::Dbm payload_dbm{};
+  common::Dbm preamble_dbm{};
+  common::Db coupling_db{};
   std::uint32_t tx = 0;
   LinkState state = LinkState::kZero;
 };
@@ -91,10 +92,10 @@ struct LinkCache {
   /// the walk degenerates to the original dense row-major loop.
   std::vector<CoupledLink> coupled;
   std::vector<std::uint32_t> coupled_off;  ///< 2T + 1 row offsets
-  /// Per listening node: the prune epsilon in mW (listener-band noise
-  /// floor minus FastPathConfig::prune_floor_db); 0 when pruning is off.
+  /// Per listening node: the prune epsilon (listener-band noise floor
+  /// minus FastPathConfig::prune_floor_db); 0 mW when pruning is off.
   /// The fast path's cross-check compares shadow powers against this.
-  std::vector<double> eps_mw;
+  std::vector<common::MilliWatt> eps_mw;
   /// Spectral coupling components: comp[node] in 0..num_comps-1 for every
   /// node (jammer pseudo-nodes included).  Two nodes share a component iff
   /// they are connected through live-or-pruned coupled links, so received

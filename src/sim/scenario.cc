@@ -76,10 +76,10 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
   if (wifi.empty() && zigbee.empty()) {
     errs.push_back({"wifi/zigbee", "topology is empty: nothing to simulate"});
   }
-  if (!finite(shadowing_sigma_db) || shadowing_sigma_db < 0.0) {
+  if (!finite(shadowing_sigma_db.value()) || shadowing_sigma_db.value() < 0.0) {
     errs.push_back({"shadowing_sigma_db", "must be finite and >= 0"});
   }
-  if (!finite(wifi_capture_sinr_db)) {
+  if (!finite(wifi_capture_sinr_db.value())) {
     errs.push_back({"wifi_capture_sinr_db", "must be finite"});
   }
 
@@ -105,7 +105,7 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
     const auto& n = zigbee[j];
     check_position(errs, field + ".tx", n.tx);
     check_position(errs, field + ".rx", n.rx);
-    if (!finite(n.sensitivity_dbm)) {
+    if (!finite(n.sensitivity_dbm.value())) {
       errs.push_back({field + ".sensitivity_dbm", "must be finite"});
     }
     if (n.mac.payload_octets == 0) {
@@ -117,7 +117,7 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
     check_traffic(errs, field + ".traffic", n.traffic);
   }
 
-  if (!finite(fastpath.prune_floor_db)) {
+  if (!finite(fastpath.prune_floor_db.value())) {
     errs.push_back({"fastpath.prune_floor_db", "must be finite"});
   }
 
@@ -202,11 +202,13 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
   return errs;
 }
 
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
                                        bool sledzig_on,
                                        double wifi_duty_ratio, double d_wz_m,
                                        double d_z_m, double duration_s,
                                        std::uint64_t seed) {
+  // NOLINTEND(bugprone-easily-swappable-parameters)
   ScenarioConfig cfg;
   cfg.sledzig = sledzig;
   cfg.sledzig_enabled = sledzig_on;
@@ -233,9 +235,11 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
   return cfg;
 }
 
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 ScenarioConfig campus_scenario(std::size_t ap_grid_x, std::size_t ap_grid_y,
                                std::size_t sensors_per_ap, double spacing_m,
                                double duration_s, std::uint64_t seed) {
+  // NOLINTEND(bugprone-easily-swappable-parameters)
   ScenarioConfig cfg;
   cfg.sledzig_enabled = true;
   cfg.duration_s = duration_s;

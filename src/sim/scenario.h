@@ -15,6 +15,7 @@
 
 #include "channel/impairments.h"
 #include "channel/pathloss.h"
+#include "common/units.h"
 #include "mac/wifi_timeline.h"
 #include "mac/zigbee_csma.h"
 #include "obs/metrics.h"
@@ -70,7 +71,7 @@ struct ZigbeeNodeConfig {
   Position tx{};
   Position rx{};
   unsigned gain = 31;  // CC2420 PA level
-  double sensitivity_dbm = -85.0;
+  common::Dbm sensitivity_dbm{-85.0};
   mac::ZigbeeMacParams mac{};
   TrafficConfig traffic{TrafficKind::kCbr, 6346.0, 1.0};
   /// 802.15.4 channel 11..26.  0 is the legacy default: the protected
@@ -97,7 +98,7 @@ struct FastPathConfig {
   /// over O(degree) neighbors.  Conservative approximation; cross-checked
   /// when `cross_check` is set.
   bool prune = true;
-  double prune_floor_db = 30.0;
+  common::Db prune_floor_db{30.0};
   /// Debug: keep a shadow table of the true (unpruned) powers and throw
   /// std::logic_error if a pruned link ever shows up above the prune
   /// epsilon at a delivery — i.e. if it could have won worst-interferer.
@@ -210,10 +211,10 @@ struct ScenarioConfig {
   /// penalty (same treatment as coex::run_throughput_experiment).
   channel::ImpairmentConfig impairment{};
   mac::SymbolErrorModel error_model{};
-  double shadowing_sigma_db = channel::kShadowingSigmaDb;
+  common::Db shadowing_sigma_db = channel::kShadowingSigmaDb;
   /// Minimum SINR at a WiFi receiver below which an overlapped WiFi frame
   /// is lost (simple capture model for WiFi/WiFi collisions).
-  double wifi_capture_sinr_db = 10.0;
+  common::Db wifi_capture_sinr_db{10.0};
   /// Per-node FIFO depth; arrivals beyond it are counted as queue drops.
   std::size_t queue_capacity = 64;
   double duration_s = 10.0;
@@ -261,11 +262,13 @@ struct ScenarioConfig {
 /// link at `d_wz_m` from a ZigBee pair spaced `d_z_m`, the WiFi node
 /// loaded at `wifi_duty_ratio` and the ZigBee mote running the paper's
 /// ~63 Kbps closed-loop source.
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
                                        bool sledzig_on,
                                        double wifi_duty_ratio, double d_wz_m,
                                        double d_z_m, double duration_s,
                                        std::uint64_t seed);
+// NOLINTEND(bugprone-easily-swappable-parameters)
 
 /// A generated campus: `ap_grid_x` x `ap_grid_y` WiFi APs on a
 /// `spacing_m` grid cycling channels 1/6/11 (the classic non-overlapping
@@ -274,8 +277,10 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
 /// closed-loop 35% duty load; sensors run a moderate CBR.  This is the
 /// dense multi-channel topology bench_sim_scaling pushes past 1000 nodes
 /// (EXPERIMENTS.md).
+// NOLINTBEGIN(bugprone-easily-swappable-parameters)
 ScenarioConfig campus_scenario(std::size_t ap_grid_x, std::size_t ap_grid_y,
                                std::size_t sensors_per_ap, double spacing_m,
                                double duration_s, std::uint64_t seed);
+// NOLINTEND(bugprone-easily-swappable-parameters)
 
 }  // namespace sledzig::sim

@@ -5,16 +5,16 @@
 
 namespace sledzig::core {
 
-double constellation_gap_db(wifi::Modulation m) {
-  return common::linear_to_db(wifi::average_point_power_raw(m) /
-                              wifi::lowest_point_power_raw());
+common::Db constellation_gap_db(wifi::Modulation m) {
+  return common::ratio_to_db(wifi::average_point_power_raw(m) /
+                             wifi::lowest_point_power_raw());
 }
 
 double forced_subcarrier_power(wifi::Modulation m) {
   return wifi::lowest_point_power_raw() / wifi::average_point_power_raw(m);
 }
 
-double ideal_inband_reduction_db(const SledzigConfig& cfg) {
+common::Db ideal_inband_reduction_db(const SledzigConfig& cfg) {
   const double p_low = forced_subcarrier_power(cfg.modulation);
   const double forced = static_cast<double>(cfg.forced_count());
   // Window contents: forced data subcarriers plus (for CH1-CH3) one
@@ -22,7 +22,7 @@ double ideal_inband_reduction_db(const SledzigConfig& cfg) {
   const double pilot = window_contains_pilot(cfg.channel) ? 1.0 : 0.0;
   const double normal = forced + pilot;
   const double sled = forced * p_low + pilot;
-  return common::linear_to_db(normal / sled);
+  return common::ratio_to_db(normal / sled);
 }
 
 }  // namespace sledzig::core

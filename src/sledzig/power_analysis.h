@@ -1,19 +1,20 @@
 // Closed-form power accounting (section III-B and IV-E of the paper).
 #pragma once
 
+#include "common/units.h"
 #include "sledzig/significant_bits.h"
 
 namespace sledzig::core {
 
 /// P_avg / P_low of the constellation in dB: 7.0 (QAM-16), 13.2 (QAM-64),
 /// 19.3 (QAM-256).
-double constellation_gap_db(wifi::Modulation m);
+common::Db constellation_gap_db(wifi::Modulation m);
 
 /// Ideal (leakage-free) in-band power reduction over the 8-subcarrier window
 /// of the ZigBee channel, accounting for the pilot in CH1-CH3 and the null
 /// subcarriers in CH4.  The pilot keeps full power, so CH1-CH3 saturate well
 /// below the constellation gap — the effect Fig 12 measures.
-double ideal_inband_reduction_db(const SledzigConfig& cfg);
+common::Db ideal_inband_reduction_db(const SledzigConfig& cfg);
 
 /// Expected per-subcarrier power (normalised to the average constellation
 /// power) of a forced subcarrier: P_low / P_avg.

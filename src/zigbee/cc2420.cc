@@ -5,7 +5,7 @@
 
 namespace sledzig::zigbee {
 
-double tx_power_dbm(unsigned gain) {
+common::Dbm tx_power_dbm(unsigned gain) {
   if (gain > 31) throw std::invalid_argument("tx_power_dbm: gain 0..31");
   // Datasheet calibration points (PA_LEVEL, dBm).
   constexpr std::array<std::pair<unsigned, double>, 8> kPoints = {{
@@ -15,8 +15,9 @@ double tx_power_dbm(unsigned gain) {
   if (gain <= kPoints.front().first) {
     // Extrapolate below the lowest calibration point (very weak output).
     const double slope = -10.0 / 3.0;  // dB per step toward zero
-    return kPoints.front().second +
-           slope * static_cast<double>(kPoints.front().first - gain);
+    return common::Dbm{kPoints.front().second +
+                       slope *
+                           static_cast<double>(kPoints.front().first - gain)};
   }
   for (std::size_t i = 1; i < kPoints.size(); ++i) {
     if (gain <= kPoints[i].first) {
@@ -24,10 +25,10 @@ double tx_power_dbm(unsigned gain) {
       const auto [g1, p1] = kPoints[i];
       const double frac = static_cast<double>(gain - g0) /
                           static_cast<double>(g1 - g0);
-      return p0 + frac * (p1 - p0);
+      return common::Dbm{p0 + frac * (p1 - p0)};
     }
   }
-  return 0.0;
+  return common::Dbm{0.0};
 }
 
 double channel_frequency_hz(unsigned channel) {

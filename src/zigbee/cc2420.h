@@ -5,14 +5,16 @@
 
 #include <cstddef>
 
+#include "common/units.h"
+
 namespace sledzig::zigbee {
 
 /// Maximum transmit power (gain 31) in dBm.
-inline constexpr double kMaxTxPowerDbm = 0.0;
+inline constexpr common::Dbm kMaxTxPowerDbm{0.0};
 
 /// CC2420 default CCA threshold (energy detect) in dBm, measured over the
 /// 2 MHz channel.
-inline constexpr double kCcaThresholdDbm = -77.0;
+inline constexpr common::Dbm kCcaThresholdDbm{-77.0};
 
 /// RSSI / CCA averaging window: 8 symbol periods = 128 us (802.15.4 6.9.9).
 inline constexpr double kCcaWindowUs = 128.0;
@@ -28,7 +30,7 @@ inline constexpr unsigned kMaxCsmaBackoffs = 4;
 /// linearly interpolated between the datasheet's calibration points
 /// (31 -> 0 dBm, 27 -> -1, 23 -> -3, 19 -> -5, 15 -> -7, 11 -> -10,
 ///  7 -> -15, 3 -> -25).
-double tx_power_dbm(unsigned gain);
+common::Dbm tx_power_dbm(unsigned gain);
 
 /// ZigBee channel centre frequency in Hz (channels 11..26).
 double channel_frequency_hz(unsigned channel);

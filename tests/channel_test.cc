@@ -16,21 +16,24 @@ namespace {
 
 TEST(PathLoss, PaperAnchors) {
   // WiFi @ gain 15: -52 dBm total at 1 m.
-  EXPECT_NEAR(wifi_link().received_power_dbm(wifi_tx_power_dbm(15), 1.0),
+  EXPECT_NEAR(wifi_link().received_power_dbm(wifi_tx_power_dbm(15), 1.0).value(),
               -52.0, 1e-9);
   // ZigBee @ gain 31 (0 dBm): -75 dBm at 0.5 m (Fig 13).
-  EXPECT_NEAR(zigbee_link().received_power_dbm(zigbee::tx_power_dbm(31), 0.5),
-              -75.0, 0.05);
+  EXPECT_NEAR(
+      zigbee_link().received_power_dbm(zigbee::tx_power_dbm(31), 0.5).value(),
+      -75.0, 0.05);
 }
 
 TEST(PathLoss, Fig13Consistency) {
   // At 1 m / gain 15 (-7 dBm) the ZigBee signal sits near the -91 dBm floor.
-  const double p = zigbee_link().received_power_dbm(zigbee::tx_power_dbm(15), 1.0);
+  const double p =
+      zigbee_link().received_power_dbm(zigbee::tx_power_dbm(15), 1.0).value();
   EXPECT_LT(p, -86.0);
   EXPECT_GT(p, -92.0);
   // At 3 m even gain 25 is submerged.
-  EXPECT_LT(zigbee_link().received_power_dbm(zigbee::tx_power_dbm(25), 3.0),
-            -89.0);
+  EXPECT_LT(
+      zigbee_link().received_power_dbm(zigbee::tx_power_dbm(25), 3.0).value(),
+      -89.0);
 }
 
 TEST(PathLoss, Fig14CcaCutoffNear8p5m) {
@@ -38,9 +41,9 @@ TEST(PathLoss, Fig14CcaCutoffNear8p5m) {
   // CCA at -77 dBm should clear around d ~ 8.5 m.
   const auto link = wifi_link();
   const double inband_1m =
-      link.received_power_dbm(wifi_tx_power_dbm(15), 1.0) - 8.0;
+      link.received_power_dbm(wifi_tx_power_dbm(15), 1.0).value() - 8.0;
   const double d_cutoff =
-      std::pow(10.0, (inband_1m - kZigbeeCcaThresholdDbm) /
+      std::pow(10.0, (inband_1m - kZigbeeCcaThresholdDbm.value()) /
                          (10.0 * kPathLossExponent));
   EXPECT_GT(d_cutoff, 7.0);
   EXPECT_LT(d_cutoff, 10.5);
@@ -50,24 +53,25 @@ TEST(PathLoss, MonotonicInDistance) {
   const auto link = wifi_link();
   double prev = 1e9;
   for (double d = 0.5; d < 20.0; d += 0.5) {
-    const double p = link.received_power_dbm(10.0, d);
+    const double p = link.received_power_dbm(common::Dbm{10.0}, d).value();
     EXPECT_LT(p, prev);
     prev = p;
   }
 }
 
 TEST(PathLoss, RejectsNonPositiveDistance) {
-  EXPECT_THROW(wifi_link().received_power_dbm(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(wifi_link().received_power_dbm(common::Dbm{}, 0.0),
+               std::invalid_argument);
 }
 
 TEST(Medium, NoiseFloorCalibrated) {
   common::Rng rng(201);
   const auto samples = mix_at_receiver({}, 1 << 14, rng);
   // 2 MHz band anywhere should measure ~-91 dBm.
-  EXPECT_NEAR(rssi_2mhz_dbm(samples, 0.0), kNoiseFloor2MhzDbm, 1.0);
-  EXPECT_NEAR(rssi_2mhz_dbm(samples, 8e6), kNoiseFloor2MhzDbm, 1.0);
+  EXPECT_NEAR(rssi_2mhz_dbm(samples, 0.0), kNoiseFloor2MhzDbm.value(), 1.0);
+  EXPECT_NEAR(rssi_2mhz_dbm(samples, 8e6), kNoiseFloor2MhzDbm.value(), 1.0);
   // Full band: -81 dBm.
-  EXPECT_NEAR(total_power_dbm(samples), kNoiseFloor20MhzDbm, 0.5);
+  EXPECT_NEAR(total_power_dbm(samples), kNoiseFloor20MhzDbm.value(), 0.5);
 }
 
 TEST(Medium, EmptyEmissionRssiIsSentinelNotNan) {
@@ -109,7 +113,7 @@ TEST(Medium, FrequencyOffsetPlacesZigbeeInItsChannel) {
   EXPECT_NEAR(in_band, -55.0, 1.5);
   // The off-channel window sees noise plus faint MSK sidelobes (~ -35 dB
   // 15 MHz away from a -55 dBm signal).
-  EXPECT_NEAR(off_band, kNoiseFloor2MhzDbm, 2.5);
+  EXPECT_NEAR(off_band, kNoiseFloor2MhzDbm.value(), 2.5);
 }
 
 TEST(Medium, EmissionsSuperpose) {

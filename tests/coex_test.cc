@@ -25,9 +25,10 @@ TEST(Inband, SledzigReducesPayloadNotPreamble) {
     const auto c = cfg(Modulation::kQam64, CodingRate::kR23, ch);
     const auto normal = measure_inband_offsets(c, false);
     const auto sled = measure_inband_offsets(c, true);
-    EXPECT_LT(sled.payload_offset_db, normal.payload_offset_db - 4.0)
+    EXPECT_LT(sled.payload_offset_db.value(), normal.payload_offset_db.value() - 4.0)
         << to_string(ch);
-    EXPECT_NEAR(sled.preamble_offset_db, normal.preamble_offset_db, 0.7)
+    EXPECT_NEAR(sled.preamble_offset_db.value(), normal.preamble_offset_db.value(),
+                0.7)
         << to_string(ch);
   }
 }
@@ -40,8 +41,10 @@ TEST(Inband, ReductionOrderedByModulation) {
         cfg(Modulation::kQam64, CodingRate::kR23, ch), true);
     const auto r256 = measure_inband_offsets(
         cfg(Modulation::kQam256, CodingRate::kR34, ch), true);
-    EXPECT_LT(r64.payload_offset_db, r16.payload_offset_db) << to_string(ch);
-    EXPECT_LT(r256.payload_offset_db, r64.payload_offset_db) << to_string(ch);
+    EXPECT_LT(r64.payload_offset_db.value(), r16.payload_offset_db.value())
+        << to_string(ch);
+    EXPECT_LT(r256.payload_offset_db.value(), r64.payload_offset_db.value())
+        << to_string(ch);
   }
 }
 
@@ -51,7 +54,8 @@ TEST(Inband, Ch4ReductionNearPaper14dB) {
   const auto c = cfg(Modulation::kQam256, CodingRate::kR34, OverlapChannel::kCh4);
   const auto normal = measure_inband_offsets(c, false);
   const auto sled = measure_inband_offsets(c, true);
-  const double reduction = normal.payload_offset_db - sled.payload_offset_db;
+  const double reduction =
+      (normal.payload_offset_db - sled.payload_offset_db).value();
   EXPECT_GT(reduction, 12.0);
   EXPECT_LT(reduction, 17.0);
 }
@@ -63,8 +67,9 @@ TEST(Inband, MeasuredReductionTracksIdealWithLeakageLoss) {
       const auto c = cfg(m, CodingRate::kR34, ch);
       const auto normal = measure_inband_offsets(c, false);
       const auto sled = measure_inband_offsets(c, true);
-      const double measured = normal.payload_offset_db - sled.payload_offset_db;
-      const double ideal = core::ideal_inband_reduction_db(c);
+      const double measured =
+          (normal.payload_offset_db - sled.payload_offset_db).value();
+      const double ideal = core::ideal_inband_reduction_db(c).value();
       EXPECT_LT(measured, ideal + 0.8) << to_string(ch) << wifi::to_string(m);
       EXPECT_GT(measured, ideal - 3.5) << to_string(ch) << wifi::to_string(m);
     }
@@ -79,9 +84,9 @@ TEST(Experiment, LinkBudgetAnchors) {
   s.d_z_m = 1.0;
   const auto budget = scenario_link_budget(s);
   // Normal WiFi in a CH1-CH3 window at 1 m: about -60 dBm (Fig 12).
-  EXPECT_NEAR(budget.wifi_payload_inband_dbm, -61.0, 2.0);
+  EXPECT_NEAR(budget.wifi_payload_inband_dbm.value(), -61.0, 2.0);
   // ZigBee link at 1 m, gain 31: about -80 dBm (Fig 13).
-  EXPECT_NEAR(budget.signal_dbm, -80.4, 0.5);
+  EXPECT_NEAR(budget.signal_dbm.value(), -80.4, 0.5);
 }
 
 TEST(Experiment, SledzigLowersInbandBudget) {
@@ -92,10 +97,10 @@ TEST(Experiment, SledzigLowersInbandBudget) {
   const auto normal = scenario_link_budget(s);
   s.scheme = Scheme::kSledzig;
   const auto sled = scenario_link_budget(s);
-  EXPECT_LT(sled.wifi_payload_inband_dbm,
-            normal.wifi_payload_inband_dbm - 12.0);
-  EXPECT_NEAR(sled.wifi_preamble_inband_dbm, normal.wifi_preamble_inband_dbm,
-              0.7);
+  EXPECT_LT(sled.wifi_payload_inband_dbm.value(),
+            normal.wifi_payload_inband_dbm.value() - 12.0);
+  EXPECT_NEAR(sled.wifi_preamble_inband_dbm.value(),
+              normal.wifi_preamble_inband_dbm.value(), 0.7);
 }
 
 TEST(Experiment, NormalWifiBlocksCloseZigbee) {
@@ -163,9 +168,9 @@ TEST(Experiment, WifiRxSeesZigbee30dBBelowWifi) {
   const int runs = 5;
   for (int s = 0; s < runs; ++s) {
     const auto at_half = measure_rssi_at_wifi_rx(15, 31, 0.5, 200 + s);
-    wifi_half += at_half.wifi_dbm;
-    zb_half += at_half.zigbee_dbm;
-    zb_two += measure_rssi_at_wifi_rx(15, 31, 2.0, 200 + s).zigbee_dbm;
+    wifi_half += at_half.wifi_dbm.value();
+    zb_half += at_half.zigbee_dbm.value();
+    zb_two += measure_rssi_at_wifi_rx(15, 31, 2.0, 200 + s).zigbee_dbm.value();
   }
   EXPECT_NEAR(wifi_half / runs, -56.6, 2.5);
   EXPECT_NEAR(zb_half / runs, -84.3, 2.5);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <type_traits>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -146,6 +148,118 @@ TEST(Units, MeanPower) {
   CplxVec x = {{1, 0}, {0, 1}, {1, 1}};
   EXPECT_NEAR(mean_power(x), (1.0 + 1.0 + 2.0) / 3.0, 1e-12);
   EXPECT_EQ(mean_power(CplxVec{}), 0.0);
+}
+
+// --- strong unit types ----------------------------------------------------
+
+// Detection idiom: does `A op B` compile?  The point of the strong types
+// is as much what they forbid as what they allow, so the forbidden
+// operations are pinned here as compile-time facts.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanSub : std::false_type {};
+template <typename A, typename B>
+struct CanSub<A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanDiv : std::false_type {};
+template <typename A, typename B>
+struct CanDiv<A, B, std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type {};
+template <typename A, typename B>
+struct CanCompare<A, B,
+                  std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+TEST(StrongTypes, PhysicallyMeaningfulAlgebra) {
+  // Offsetting an absolute level by a gain stays absolute.
+  EXPECT_DOUBLE_EQ((Dbm{-70.0} + Db{3.0}).value(), -67.0);
+  EXPECT_DOUBLE_EQ((Dbm{-70.0} - Db{3.0}).value(), -73.0);
+  // Two absolute levels differ by a gap.
+  EXPECT_DOUBLE_EQ((Dbm{-60.0} - Dbm{-70.0}).value(), 10.0);
+  // Gains add, scale, and ratio out to plain numbers.
+  EXPECT_DOUBLE_EQ((Db{2.0} + Db{3.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ((2.0 * Db{3.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ(Db{6.0} / Db{3.0}, 2.0);
+  // Linear powers add; their ratio is a plain SINR argument.
+  EXPECT_DOUBLE_EQ((MilliWatt{1.0} + MilliWatt{2.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(MilliWatt{4.0} / MilliWatt{2.0}, 2.0);
+  // Frequencies subtract and ratio; MHz converts exactly.
+  EXPECT_DOUBLE_EQ((Hz{5e6} - Hz{2e6}).value(), 3e6);
+  EXPECT_DOUBLE_EQ(Hz{2e6} / Hz{4e6}, 0.5);
+  EXPECT_DOUBLE_EQ(MHz{20.0}.to_hz().value(), 20e6);
+
+  Dbm level{-80.0};
+  level += Db{5.0};
+  EXPECT_DOUBLE_EQ(level.value(), -75.0);
+  MilliWatt acc{1.5};
+  acc += MilliWatt{0.5};
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+}
+
+TEST(StrongTypes, MeaninglessOperationsDoNotCompile) {
+  // Adding two absolute log-domain powers is never physical.
+  static_assert(!CanAdd<Dbm, Dbm>::value);
+  static_assert(!CanAdd<Db, Dbm>::value);
+  // Log and linear domains never mix without an explicit conversion.
+  static_assert(!CanAdd<Dbm, MilliWatt>::value);
+  static_assert(!CanAdd<MilliWatt, Db>::value);
+  static_assert(!CanSub<MilliWatt, Dbm>::value);
+  static_assert(!CanCompare<Dbm, MilliWatt>::value);
+  static_assert(!CanCompare<Dbm, Db>::value);
+  // Nothing converts silently from or to bare double.
+  static_assert(!std::is_convertible_v<double, Dbm>);
+  static_assert(!std::is_convertible_v<Dbm, double>);
+  static_assert(!std::is_convertible_v<double, MilliWatt>);
+  static_assert(!CanAdd<Dbm, double>::value);
+  static_assert(!CanDiv<Dbm, Dbm>::value);
+  // The allowed cross-type ops (pinned so a refactor can't drop them).
+  static_assert(CanAdd<Dbm, Db>::value);
+  static_assert(CanSub<Dbm, Dbm>::value);
+  static_assert(CanDiv<MilliWatt, MilliWatt>::value);
+}
+
+TEST(StrongTypes, SentinelRoundTripsThroughTypedConversions) {
+  // kNoPowerDbm is "no measurable power": exactly 0 mW in the linear
+  // domain, and 0 mW comes back as exactly kNoPowerDbm.
+  EXPECT_EQ(to_mw(kNoPowerDbm).value(), 0.0);
+  EXPECT_EQ(to_dbm(MilliWatt{0.0}), kNoPowerDbm);
+  EXPECT_EQ(to_dbm(MilliWatt{-1.0}), kNoPowerDbm);
+  EXPECT_EQ(to_dbm(to_mw(kNoPowerDbm)), kNoPowerDbm);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(to_mw(Dbm{nan}).value(), 0.0);
+  EXPECT_EQ(ratio_to_db(0.0).value(), kNoPowerDb);
+  // The sentinel stays well-ordered in the typed domain too.
+  EXPECT_LT(kNoPowerDbm, Dbm{-200.0});
+  EXPECT_EQ(std::max(kNoPowerDbm, Dbm{-85.0}), Dbm{-85.0});
+  // And an ordinary level survives the typed round trip.
+  EXPECT_NEAR(to_dbm(to_mw(Dbm{-30.0})).value(), -30.0, 1e-12);
+}
+
+TEST(StrongTypes, ZeroOverheadLayout) {
+  // The wrappers must compile away: a vector<MilliWatt> is memcpy-able
+  // and bit-identical in layout to a vector<double>.
+  static_assert(sizeof(Db) == sizeof(double));
+  static_assert(sizeof(Dbm) == sizeof(double));
+  static_assert(sizeof(MilliWatt) == sizeof(double));
+  static_assert(sizeof(Hz) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<Dbm>);
+  static_assert(std::is_trivially_copyable_v<MilliWatt>);
+  static_assert(alignof(Dbm) == alignof(double));
+  // Value-initialised wrappers read exactly zero (aggregate tables are
+  // assign()-filled with MilliWatt{} and must mean 0 mW).
+  EXPECT_EQ(MilliWatt{}.value(), 0.0);
+  EXPECT_EQ(Db{}.value(), 0.0);
+  EXPECT_EQ(Dbm{}.value(), 0.0);
 }
 
 TEST(Psd, WhiteNoiseTotalPowerMatches) {

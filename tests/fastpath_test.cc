@@ -117,7 +117,7 @@ TEST(FastPath, ActivePruningMatchesReferenceStatistically) {
   mote.tx = {0.0, 0.0};
   mote.rx = {0.0, 0.5};
   cfg.zigbee.push_back(mote);
-  cfg.fastpath.prune_floor_db = 0.0;
+  cfg.fastpath.prune_floor_db = common::Db{};
 
   constexpr std::size_t kReps = 40;
   const auto mean_prr = [&](bool prune) {

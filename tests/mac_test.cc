@@ -82,12 +82,12 @@ TEST(SymbolErrorModel, MonotoneInSinr) {
   SymbolErrorModel m;
   double prev = 1.0;
   for (double sinr = -20.0; sinr <= 20.0; sinr += 1.0) {
-    const double p = m.symbol_error_prob(sinr, false);
+    const double p = m.symbol_error_prob(common::Db{sinr}, false);
     EXPECT_LE(p, prev);
     prev = p;
   }
-  EXPECT_NEAR(m.symbol_error_prob(-40.0, false), 1.0, 1e-6);
-  EXPECT_NEAR(m.symbol_error_prob(40.0, false), 0.0, 1e-6);
+  EXPECT_NEAR(m.symbol_error_prob(common::Db{-40.0}, false), 1.0, 1e-6);
+  EXPECT_NEAR(m.symbol_error_prob(common::Db{40.0}, false), 0.0, 1e-6);
 }
 
 TEST(SymbolErrorModel, PreambleIsHarsherThanPayloadAtModerateSinr) {
@@ -97,24 +97,29 @@ TEST(SymbolErrorModel, PreambleIsHarsherThanPayloadAtModerateSinr) {
   // while the 16 us preamble caps out at preamble_max_error.
   SymbolErrorModel m;
   for (double sinr = -6.0; sinr <= 0.0; sinr += 1.0) {
-    EXPECT_GT(m.symbol_error_prob(sinr, true),
-              m.symbol_error_prob(sinr, false));
+    EXPECT_GT(m.symbol_error_prob(common::Db{sinr}, true),
+              m.symbol_error_prob(common::Db{sinr}, false));
   }
-  EXPECT_NEAR(m.symbol_error_prob(-40.0, true), m.preamble_max_error, 1e-6);
+  EXPECT_NEAR(m.symbol_error_prob(common::Db{-40.0}, true),
+              m.preamble_max_error, 1e-6);
 }
 
 TEST(SymbolErrorModel, SensitivityCliff) {
   SymbolErrorModel m;
-  EXPECT_GT(m.sensitivity_loss_prob(-86.0, -85.0), 0.9);
-  EXPECT_LT(m.sensitivity_loss_prob(-84.0, -85.0), 0.1);
-  EXPECT_NEAR(m.sensitivity_loss_prob(-85.0, -85.0), 0.5, 1e-9);
+  EXPECT_GT(m.sensitivity_loss_prob(common::Dbm{-86.0}, common::Dbm{-85.0}),
+            0.9);
+  EXPECT_LT(m.sensitivity_loss_prob(common::Dbm{-84.0}, common::Dbm{-85.0}),
+            0.1);
+  EXPECT_NEAR(
+      m.sensitivity_loss_prob(common::Dbm{-85.0}, common::Dbm{-85.0}), 0.5,
+      1e-9);
 }
 
 ZigbeeLinkBudget quiet_budget() {
   ZigbeeLinkBudget b;
-  b.signal_dbm = -80.0;
-  b.wifi_payload_inband_dbm = -200.0;
-  b.wifi_preamble_inband_dbm = -200.0;
+  b.signal_dbm = common::Dbm{-80.0};
+  b.wifi_payload_inband_dbm = common::Dbm{-200.0};
+  b.wifi_preamble_inband_dbm = common::Dbm{-200.0};
   return b;
 }
 
@@ -137,8 +142,8 @@ TEST(ZigbeeCsma, StrongWifiBlocksChannelAccess) {
   common::Rng rng(308);
   WifiTimeline tl(default_wifi(), 30e6, rng);
   auto budget = quiet_budget();
-  budget.wifi_payload_inband_dbm = -60.0;
-  budget.wifi_preamble_inband_dbm = -59.0;
+  budget.wifi_payload_inband_dbm = common::Dbm{-60.0};
+  budget.wifi_preamble_inband_dbm = common::Dbm{-59.0};
   const auto result = simulate_zigbee_link(tl, ZigbeeMacParams{}, budget,
                                            SymbolErrorModel{}, rng);
   EXPECT_LT(result.throughput_kbps, 8.0);
@@ -150,8 +155,8 @@ TEST(ZigbeeCsma, WeakWifiBelowCcaAndSinrHarmless) {
   common::Rng rng(309);
   WifiTimeline tl(default_wifi(), 30e6, rng);
   auto budget = quiet_budget();
-  budget.wifi_payload_inband_dbm = -95.0;
-  budget.wifi_preamble_inband_dbm = -93.0;
+  budget.wifi_payload_inband_dbm = common::Dbm{-95.0};
+  budget.wifi_preamble_inband_dbm = common::Dbm{-93.0};
   const auto result = simulate_zigbee_link(tl, ZigbeeMacParams{}, budget,
                                            SymbolErrorModel{}, rng);
   EXPECT_NEAR(result.throughput_kbps, 63.0, 4.0);
@@ -163,9 +168,9 @@ TEST(ZigbeeCsma, InterferenceKillsFramesWhenSinrLow) {
   common::Rng rng(310);
   WifiTimeline tl(default_wifi(), 30e6, rng);
   auto budget = quiet_budget();
-  budget.signal_dbm = -85.0;
-  budget.wifi_payload_inband_dbm = -78.0;   // SINR ~ -7 dB
-  budget.wifi_preamble_inband_dbm = -78.0;
+  budget.signal_dbm = common::Dbm{-85.0};
+  budget.wifi_payload_inband_dbm = common::Dbm{-78.0};   // SINR ~ -7 dB
+  budget.wifi_preamble_inband_dbm = common::Dbm{-78.0};
   const auto result = simulate_zigbee_link(tl, ZigbeeMacParams{}, budget,
                                            SymbolErrorModel{}, rng);
   EXPECT_GT(result.packets_sent, 100u);
@@ -177,7 +182,7 @@ TEST(ZigbeeCsma, DeterministicGivenSeed) {
     common::Rng rng(311);
     WifiTimeline tl(default_wifi(), 10e6, rng);
     auto budget = quiet_budget();
-    budget.wifi_payload_inband_dbm = -80.0;
+    budget.wifi_payload_inband_dbm = common::Dbm{-80.0};
     return simulate_zigbee_link(tl, ZigbeeMacParams{}, budget,
                                 SymbolErrorModel{}, rng);
   };
@@ -194,9 +199,9 @@ TEST(ZigbeeCsma, DutyRatioGapsEnableDelivery) {
   params.duty_ratio = 0.3;
   WifiTimeline tl(params, 30e6, rng);
   auto budget = quiet_budget();
-  budget.signal_dbm = -75.0;
-  budget.wifi_payload_inband_dbm = -65.0;
-  budget.wifi_preamble_inband_dbm = -63.0;
+  budget.signal_dbm = common::Dbm{-75.0};
+  budget.wifi_payload_inband_dbm = common::Dbm{-65.0};
+  budget.wifi_preamble_inband_dbm = common::Dbm{-63.0};
   const auto result = simulate_zigbee_link(tl, ZigbeeMacParams{}, budget,
                                            SymbolErrorModel{}, rng);
   EXPECT_GT(result.throughput_kbps, 10.0);
@@ -493,9 +498,9 @@ TEST(ZigbeeCsma, LegacyLinkHonoursFrameRetries) {
   // retries each frame gets up to four attempts, so the per-frame delivery
   // ratio must rise and retransmissions must appear in packets_sent.
   auto budget = quiet_budget();
-  budget.signal_dbm = -85.0;
-  budget.wifi_payload_inband_dbm = -78.0;
-  budget.wifi_preamble_inband_dbm = -78.0;
+  budget.signal_dbm = common::Dbm{-85.0};
+  budget.wifi_payload_inband_dbm = common::Dbm{-78.0};
+  budget.wifi_preamble_inband_dbm = common::Dbm{-78.0};
   const auto run = [&](unsigned retries) {
     common::Rng rng(313);
     WifiTimeline tl(default_wifi(), 30e6, rng);

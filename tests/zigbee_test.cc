@@ -164,11 +164,11 @@ TEST(Frame, DurationMatchesPaperNumbers) {
 // ------------------------------------------------------------------ CC2420
 
 TEST(Cc2420, PowerTableEndpoints) {
-  EXPECT_NEAR(tx_power_dbm(31), 0.0, 1e-12);
-  EXPECT_NEAR(tx_power_dbm(27), -1.0, 1e-12);
-  EXPECT_NEAR(tx_power_dbm(15), -7.0, 1e-12);
-  EXPECT_NEAR(tx_power_dbm(3), -25.0, 1e-12);
-  EXPECT_LT(tx_power_dbm(0), -25.0);
+  EXPECT_NEAR(tx_power_dbm(31).value(), 0.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(27).value(), -1.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(15).value(), -7.0, 1e-12);
+  EXPECT_NEAR(tx_power_dbm(3).value(), -25.0, 1e-12);
+  EXPECT_LT(tx_power_dbm(0).value(), -25.0);
   EXPECT_THROW(tx_power_dbm(32), std::invalid_argument);
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Header self-containment check (see DESIGN.md §16).
+
+Every header under src/ must compile standalone — `#include "x.h"` as the
+first include of an empty TU — so that include order never matters and a
+header's dependency list is honest.  Each header is driven through
+`$CXX -std=c++20 -fsyntax-only -I src -x c++ <header>`.
+
+Run `check_headers.py --root <repo>`; exit 1 if any header fails.  The
+compiler comes from --cxx, then $CXX, then `c++`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def check_one(cxx: str, src_dir: Path, header: Path) -> tuple[Path, str]:
+    cmd = [cxx, "-std=c++20", "-fsyntax-only", "-I", str(src_dir),
+           "-x", "c++", str(header)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 0:
+        return header, ""
+    detail = (proc.stderr or proc.stdout).strip()
+    return header, detail or f"exit status {proc.returncode}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the tree containing this script)")
+    parser.add_argument(
+        "--cxx", default=os.environ.get("CXX") or shutil.which("c++"),
+        help="C++ compiler to drive (default: $CXX, then `c++`)")
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 2,
+        help="parallel compile jobs")
+    args = parser.parse_args()
+
+    if not args.cxx:
+        print("check_headers: no C++ compiler found (set $CXX or --cxx)",
+              file=sys.stderr)
+        return 2
+
+    src_dir = args.root / "src"
+    headers = sorted(p for p in src_dir.rglob("*.h") if p.is_file())
+    if not headers:
+        print(f"check_headers: no headers under {src_dir}", file=sys.stderr)
+        return 2
+
+    failures: list[tuple[Path, str]] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for header, detail in pool.map(
+                lambda h: check_one(args.cxx, src_dir, h), headers):
+            if detail:
+                failures.append((header, detail))
+
+    for header, detail in failures:
+        rel = header.relative_to(args.root)
+        first = detail.splitlines()[0] if detail else ""
+        print(f"{rel}: error: not self-contained")
+        print(f"    {first}")
+    if failures:
+        print(f"check_headers: {len(failures)} of {len(headers)} header(s) "
+              "failed to compile standalone")
+        return 1
+    print(f"check_headers: all {len(headers)} src/ headers are "
+          "self-contained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,13 @@ enforces them with line-level checks over the compilation units:
                   outside src/common/rng.h — all randomness goes through
                   common::Rng so seeds stay explicit and auditable.
   underived-seed  Rng seed expressions built by ad-hoc arithmetic
-                  (base + i, seed ^ trial, ...) in src/ — index-dependent
-                  seeds must go through common::derive_seed / splitmix64,
-                  which actually decorrelate neighbouring streams.
+                  (base + i, seed ^ trial, ...) in tools/ and bench/ —
+                  index-dependent seeds must go through
+                  common::derive_seed / splitmix64, which actually
+                  decorrelate neighbouring streams.  For src/ this rule
+                  is owned by tools/sledzig_analyzer, which checks it
+                  structurally (ctor sites, member initialisers, seed
+                  value flow) instead of per-line.
   static-state    mutable static storage in src/ .cc files — shared state
                   is where cross-thread nondeterminism breeds, so every
                   instance needs an explicit allow annotation + reason.
@@ -160,9 +164,10 @@ class Finding:
 
 
 def scan_file(path: Path, profile: str) -> list[Finding]:
-    """Lints one file.  `profile` is 'src', 'bench', or 'aux' (tests/examples):
-    bench may read clocks; only src is checked for hash containers, seed
-    derivation, and static state."""
+    """Lints one file.  `profile` is 'src', 'bench', 'tools', or 'aux'
+    (tests/examples): bench may read clocks; only src is checked for hash
+    containers and static state; seed derivation is checked for bench and
+    tools (src seed discipline lives in tools/sledzig_analyzer)."""
     raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
     code = strip_comments(raw)
     findings: list[Finding] = []
@@ -190,7 +195,7 @@ def scan_file(path: Path, profile: str) -> list[Finding]:
             if pattern.search(line):
                 add(idx, name, message)
 
-        if profile == "src":
+        if profile in ("bench", "tools"):
             expr = rng_seed_expr(line)
             if expr is not None and not seed_is_derived(expr):
                 add(
@@ -199,6 +204,8 @@ def scan_file(path: Path, profile: str) -> list[Finding]:
                     f"seed expression '{expr.strip()}' mixes by hand; derive "
                     "index-dependent seeds with common::derive_seed",
                 )
+
+        if profile == "src":
             if (
                 path.suffix == ".cc"
                 and STATIC_RE.search(line)
@@ -218,8 +225,16 @@ def scan_file(path: Path, profile: str) -> list[Finding]:
 # Tree scan and self-test
 # --------------------------------------------------------------------------
 
-SCAN_DIRS = {"src": "src", "bench": "bench", "tests": "aux", "examples": "aux"}
+SCAN_DIRS = {
+    "src": "src",
+    "bench": "bench",
+    "tests": "aux",
+    "examples": "aux",
+    "tools": "tools",
+}
 SUFFIXES = {".cc", ".h"}
+# Fixture trees hold deliberate violations; the self-tests own them.
+SKIP_PARTS = ("tools/lint_fixtures", "tools/sledzig_analyzer/fixtures")
 
 
 def scan_tree(root: Path, only: str | None = None) -> list[Finding]:
@@ -234,17 +249,23 @@ def scan_tree(root: Path, only: str | None = None) -> list[Finding]:
         for path in sorted(base.rglob("*")):
             if path.suffix not in SUFFIXES or not path.is_file():
                 continue
+            rel = path.relative_to(root).as_posix()
+            if any(rel.startswith(skip + "/") for skip in SKIP_PARTS):
+                continue
             if prefix is not None:
-                rel = path.relative_to(root).as_posix()
                 if rel != prefix and not rel.startswith(prefix + "/"):
                     continue
             findings.extend(scan_file(path, profile))
     return findings
 
 
+PROFILE_RE = re.compile(r"//\s*lint-profile:\s*(\w+)")
+
+
 def self_test(root: Path) -> int:
     """Checks the linter against its fixtures: every `// expect:` marker must
-    fire (as profile 'src'), and nothing unexpected may fire."""
+    fire, and nothing unexpected may fire.  Fixtures scan under profile
+    'src' unless they carry a `// lint-profile: <name>` directive."""
     fixture_dir = root / "tools" / "lint_fixtures"
     fixtures = sorted(fixture_dir.glob("*.cc")) + sorted(fixture_dir.glob("*.h"))
     if not fixtures:
@@ -255,8 +276,12 @@ def self_test(root: Path) -> int:
     total_expected = 0
     for path in fixtures:
         raw = path.read_text(encoding="utf-8").splitlines()
+        profile = "src"
         expected: set[tuple[int, str]] = set()
         for idx, line in enumerate(raw):
+            pm = PROFILE_RE.search(line)
+            if pm:
+                profile = pm.group(1)
             m = EXPECT_RE.search(line)
             if m:
                 for rule in re.split(r"\s*,\s*", m.group(1)):
@@ -266,7 +291,7 @@ def self_test(root: Path) -> int:
                     expected.add((idx + 1, rule))
         total_expected += len(expected)
 
-        fired = {(f.line, f.rule) for f in scan_file(path, "src")}
+        fired = {(f.line, f.rule) for f in scan_file(path, profile)}
         for line_no, rule in sorted(expected - fired):
             print(f"{path}:{line_no}: self-test: [{rule}] expected but not detected")
             failures += 1

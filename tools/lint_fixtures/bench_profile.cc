@@ -1,0 +1,17 @@
+// lint-profile: bench
+// Bench profile: benchmarks may time themselves (no wall-clock findings)
+// but their Rng seeds still have to come from a deriver.  Never compiled.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+double timed_trial(std::uint64_t base, std::size_t i) {
+  const auto t0 = std::chrono::steady_clock::now();  // clocks OK in bench
+  Rng trial_rng(base * 2654435761u + i);         // expect: underived-seed
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fixture

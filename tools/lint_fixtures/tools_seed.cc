@@ -1,0 +1,22 @@
+// lint-profile: tools
+// Handoff fixture: after tools/sledzig_analyzer took over src/ seed
+// discipline, lint_determinism still owns it for tools/ and bench/ —
+// helper binaries and benchmarks seed Rngs too, and their streams must
+// decorrelate the same way.  This file is never compiled.
+
+#include <cstdint>
+
+namespace fixture {
+
+void underived_seeds(std::uint64_t base, std::size_t i) {
+  Rng trial_rng(base + i);                       // expect: underived-seed
+  Rng xor_rng(base ^ i);                         // expect: underived-seed
+  common::Rng scaled(base * 31 + i);             // expect: underived-seed
+}
+
+void derived_seeds(std::uint64_t base, std::size_t i) {
+  Rng ok(common::derive_seed(base, i));          // derived: no finding
+  Rng plain(base);                               // unmixed: no finding
+}
+
+}  // namespace fixture

@@ -38,10 +38,11 @@ void raw_engines() {
   std::default_random_engine eng(7);             // expect: raw-engine
 }
 
-void underived_seeds(std::uint64_t base, std::size_t i) {
-  Rng trial_rng(base + i);                       // expect: underived-seed
-  Rng xor_rng(base ^ i);                         // expect: underived-seed
-  common::Rng scaled(base * 31 + i);             // expect: underived-seed
+// underived-seed moved out of the 'src' profile: tools/sledzig_analyzer
+// owns src/ seed discipline structurally.  See tools_seed.cc for the
+// bench/tools handoff fixture.
+void underived_seeds_not_checked_here(std::uint64_t base, std::size_t i) {
+  Rng trial_rng(base + i);  // no finding under 'src' since the handoff
 }
 
 int mutable_static_state() {

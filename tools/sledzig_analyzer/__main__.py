@@ -1,0 +1,15 @@
+"""Entry point: `python3 tools/sledzig_analyzer --root <repo>`.
+
+The directory is runnable without being an installed package: put it on
+sys.path and dispatch to the CLI.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""libclang backend: true AST-level extraction via clang.cindex.
+
+Used when the `clang` Python package and a loadable libclang are present
+(CI pins the wheel; bare toolchain images usually lack it, and the lexer
+backend takes over).  The unit rule is where the AST genuinely beats the
+lexer: PARM_DECL/FIELD_DECL cursors cannot be fooled by macros, multi-line
+declarations, or unusual formatting.
+
+The seed and token rules enforce *source-level* conventions (mixing must
+be spelled through a deriver call; an arm site must sit near a token
+bump), so both backends share the lexical extraction for those — see
+lexer_backend.py for the rationale.  The two backends therefore agree on
+every fixture, which --self-test checks whenever clang is importable.
+"""
+
+from __future__ import annotations
+
+from ir import FileFacts, UnitDecl
+import config
+import lexer_backend
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        import clang.cindex as ci
+        ci.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def _is_unit_double(cursor) -> bool:
+    import clang.cindex as ci
+    t = cursor.type.get_canonical()
+    if t.kind not in (ci.TypeKind.DOUBLE, ci.TypeKind.FLOAT):
+        return False
+    return bool(cursor.spelling
+                and config.UNIT_SUFFIX_RE.search(cursor.spelling))
+
+
+def extract(text: str, rel_path: str, include_dirs: list[str] | None = None
+            ) -> FileFacts:
+    import clang.cindex as ci
+
+    # Seed + token facts: shared lexical extraction (see module docstring).
+    facts = lexer_backend.extract(text, rel_path)
+    facts.unit_decls = []
+
+    args = ["-std=c++20", "-x", "c++"]
+    for d in include_dirs or []:
+        args += ["-I", d]
+    index = ci.Index.create()
+    tu = index.parse(rel_path, args=args,
+                     unsaved_files=[(rel_path, text)],
+                     options=ci.TranslationUnit.PARSE_INCOMPLETE
+                     | ci.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES)
+
+    def walk(cursor) -> None:
+        for child in cursor.get_children():
+            loc = child.location
+            # Only report declarations from this TU, not from includes.
+            if loc.file is not None and loc.file.name != rel_path:
+                continue
+            if child.kind == ci.CursorKind.PARM_DECL and _is_unit_double(child):
+                facts.unit_decls.append(
+                    UnitDecl(loc.line, "param", child.spelling))
+            elif child.kind == ci.CursorKind.FIELD_DECL and _is_unit_double(child):
+                facts.unit_decls.append(
+                    UnitDecl(loc.line, "field", child.spelling))
+            walk(child)
+
+    walk(tu.cursor)
+    return facts

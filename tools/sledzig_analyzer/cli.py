@@ -1,0 +1,172 @@
+"""CLI for the SledZig semantic analyzer (DESIGN.md §16).
+
+    python3 tools/sledzig_analyzer --root <repo>            # lint src/
+    python3 tools/sledzig_analyzer --self-test --root <repo>
+    python3 tools/sledzig_analyzer --backend lexer|clang|auto
+
+Exit 1 on any finding.  `--backend auto` (default) prefers the libclang
+AST backend when importable and falls back to the built-in lexer backend
+otherwise, so the check runs identically on a bare toolchain image and in
+CI (which pins the libclang wheel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+import clang_backend
+import config
+import lexer_backend
+import rules
+from ir import FileFacts, Finding
+
+SUFFIXES = {".cc", ".h"}
+
+
+def pick_backend(requested: str) -> str:
+    if requested == "lexer":
+        return "lexer"
+    if requested == "clang":
+        if not clang_backend.available():
+            print("analyzer: --backend clang requested but clang.cindex is "
+                  "not usable", file=sys.stderr)
+            sys.exit(2)
+        return "clang"
+    return "clang" if clang_backend.available() else "lexer"
+
+
+def extract_facts(backend: str, text: str, rel_path: str,
+                  include_dirs: list[str]) -> FileFacts:
+    if backend == "clang":
+        try:
+            return clang_backend.extract(text, rel_path, include_dirs)
+        except Exception as err:  # pragma: no cover - env-dependent
+            print(f"analyzer: clang backend failed on {rel_path} ({err}); "
+                  "falling back to lexer", file=sys.stderr)
+    return lexer_backend.extract(text, rel_path)
+
+
+def analyze_file(backend: str, path: Path, rel_path: str,
+                 include_dirs: list[str]) -> tuple[list[Finding], FileFacts]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    facts = extract_facts(backend, text, rel_path, include_dirs)
+    facts.allows = rules.collect_allows(text.splitlines())
+    return rules.evaluate(facts, rel_path), facts
+
+
+def scan_tree(root: Path, backend: str, only: str | None) -> list[Finding]:
+    include_dirs = [str(root / "src")]
+    prefix = only.strip("/") if only else None
+    findings: list[Finding] = []
+    per_file_allows = {}
+    base = root / "src"
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        if prefix is not None and rel != prefix \
+                and not rel.startswith(prefix + "/"):
+            continue
+        file_findings, facts = analyze_file(backend, path, rel, include_dirs)
+        findings.extend(file_findings)
+        if facts.allows:
+            per_file_allows[rel] = facts.allows
+    findings.extend(rules.check_allow_budget(per_file_allows))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test against the seeded fixtures
+# ---------------------------------------------------------------------------
+
+def self_test_backend(fixture_dir: Path, backend: str) -> int:
+    fixtures = sorted(fixture_dir.glob("*.cc")) + sorted(fixture_dir.glob("*.h"))
+    if len(fixtures) < 12:
+        print(f"self-test: only {len(fixtures)} fixtures under {fixture_dir}; "
+              "the invariant catalogue needs >= 12", file=sys.stderr)
+        return 1
+
+    failures = 0
+    total_expected = 0
+    for path in fixtures:
+        raw = path.read_text(encoding="utf-8")
+        lines = raw.splitlines()
+        virtual = f"src/fixture/{path.name}"
+        expected: set[tuple[int, str]] = set()
+        for idx, line in enumerate(lines):
+            vm = config.VIRTUAL_PATH_RE.search(line)
+            if vm:
+                virtual = vm.group(1)
+            em = config.EXPECT_RE.search(line)
+            if em:
+                for rule in re.split(r"\s*,\s*", em.group(1)):
+                    expected.add((idx + 1, rule))
+        total_expected += len(expected)
+
+        facts = extract_facts(backend, raw, virtual, [])
+        facts.allows = rules.collect_allows(lines)
+        fired = {(f.line, f.rule) for f in rules.evaluate(facts, virtual)}
+        for line_no, rule in sorted(expected - fired):
+            print(f"{path}:{line_no}: self-test[{backend}]: [{rule}] expected "
+                  "but not detected")
+            failures += 1
+        for line_no, rule in sorted(fired - expected):
+            print(f"{path}:{line_no}: self-test[{backend}]: [{rule}] fired "
+                  "unexpectedly")
+            failures += 1
+
+    if failures:
+        print(f"self-test[{backend}] FAILED: {failures} mismatch(es)")
+        return 1
+    print(f"self-test[{backend}] OK: {total_expected} seeded finding(s) "
+          f"across {len(fixtures)} fixture(s), no false positives")
+    return 0
+
+
+def self_test(root: Path, backend: str) -> int:
+    fixture_dir = Path(__file__).resolve().parent / "fixtures"
+    backends = [backend]
+    if backend == "auto":
+        backends = ["lexer"]
+        if clang_backend.available():
+            backends.append("clang")
+    status = 0
+    for b in backends:
+        status |= self_test_backend(fixture_dir, b)
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="sledzig_analyzer", description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repository root (default: the tree containing this tool)")
+    parser.add_argument(
+        "--backend", choices=("auto", "lexer", "clang"), default="auto",
+        help="fact-extraction backend (auto: clang when usable, else lexer)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the analyzer against its fixtures/ and exit")
+    parser.add_argument(
+        "--only", metavar="PREFIX", default=None,
+        help="restrict the scan to files under this root-relative prefix")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root, args.backend)
+
+    backend = pick_backend(args.backend)
+    findings = scan_tree(args.root, backend, args.only)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"sledzig_analyzer[{backend}]: {len(findings)} finding(s)")
+        return 1
+    scope = args.only if args.only else "src"
+    print(f"sledzig_analyzer[{backend}]: clean ({scope})")
+    return 0

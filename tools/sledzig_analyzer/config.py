@@ -1,0 +1,82 @@
+"""Shared configuration for the semantic analyzer (DESIGN.md §16).
+
+Three invariants, one knob file.  Everything a reviewer might want to
+tune — the unit-suffix vocabulary, the sample-domain allowlist, the seed
+deriver names, the inline-allow budget — lives here, not inside a rule.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+
+# Rules this analyzer owns.  lint_determinism.py keeps the line-level
+# determinism rules (wall clocks, banned RNG sources, static state); the
+# two seed rules it used to carry in its `src` profile moved here, where
+# they are checked structurally instead of per-line.
+RULE_RAW_UNIT = "raw-unit"
+RULE_SEED = "seed-derivation"
+RULE_TOKEN = "token-lifecycle"
+ALL_RULES = (RULE_RAW_UNIT, RULE_SEED, RULE_TOKEN)
+
+# A physical-unit suffix on a raw double parameter or field means the
+# declaration should use the strong types in src/common/units.h
+# (Db / Dbm / MilliWatt / Hz / MHz) instead.  Time (_us/_s) deliberately
+# stays raw: the event clock is a plain double across the whole engine.
+# The optional trailing underscore covers member naming (`noise_mw_`).
+UNIT_SUFFIX_RE = re.compile(r"_(?:db|dbm|mw|hz|mhz)_?$")
+
+# Sample-domain allowlist for the raw-unit rule only.  DSP code hands
+# around doubles whose unit really is "whatever the FFT normalisation
+# says": wrapping every bin power in a strong type would add noise, not
+# safety.  The MAC/sim power spine is NOT in this list — that is the
+# surface the strong types protect.  Globs are repo-root-relative.
+RAW_UNIT_ALLOWLIST = (
+    "src/common/dsp.*",
+    "src/common/fft.*",
+    "src/common/rng.*",
+    "src/common/units.h",
+    "src/channel/medium.*",
+    "src/channel/impairments.*",
+    "src/wifi/*",
+    "src/zigbee/oqpsk.*",
+    "src/zigbee/receiver.*",
+    "src/zigbee/transmitter.*",
+    "src/zigbee/chips.*",
+    "src/zigbee/frame.*",
+    "src/sledzig/channels.*",
+    "src/sledzig/significant_bits.*",
+    "src/sledzig/encoder.*",
+    "src/sledzig/decoder.*",
+    "src/sledzig/stream.*",
+    "src/coex/detector.*",
+)
+
+# Functions whose calls launder arithmetic into a seed legitimately, and
+# whose own bodies may therefore mix seeds by hand.
+SEED_DERIVERS = ("derive_seed", "splitmix64", "stage_seed")
+
+# Identifiers that carry seed meaning: `seed`, `base_seed`, `fault_seed`...
+SEED_IDENT_RE = re.compile(r"(?:^|_)seed(?:_|$)|^seed", re.IGNORECASE)
+
+# Arithmetic operators that count as "mixing" when adjacent to a seed.
+SEED_MIX_OPS = {"+", "-", "*", "/", "%", "^", "<<", ">>"}
+
+# Inline suppression, shared grammar with tools/lint_determinism.py:
+#   // lint: allow(rule): reason
+ALLOW_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)\s*:?\s*(.*)")
+# An allow annotation suppresses findings up to this many lines below it
+# (annotations are often multi-line comment blocks above the site).
+ALLOW_REACH_LINES = 4
+# Hard cap on analyzer-rule allows across src/ — the escape hatch must
+# stay an escape hatch (ISSUE 8 acceptance: fewer than 15, each reasoned).
+MAX_ALLOWS = 15
+
+# Self-test fixture directive: pretend the fixture sits at this
+# repo-relative path (exercises the allowlist logic).
+VIRTUAL_PATH_RE = re.compile(r"//\s*analyzer:\s*path\s+(\S+)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+def raw_unit_allowlisted(rel_path: str) -> bool:
+    return any(fnmatch.fnmatch(rel_path, g) for g in RAW_UNIT_ALLOWLIST)

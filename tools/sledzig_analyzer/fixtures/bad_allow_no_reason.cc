@@ -1,0 +1,6 @@
+// An allow without a reason is itself a finding: the escape hatch must
+// document why the site is exempt.
+#include <cstdint>
+
+// expect: seed-derivation -- lint: allow(seed-derivation)
+std::uint64_t pass(std::uint64_t seed) { return seed; }

@@ -1,0 +1,13 @@
+// An allow for a different rule does not suppress this one.
+#include <cstdint>
+
+enum class EventType { kTimer };
+
+struct EventQueue {
+  void push(double t, EventType e, int node, std::uint64_t token);
+};
+
+// lint: allow(raw-unit): wrong rule on purpose
+void arm(EventQueue& q, double t, std::uint64_t tok) {  // expect: token-lifecycle
+  q.push(t, EventType::kTimer, 0, tok);
+}

@@ -1,0 +1,11 @@
+// Hand-mixed arithmetic in an Rng seed expression.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+};
+
+void worker(std::uint64_t base_seed, int idx) {
+  Rng rng(base_seed * 1234 + idx);  // expect: seed-derivation
+  (void)rng;
+}

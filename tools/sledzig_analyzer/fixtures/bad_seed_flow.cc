@@ -1,0 +1,8 @@
+// Seed-typed values never flow through arithmetic outside a deriver,
+// even when no Rng is constructed on the spot.
+#include <cstdint>
+
+std::uint64_t shard(std::uint64_t base_seed, std::uint64_t idx) {
+  const std::uint64_t mixed = base_seed + idx * 0x9e3779b97f4a7c15ull;  // expect: seed-derivation
+  return mixed;
+}

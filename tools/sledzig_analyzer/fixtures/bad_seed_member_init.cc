@@ -1,0 +1,17 @@
+// Member-initialiser Rng seeding is checked like any other ctor site.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed);
+
+ private:
+  Rng rng_;
+};
+
+Engine::Engine(std::uint64_t seed)
+    : rng_(seed * 0x9e3779b97f4a7c15ull) {}  // expect: seed-derivation

@@ -1,0 +1,13 @@
+// A kTimer arm with no token invalidation anywhere in the function:
+// a cancelled node would still see this timer fire.
+#include <cstdint>
+
+enum class EventType { kTimer };
+
+struct EventQueue {
+  void push(double t, EventType e, int node, std::uint64_t token);
+};
+
+void arm_backoff(EventQueue& q, double t, int node, std::uint64_t token) {  // expect: token-lifecycle
+  q.push(t, EventType::kTimer, node, token);
+}

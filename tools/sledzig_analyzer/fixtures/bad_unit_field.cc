@@ -1,0 +1,7 @@
+// Unit-suffixed raw-double fields must use common/units.h types.
+struct LinkBudget {
+  double signal_dbm = 0.0;  // expect: raw-unit
+  double noise_mw;          // expect: raw-unit
+  double window_us = 0.0;   // time stays raw by design (no finding)
+  int retries = 0;
+};

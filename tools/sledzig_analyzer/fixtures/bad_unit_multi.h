@@ -1,0 +1,11 @@
+#pragma once
+// Headers are scanned like sources; member naming with a trailing
+// underscore still counts as a unit suffix.
+class Mixer {
+ public:
+  void set_gain(double gain_db);  // expect: raw-unit
+  double gain() const;            // raw return type: fine
+ private:
+  double carrier_hz_ = 0.0;       // expect: raw-unit
+  double scratch_ = 0.0;
+};

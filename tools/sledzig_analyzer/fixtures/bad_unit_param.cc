@@ -1,0 +1,6 @@
+// A declaration's unit-suffixed parameters must use common/units.h types.
+void set_power(double tx_dbm,     // expect: raw-unit
+               float margin_db,   // expect: raw-unit
+               double samples);   // plain double without a unit suffix: fine
+
+double band_overlap(double width, double center);  // no suffixes: fine

@@ -1,0 +1,15 @@
+// A documented allow suppresses the token-lifecycle finding for the
+// function it annotates.
+#include <cstdint>
+
+enum class EventType { kTimer };
+
+struct EventQueue {
+  void push(double t, EventType e, int node, std::uint64_t token);
+};
+
+// lint: allow(token-lifecycle): single arm funnel; stale timers are
+// dropped at pop by epoch comparison, so no bump happens at arm time.
+void arm(EventQueue& q, double t, std::uint64_t tok) {
+  q.push(t, EventType::kTimer, 0, tok);
+}

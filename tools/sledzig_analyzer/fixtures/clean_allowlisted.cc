@@ -1,0 +1,8 @@
+// analyzer: path src/wifi/fixture_ofdm.cc
+// Sample-domain files keep raw doubles; the allowlist in config.py
+// exempts them from the raw-unit rule entirely.
+void modulate(double carrier_hz, double power_dbm);
+
+struct BinPower {
+  double bin_mw = 0.0;
+};

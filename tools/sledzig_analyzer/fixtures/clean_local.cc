@@ -1,0 +1,11 @@
+// Conversions in and out of the typed domain happen in locals, and
+// locals (plus return types) legitimately stay raw: the rule only looks
+// at parameters and fields.
+namespace common {
+struct Dbm { double v; };
+}  // namespace common
+
+double to_raw(common::Dbm v) {
+  const double out_dbm = v.v;
+  return out_dbm;
+}

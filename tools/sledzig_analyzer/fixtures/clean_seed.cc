@@ -1,0 +1,25 @@
+// Every Rng traces to a deriver; deriver bodies may mix by hand.
+#include <cstdint>
+
+namespace common {
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+}  // namespace common
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+};
+
+void run(std::uint64_t root, int g) {
+  Rng rng(common::derive_seed(root, 4 * g + 1));
+  (void)rng;
+}
+
+void replay(std::uint64_t seed) {
+  Rng rng(seed);  // passing a seed through unchanged is fine
+  (void)rng;
+}
+
+// A deriver's own body is the one place hand-mixing belongs.
+std::uint64_t stage_seed(std::uint64_t seed, int k) {
+  return (seed << 7) ^ (seed >> 3) ^ static_cast<std::uint64_t>(k);
+}

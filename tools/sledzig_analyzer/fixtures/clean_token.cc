@@ -1,0 +1,19 @@
+// Arming a kTimer right after invalidating the node's token: the stale
+// event is recognisable at pop, so the lifecycle invariant holds.
+#include <cstdint>
+
+enum class EventType { kTimer };
+
+struct EventQueue {
+  void push(double t, EventType e, int node, std::uint64_t token);
+};
+
+struct Node {
+  int id = 0;
+  std::uint64_t timer_token = 0;
+};
+
+void rearm(EventQueue& q, Node& n, double t) {
+  ++n.timer_token;
+  q.push(t, EventType::kTimer, n.id, n.timer_token);
+}

@@ -1,0 +1,21 @@
+// analyzer: path src/sim/fixture_units.cc
+// Strong-typed power spine: unit-suffixed params and fields carry the
+// common/units.h types, so the raw-unit rule has nothing to say.
+#include <cstdint>
+
+namespace common {
+struct Db { double v; };
+struct Dbm { double v; };
+struct MilliWatt { double v; };
+}  // namespace common
+
+struct Budget {
+  common::Dbm signal_dbm{};
+  common::MilliWatt noise_mw{};
+};
+
+common::Dbm attenuate(common::Dbm tx_dbm, common::Db loss_db) {
+  const double scratch_mw = 0.0;  // locals are raw by design
+  (void)scratch_mw;
+  return common::Dbm{tx_dbm.v - loss_db.v};
+}

@@ -1,0 +1,122 @@
+"""Rules layer: FileFacts -> Findings.
+
+Backend-independent.  The three invariants (DESIGN.md §16):
+
+  raw-unit         double/float parameters and fields whose names carry a
+                   physical-unit suffix must use the strong types in
+                   src/common/units.h (sample-domain files allowlisted).
+  seed-derivation  every Rng seed expression and every seed-named value
+                   must trace to a deriver (derive_seed / splitmix64 /
+                   stage_seed); hand-mixed arithmetic is flagged.
+  token-lifecycle  a function arming a kTimer event must invalidate a
+                   token first, or carry a documented allow.
+
+Suppression: `// lint: allow(rule): reason` within ALLOW_REACH_LINES
+above the finding (same grammar as tools/lint_determinism.py).  Allows
+without a reason are themselves findings, and the per-tree allow count
+for these rules is capped at MAX_ALLOWS.
+"""
+
+from __future__ import annotations
+
+import re
+
+import config
+from config import (ALL_RULES, RULE_RAW_UNIT, RULE_SEED, RULE_TOKEN,
+                    raw_unit_allowlisted)
+from ir import Allow, FileFacts, Finding
+
+_ARITH_RE = re.compile(r"[+^%]|(?<![*/])\*(?![*/])|<<|>>")
+
+
+def collect_allows(raw_lines: list[str]) -> list[Allow]:
+    allows: list[Allow] = []
+    for idx, line in enumerate(raw_lines):
+        m = config.ALLOW_RE.search(line)
+        if m:
+            allows.append(Allow(idx + 1, m.group(1), m.group(2).strip()))
+    return allows
+
+
+def _allowed(allows: list[Allow], line: int, rule: str) -> bool:
+    return any(a.rule == rule and
+               line - config.ALLOW_REACH_LINES <= a.line <= line
+               for a in allows)
+
+
+def seed_expr_is_derived(expr: str) -> bool:
+    """No mixing arithmetic at all (plain variable, member, or literal),
+    or the mixing is routed through a deriver call."""
+    if not _ARITH_RE.search(expr):
+        return True
+    return any(fn in expr for fn in config.SEED_DERIVERS)
+
+
+def evaluate(facts: FileFacts, rel_path: str) -> list[Finding]:
+    findings: list[Finding] = []
+    allows = facts.allows
+
+    if not raw_unit_allowlisted(rel_path):
+        for d in facts.unit_decls:
+            if _allowed(allows, d.line, RULE_RAW_UNIT):
+                continue
+            findings.append(Finding(
+                rel_path, d.line, RULE_RAW_UNIT,
+                f"raw double {d.kind} '{d.name}' carries a unit suffix; use "
+                "the strong types in common/units.h (Db/Dbm/MilliWatt/Hz)"))
+
+    for c in facts.rng_ctors:
+        if seed_expr_is_derived(c.expr):
+            continue
+        if _allowed(allows, c.line, RULE_SEED):
+            continue
+        findings.append(Finding(
+            rel_path, c.line, RULE_SEED,
+            f"Rng seed expression '{c.expr.strip()}' mixes by hand; route "
+            "index-dependent seeds through common::derive_seed"))
+
+    for s in facts.seed_mixes:
+        if _allowed(allows, s.line, RULE_SEED):
+            continue
+        findings.append(Finding(
+            rel_path, s.line, RULE_SEED,
+            f"seed-typed value '{s.text}' flows through arithmetic outside "
+            "a deriver; only derive_seed-family functions may mix seeds"))
+
+    seen_funcs: set[int] = set()
+    for t in facts.timer_arms:
+        if t.guarded or t.func_line in seen_funcs:
+            continue
+        seen_funcs.add(t.func_line)
+        if (_allowed(allows, t.func_line, RULE_TOKEN)
+                or _allowed(allows, t.line, RULE_TOKEN)):
+            continue
+        where = f"'{t.func_name}' " if t.func_name else ""
+        findings.append(Finding(
+            rel_path, t.func_line, RULE_TOKEN,
+            f"function {where}arms a kTimer event (line {t.line}) without "
+            "invalidating a token first; stale timers outlive their state"))
+
+    for a in allows:
+        if a.rule in ALL_RULES and not a.reason:
+            findings.append(Finding(
+                rel_path, a.line, a.rule,
+                "allow annotation without a reason; write "
+                f"'lint: allow({a.rule}): <why this site is exempt>'"))
+
+    return findings
+
+
+def check_allow_budget(per_file_allows: dict[str, list[Allow]]) -> list[Finding]:
+    """Tree-level cap on analyzer-rule allows: the escape hatch must stay
+    rare enough to audit by hand."""
+    sites = [(path, a) for path, allows in per_file_allows.items()
+             for a in allows if a.rule in ALL_RULES]
+    if len(sites) < config.MAX_ALLOWS:
+        return []
+    listing = ", ".join(f"{p}:{a.line}" for p, a in sites)
+    path, a = sites[-1]
+    return [Finding(
+        path, a.line, "allow-budget",
+        f"{len(sites)} analyzer allows in src/ (budget {config.MAX_ALLOWS}); "
+        f"fix sites instead of annotating them ({listing})")]
