@@ -1,6 +1,7 @@
 // Fault-resilience snapshot: how ZigBee PRR and throughput degrade as the
 // fault plan gets hostile, written as JSON (default BENCH_faults.json,
-// override with argv[1]).  Two axes:
+// override with --out PATH or the first positional; --seed N re-seeds the
+// base scenario).  Two axes:
 //
 //   * random node-crash rate (0 / 2 / 8 crashes per simulated second,
 //     exponential 30 ms downtimes) over the paper's two-node geometry;
@@ -13,19 +14,23 @@
 // compared, so fault injection can never silently trade the engine's
 // determinism away.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "sim/engine.h"
 
 using namespace sledzig;
 
 namespace {
 
+std::uint64_t g_seed = 21;
+
 sim::ScenarioConfig base_scenario() {
   auto cfg = sim::two_node_paper_scenario(core::SledzigConfig{}, true,
                                           /*wifi_duty_ratio=*/0.5,
                                           /*d_wz_m=*/4.0, /*d_z_m=*/1.0,
-                                          /*duration_s=*/5.0, /*seed=*/21);
+                                          /*duration_s=*/5.0, g_seed);
   cfg.invariants.enabled = true;  // every bench cell is invariant-checked
   cfg.metrics = nullptr;
   return cfg;
@@ -52,7 +57,14 @@ Cell run_cell(const sim::ScenarioConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* path = argc > 1 ? argv[1] : "BENCH_faults.json";
+  bench::CliOptions opts;
+  if (!bench::parse_cli(argc, argv, &opts)) return 1;
+  if (opts.seed_set) g_seed = opts.seed;
+  const std::string path_str = !opts.out.empty()        ? opts.out
+                               : !opts.positionals.empty()
+                                   ? opts.positionals[0]
+                                   : "BENCH_faults.json";
+  const char* path = path_str.c_str();
 
   const double crash_rates[] = {0.0, 2.0, 8.0};
   std::vector<Cell> crash_cells;

@@ -11,7 +11,8 @@
 // Each configuration is additionally run twice to guard repeatability.
 //
 // `--smoke` runs only the small grid points (CI determinism guard);
-// the full sweep tops out at a 1100-node campus.
+// the full sweep tops out at a 1100-node campus.  `--seed N` re-seeds the
+// sweep, `--out PATH` (or the first positional) moves the snapshot.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "sim/engine.h"
 #include "sim/link_cache.h"
 
@@ -27,10 +29,12 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
+std::uint64_t g_seed = 9;
+
 sim::ScenarioConfig grid_scenario(std::size_t n_wifi, std::size_t n_zigbee) {
   sim::ScenarioConfig cfg;
   cfg.duration_s = 2.0;
-  cfg.seed = 9;
+  cfg.seed = g_seed;
   for (std::size_t i = 0; i < n_wifi; ++i) {
     sim::WifiNodeConfig ap;
     ap.tx = {2.0 * static_cast<double>(i), 0.0};
@@ -118,15 +122,13 @@ bool bench_point(const sim::ScenarioConfig& base, const std::string& label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* path = "BENCH_sim.json";
-  bool smoke = false;
-  for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      path = argv[a];
-    }
-  }
+  bench::CliOptions opts;
+  if (!bench::parse_cli(argc, argv, &opts)) return 1;
+  if (opts.seed_set) g_seed = opts.seed;
+  const std::string path = !opts.out.empty()        ? opts.out
+                           : !opts.positionals.empty() ? opts.positionals[0]
+                                                       : "BENCH_sim.json";
+  const bool smoke = opts.smoke;
 
   std::vector<Point> points;
   const std::size_t counts[][2] = {{1, 1}, {2, 2}, {4, 4}, {8, 8}};
@@ -153,7 +155,7 @@ int main(int argc, char** argv) {
     };
     for (const auto& c : campuses) {
       auto cfg = sim::campus_scenario(c.gx, c.gy, c.sensors, /*spacing_m=*/20.0,
-                                      c.duration_s, /*seed=*/9);
+                                      c.duration_s, g_seed);
       const std::size_t nodes = cfg.wifi.size() + cfg.zigbee.size();
       if (!bench_point(cfg, "campus_" + std::to_string(nodes), points)) {
         return 1;
@@ -161,9 +163,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::FILE* f = std::fopen(path, "w");
+  std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
   std::fprintf(f, "{\n  \"deterministic\": true,\n");
@@ -180,6 +182,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote %s\n", path);
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

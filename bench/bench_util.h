@@ -2,16 +2,130 @@
 // prints the paper's expected values next to the values this implementation
 // produces, so `for b in build/bench/*; do $b; done` yields a complete
 // paper-vs-measured report.
+//
+// Also the one CLI parser for the runnable binaries (bench_sim_scaling,
+// bench_fault_resilience, campaign_runner, examples/coexistence_sim):
+// every --threads/--seed/--smoke/--out spelling is parsed here once, so no
+// binary grows its own drifting argv loop.
 #pragma once
 
 #include <algorithm>  // std::max / std::min in bar()
 #include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace sledzig::bench {
+
+/// The union of options the runnable binaries understand.  Each binary uses
+/// the subset it needs and ignores the rest; parse_cli() rejects malformed
+/// values and unknown `--flags` (a typo must fail loudly, not fall through
+/// as a positional).
+struct CliOptions {
+  std::size_t threads = 0;        ///< --threads N (0 = pool default)
+  std::uint64_t seed = 0;         ///< --seed N
+  bool seed_set = false;
+  bool smoke = false;             ///< --smoke (CI-sized subset)
+  bool digest_only = false;       ///< --digest (campaign_runner)
+  std::string out;                ///< --out PATH (result / snapshot file)
+  std::string campaign;           ///< --campaign FILE (campaign spec JSON)
+  std::string scenario;           ///< --scenario FILE (scenario JSON)
+  std::string store;              ///< --store FILE (campaign result store)
+  std::size_t shard_index = 0;    ///< --shard I/N
+  std::size_t shard_count = 1;
+  std::uint32_t sleep_ms_per_item = 0;  ///< --sleep-ms-per-item N (test hook)
+  std::vector<std::string> positionals;
+};
+
+inline bool cli_parse_u64(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Parses argv into `*opts`.  On failure prints one message to stderr
+/// naming the offending flag and returns false (callers exit non-zero).
+inline bool parse_cli(int argc, char** argv, CliOptions* opts) {
+  auto need_value = [&](int a) -> const char* {
+    if (a + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value\n", argv[a]);
+      return nullptr;
+    }
+    return argv[a + 1];
+  };
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    std::uint64_t v = 0;
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opts->smoke = true;
+    } else if (std::strcmp(arg, "--digest") == 0) {
+      opts->digest_only = true;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* val = need_value(a);
+      if (val == nullptr || !cli_parse_u64(val, &v) || v == 0) {
+        std::fprintf(stderr, "--threads: expected a positive integer\n");
+        return false;
+      }
+      opts->threads = static_cast<std::size_t>(v);
+      ++a;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* val = need_value(a);
+      if (val == nullptr || !cli_parse_u64(val, &v)) {
+        std::fprintf(stderr, "--seed: expected a non-negative integer\n");
+        return false;
+      }
+      opts->seed = v;
+      opts->seed_set = true;
+      ++a;
+    } else if (std::strcmp(arg, "--sleep-ms-per-item") == 0) {
+      const char* val = need_value(a);
+      if (val == nullptr || !cli_parse_u64(val, &v) || v > 60000) {
+        std::fprintf(stderr,
+                     "--sleep-ms-per-item: expected an integer <= 60000\n");
+        return false;
+      }
+      opts->sleep_ms_per_item = static_cast<std::uint32_t>(v);
+      ++a;
+    } else if (std::strcmp(arg, "--shard") == 0) {
+      const char* val = need_value(a);
+      const char* slash = val != nullptr ? std::strchr(val, '/') : nullptr;
+      std::uint64_t n = 0;
+      if (val == nullptr || slash == nullptr ||
+          !cli_parse_u64(std::string(val, slash).c_str(), &v) ||
+          !cli_parse_u64(slash + 1, &n) || n == 0 || v >= n) {
+        std::fprintf(stderr, "--shard: expected I/N with 0 <= I < N\n");
+        return false;
+      }
+      opts->shard_index = static_cast<std::size_t>(v);
+      opts->shard_count = static_cast<std::size_t>(n);
+      ++a;
+    } else if (std::strcmp(arg, "--out") == 0 ||
+               std::strcmp(arg, "--campaign") == 0 ||
+               std::strcmp(arg, "--scenario") == 0 ||
+               std::strcmp(arg, "--store") == 0) {
+      const char* val = need_value(a);
+      if (val == nullptr) return false;
+      if (std::strcmp(arg, "--out") == 0) opts->out = val;
+      if (std::strcmp(arg, "--campaign") == 0) opts->campaign = val;
+      if (std::strcmp(arg, "--scenario") == 0) opts->scenario = val;
+      if (std::strcmp(arg, "--store") == 0) opts->store = val;
+      ++a;
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return false;
+    } else {
+      opts->positionals.push_back(arg);
+    }
+  }
+  return true;
+}
 
 inline void title(const std::string& text) {
   std::printf("\n=== %s ===\n", text.c_str());

@@ -1,0 +1,111 @@
+// Sharded campaign runner CLI (DESIGN.md §17).
+//
+//   $ campaign_runner --campaign sweep.json --store results.jsonl
+//         [--shard I/N] [--threads T] [--digest] [--sleep-ms-per-item MS]
+//
+// Runs one shard of the campaign (all of it with no --shard), resuming
+// whatever the store already holds, and prints the store digest when done.
+// `--digest` skips execution and just reports the store's coverage and
+// digest — the mode CI and the kill/resume driver use to compare runs.
+//
+// Exit codes: 0 success, 1 bad arguments/spec, 2 IO or run failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "campaign/runner.h"
+
+using namespace sledzig;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void print_errors(const std::vector<sim::ConfigError>& errors) {
+  for (const auto& e : errors) {
+    std::fprintf(stderr, "  %s: %s\n", e.field.c_str(), e.message.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  if (!bench::parse_cli(argc, argv, &opts)) return 1;
+  if (opts.campaign.empty() || opts.store.empty()) {
+    std::fprintf(stderr,
+                 "usage: campaign_runner --campaign FILE --store FILE "
+                 "[--shard I/N] [--threads T] [--digest] "
+                 "[--sleep-ms-per-item MS]\n");
+    return 1;
+  }
+
+  std::string text;
+  if (!read_file(opts.campaign, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", opts.campaign.c_str());
+    return 2;
+  }
+  campaign::CampaignSpec spec;
+  std::vector<sim::ConfigError> errors;
+  if (!campaign_from_text(text, &spec, &errors)) {
+    std::fprintf(stderr, "%s: invalid campaign:\n", opts.campaign.c_str());
+    print_errors(errors);
+    return 1;
+  }
+  if (opts.seed_set) spec.seed = opts.seed;
+
+  const std::uint64_t hash = campaign::campaign_hash(spec);
+  const std::size_t cells = campaign::cell_count(spec);
+  const std::size_t total = cells * spec.replications;
+
+  if (opts.digest_only) {
+    campaign::ScanResult scanned;
+    std::string io_error;
+    if (!campaign::scan_store(opts.store, hash, &scanned, &io_error)) {
+      std::fprintf(stderr, "%s\n", io_error.c_str());
+      return 2;
+    }
+    const std::uint64_t digest =
+        campaign::store_digest(hash, scanned.records);
+    std::printf("campaign %s  items %zu/%zu  foreign %zu  partial %zu\n",
+                campaign::hex64(hash).c_str(), scanned.records.size(), total,
+                scanned.foreign, scanned.dropped_partial);
+    std::printf("digest %s%s\n", campaign::hex64(digest).c_str(),
+                scanned.records.size() >= total ? "" : " (incomplete)");
+    return 0;
+  }
+
+  campaign::RunnerOptions ropts;
+  ropts.store_path = opts.store;
+  ropts.shard_index = opts.shard_index;
+  ropts.shard_count = opts.shard_count;
+  ropts.threads = opts.threads;
+  ropts.sleep_ms_per_item = opts.sleep_ms_per_item;
+
+  campaign::RunnerReport report;
+  if (!run_campaign(spec, ropts, &report, &errors)) {
+    std::fprintf(stderr, "campaign run failed:\n");
+    print_errors(errors);
+    return 2;
+  }
+  std::printf(
+      "campaign '%s' %s  shard %zu/%zu: %zu cell(s) x %zu rep(s) = %zu "
+      "item(s), owned %zu, resumed %zu, ran %zu\n",
+      spec.name.c_str(), campaign::hex64(report.campaign).c_str(),
+      opts.shard_index, opts.shard_count, cells, spec.replications,
+      report.items_total, report.items_owned, report.items_resumed,
+      report.items_run);
+  std::printf("digest %s%s\n", campaign::hex64(report.digest).c_str(),
+              report.complete ? "" : " (incomplete)");
+  return 0;
+}

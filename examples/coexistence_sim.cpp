@@ -15,11 +15,23 @@
 // summarised in aggregate.
 //
 //   $ ./coexistence_sim campus [grid_x] [grid_y] [sensors_per_ap]
+//
+// Declarative modes (DESIGN.md §17): run a scenario JSON file directly, or
+// a whole campaign spec (grid × replications) against a result store —
+//
+//   $ ./coexistence_sim --scenario two_node.json
+//   $ ./coexistence_sim --campaign sweep.json [--store results.jsonl]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
+#include "campaign/runner.h"
 #include "sim/engine.h"
 #include "sim/invariants.h"
 #include "sim/link_cache.h"
@@ -165,11 +177,92 @@ int campus_demo(int argc, char** argv) {
   return 0;
 }
 
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void print_errors(const std::vector<sim::ConfigError>& errors) {
+  for (const auto& e : errors) {
+    std::fprintf(stderr, "  %s: %s\n", e.field.c_str(), e.message.c_str());
+  }
+}
+
+/// Runs a declarative scenario file (campaign/scenario_json.h) once and
+/// reports it like the built-in modes.
+int scenario_mode(const std::string& path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  sim::ScenarioConfig cfg;
+  std::vector<sim::ConfigError> errors;
+  if (!campaign::scenario_from_text(text, &cfg, &errors)) {
+    std::fprintf(stderr, "%s: invalid scenario:\n", path.c_str());
+    print_errors(errors);
+    return 1;
+  }
+  std::printf("Scenario %s: %zu WiFi + %zu ZigBee node(s), %.1f s "
+              "simulated, seed %llu.\n\n",
+              path.c_str(), cfg.wifi.size(), cfg.zigbee.size(),
+              cfg.duration_s, static_cast<unsigned long long>(cfg.seed));
+  report("declarative scenario", sim::run_scenario(cfg));
+  return 0;
+}
+
+/// Runs a campaign spec end-to-end (one shard, default threads) against a
+/// result store, then prints the aggregate digest.
+int campaign_mode(const std::string& path, const std::string& store) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  campaign::CampaignSpec spec;
+  std::vector<sim::ConfigError> errors;
+  if (!campaign_from_text(text, &spec, &errors)) {
+    std::fprintf(stderr, "%s: invalid campaign:\n", path.c_str());
+    print_errors(errors);
+    return 1;
+  }
+  campaign::RunnerOptions opts;
+  opts.store_path = store.empty() ? spec.name + ".results.jsonl" : store;
+  campaign::RunnerReport rep;
+  if (!run_campaign(spec, opts, &rep, &errors)) {
+    std::fprintf(stderr, "campaign failed:\n");
+    print_errors(errors);
+    return 2;
+  }
+  std::printf("campaign '%s': %zu item(s), resumed %zu, ran %zu -> %s\n",
+              spec.name.c_str(), rep.items_total, rep.items_resumed,
+              rep.items_run, opts.store_path.c_str());
+  std::printf("store digest %s%s\n", campaign::hex64(rep.digest).c_str(),
+              rep.complete ? "" : " (incomplete)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "campus") == 0) {
     return campus_demo(argc, argv);
+  }
+  if (argc > 1 && argv[1][0] == '-') {
+    bench::CliOptions opts;
+    if (!bench::parse_cli(argc, argv, &opts)) return 1;
+    if (!opts.scenario.empty()) return scenario_mode(opts.scenario);
+    if (!opts.campaign.empty()) {
+      return campaign_mode(opts.campaign, opts.store);
+    }
+    std::fprintf(stderr,
+                 "usage: coexistence_sim [--scenario FILE | --campaign FILE "
+                 "[--store FILE]]\n");
+    return 1;
   }
   const int n_wifi = argc > 1 ? std::atoi(argv[1]) : 2;
   const int n_zigbee = argc > 2 ? std::atoi(argv[2]) : 2;

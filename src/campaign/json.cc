@@ -1,0 +1,401 @@
+#include "campaign/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sledzig::campaign {
+
+JsonValue::JsonValue(std::uint64_t u) : type_(Type::kNumber) {
+  num_ = static_cast<double>(u);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::find(const std::string& key) {
+  if (type_ != Type::kObject) return nullptr;
+  for (auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  if (type_ == Type::kNull) *this = JsonValue(JsonObject{});
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const char* JsonValue::type_name() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return arr_ == other.arr_;
+    case Type::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string JsonParseError::to_string() const {
+  return "line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ": " + message;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, JsonParseError* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+ private:
+  /// Containers deeper than this reject (a recursive-descent parser must
+  /// bound its stack against hostile input).
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error_ != nullptr) {
+      error_->line = line_;
+      error_->column = pos_ - line_start_ + 1;
+      error_->message = message;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      } else if (c != ' ' && c != '\t' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, JsonValue v, JsonValue* out) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return fail(std::string("invalid literal (expected '") + word + "')");
+    }
+    pos_ += len;
+    *out = std::move(v);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than 64 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't': return literal("true", JsonValue(true), out);
+      case 'f': return literal("false", JsonValue(false), out);
+      case 'n': return literal("null", JsonValue(), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\n') return fail("unterminated string");
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_ + 1];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          default:
+            return fail(std::string("unsupported escape '\\") + e + "'");
+        }
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      pos_ = start;
+      return fail("malformed number '" + token + "'");
+    }
+    *out = JsonValue(v);
+    return true;
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonArray items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(&item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonObject members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected a quoted object key");
+      }
+      std::string key;
+      if (!parse_string(&key)) return false;
+      for (const auto& [k, v] : members) {
+        if (k == key) return fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key \"" + key + "\"");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  JsonParseError* error_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+// --- writer ----------------------------------------------------------------
+
+/// Shortest decimal that round-trips the double exactly: try increasing
+/// precision until strtod gives the value back.  Deterministic — the same
+/// double always prints the same bytes, the property every digest relies
+/// on.
+std::string format_number(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  for (int prec = 9; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void escape_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_value(const JsonValue& v, int indent, int depth, std::string* out) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   (static_cast<std::size_t>(depth) + 1),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(
+                       static_cast<std::size_t>(indent) *
+                           static_cast<std::size_t>(depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+
+  switch (v.type()) {
+    case JsonValue::Type::kNull: *out += "null"; return;
+    case JsonValue::Type::kBool: *out += v.as_bool() ? "true" : "false"; return;
+    case JsonValue::Type::kNumber: *out += format_number(v.as_number()); return;
+    case JsonValue::Type::kString: escape_string(v.as_string(), out); return;
+    case JsonValue::Type::kArray: {
+      const auto& items = v.as_array();
+      if (items.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        *out += (i > 0 ? "," : "");
+        *out += nl;
+        *out += pad;
+        dump_value(items[i], indent, depth + 1, out);
+      }
+      *out += nl;
+      *out += close_pad;
+      *out += "]";
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& members = v.as_object();
+      if (members.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      bool first = true;
+      for (const auto& [k, val] : members) {
+        if (!first) *out += ",";
+        first = false;
+        *out += nl;
+        *out += pad;
+        escape_string(k, out);
+        *out += kv_sep;
+        dump_value(val, indent, depth + 1, out);
+      }
+      *out += nl;
+      *out += close_pad;
+      *out += "}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue* out,
+                JsonParseError* error) {
+  return Parser(text, error).parse(out);
+}
+
+std::string json_dump(const JsonValue& value, int indent) {
+  std::string out;
+  dump_value(value, indent, 0, &out);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+std::uint64_t json_fnv1a(const JsonValue& value) {
+  const std::string bytes = json_dump(value, 0);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace sledzig::campaign

@@ -1,0 +1,270 @@
+#include "campaign/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sledzig::campaign {
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex64(const std::string& text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+ResultStoreWriter::ResultStoreWriter(std::string path)
+    : path_(std::move(path)) {}
+
+ResultStoreWriter::~ResultStoreWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+/// pread with EINTR retry; false on any short or failed read.
+bool read_at(int fd, char* buf, std::size_t len, off_t at) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              at + static_cast<off_t>(done));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ResultStoreWriter::open(std::string* error) {
+  // O_APPEND makes each write an atomic tail append even with several
+  // shard processes holding the same file open; O_RDWR (not O_WRONLY)
+  // lets open() inspect the tail for the repair below.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  // Torn-write repair.  A completed append always ends in '\n' (the line
+  // is a single write), so a file whose last byte is anything else carries
+  // the partial record a SIGKILL tore mid-append.  Truncate back to the
+  // last complete line *before* appending — otherwise the tear would end
+  // up interior to the file, which scan_store rightly calls corruption.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  bool ok = size >= 0;
+  if (ok && size > 0) {
+    char last = '\n';
+    ok = read_at(fd_, &last, 1, size - 1);
+    if (ok && last != '\n') {
+      off_t keep = 0;
+      off_t end = size - 1;  // scan backwards for the previous newline
+      char buf[4096];
+      while (ok && end > 0 && keep == 0) {
+        const auto chunk = static_cast<std::size_t>(
+            std::min<off_t>(end, static_cast<off_t>(sizeof buf)));
+        const off_t at = end - static_cast<off_t>(chunk);
+        ok = read_at(fd_, buf, chunk, at);
+        for (std::size_t i = chunk; ok && i-- > 0;) {
+          if (buf[i] == '\n') {
+            keep = at + static_cast<off_t>(i) + 1;
+            break;
+          }
+        }
+        end = at;
+      }
+      if (ok) ok = ::ftruncate(fd_, keep) == 0 && ::fsync(fd_) == 0;
+    }
+  }
+  if (!ok) {
+    if (error != nullptr) {
+      *error = path_ + ": tail repair: " + std::strerror(errno);
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool ResultStoreWriter::append(const ResultRecord& record,
+                               std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "store not open";
+    return false;
+  }
+  const std::string line = record_to_line(record) + "\n";
+  // One write(2) for the whole line: a record is all-or-mostly-nothing,
+  // and the "mostly" (a torn tail after SIGKILL) is what scan() tolerates.
+  std::size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = path_ + ": write: " + std::strerror(errno);
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    if (error != nullptr) {
+      *error = path_ + ": fsync: " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string record_to_line(const ResultRecord& record) {
+  JsonObject o;
+  o.emplace_back("campaign", JsonValue(hex64(record.campaign)));
+  o.emplace_back("cell", JsonValue(static_cast<double>(record.cell)));
+  o.emplace_back("rep", JsonValue(static_cast<double>(record.rep)));
+  o.emplace_back("metrics", record.metrics);
+  return json_dump(JsonValue(std::move(o)), 0);
+}
+
+bool record_from_line(const std::string& line, ResultRecord* out) {
+  JsonValue v;
+  JsonParseError perr;
+  if (!json_parse(line, &v, &perr) || !v.is_object()) return false;
+  const JsonValue* campaign = v.find("campaign");
+  const JsonValue* cell = v.find("cell");
+  const JsonValue* rep = v.find("rep");
+  const JsonValue* metrics = v.find("metrics");
+  if (campaign == nullptr || !campaign->is_string() ||
+      !parse_hex64(campaign->as_string(), &out->campaign)) {
+    return false;
+  }
+  if (cell == nullptr || !cell->is_number() || cell->as_number() < 0.0 ||
+      cell->as_number() != std::floor(cell->as_number())) {
+    return false;
+  }
+  if (rep == nullptr || !rep->is_number() || rep->as_number() < 0.0 ||
+      rep->as_number() != std::floor(rep->as_number())) {
+    return false;
+  }
+  if (metrics == nullptr || !metrics->is_object()) return false;
+  out->cell = static_cast<std::uint64_t>(cell->as_number());
+  out->rep = static_cast<std::uint64_t>(rep->as_number());
+  out->metrics = *metrics;
+  return true;
+}
+
+bool scan_store(const std::string& path, std::uint64_t campaign,
+                ScanResult* out, std::string* error) {
+  *out = ScanResult{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    // Absent store == fresh campaign; any other IO failure surfaces on
+    // read below.
+    return true;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::size_t pos = 0;
+  std::vector<std::pair<std::size_t, std::string>> lines;  // line no, text
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    ++line_no;
+    if (nl == std::string::npos) {
+      lines.emplace_back(line_no, text.substr(pos));
+      break;
+    }
+    lines.emplace_back(line_no, text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  while (!lines.empty() && lines.back().second.empty()) lines.pop_back();
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ResultRecord rec;
+    if (!record_from_line(lines[i].second, &rec)) {
+      if (i + 1 == lines.size()) {
+        // The torn tail a SIGKILL mid-append legally leaves behind.
+        out->dropped_partial = 1;
+        break;
+      }
+      if (error != nullptr) {
+        *error = path + ": line " + std::to_string(lines[i].first) +
+                 ": malformed record in store interior";
+      }
+      return false;
+    }
+    if (rec.campaign != campaign) {
+      ++out->foreign;
+      continue;
+    }
+    out->records.push_back(std::move(rec));
+  }
+  return true;
+}
+
+std::uint64_t store_digest(std::uint64_t campaign,
+                           const std::vector<ResultRecord>& records) {
+  std::vector<const ResultRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ResultRecord* a, const ResultRecord* b) {
+                     if (a->cell != b->cell) return a->cell < b->cell;
+                     return a->rep < b->rep;
+                   });
+
+  JsonArray items;
+  const ResultRecord* prev = nullptr;
+  for (const ResultRecord* r : sorted) {
+    // First occurrence wins: a shard that died after appending but before
+    // marking progress re-appends the identical record on resume.
+    if (prev != nullptr && prev->cell == r->cell && prev->rep == r->rep) {
+      continue;
+    }
+    prev = r;
+    JsonObject o;
+    o.emplace_back("cell", JsonValue(static_cast<double>(r->cell)));
+    o.emplace_back("rep", JsonValue(static_cast<double>(r->rep)));
+    o.emplace_back("metrics", r->metrics);
+    items.emplace_back(std::move(o));
+  }
+  JsonObject root;
+  root.emplace_back("campaign", JsonValue(hex64(campaign)));
+  root.emplace_back("results", JsonValue(std::move(items)));
+  return json_fnv1a(JsonValue(std::move(root)));
+}
+
+}  // namespace sledzig::campaign

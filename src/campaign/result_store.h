@@ -1,0 +1,90 @@
+// Checkpointing JSONL result store for campaign runs (DESIGN.md §17).
+//
+// One line per completed work item:
+//
+//   {"campaign":"<16-hex>","cell":N,"rep":M,"metrics":{...}}
+//
+// Durability: each append is a single write(2) to an O_APPEND descriptor
+// followed by fsync — on a local filesystem a record is either fully
+// present or entirely absent, and a SIGKILL can leave at most one
+// truncated trailing line.  scan() tolerates exactly that: an unparsable
+// *final* line is dropped and counted; an unparsable interior line is a
+// corrupt store and an error.  The writer repairs the tear on open —
+// a complete append always ends in '\n', so a trailing byte that is not
+// one marks a torn line, truncated away before new records go in (a
+// resumed shard must never bury the tear in the file's interior).
+//
+// Identity: every record carries the campaign hash (spec.h).  scan()
+// filters on it, so pointing a runner at a store written by a different
+// campaign resumes nothing and overwrites nothing — the foreign records
+// are counted, reported, and left in place.
+//
+// The digest: store_digest() sorts records by (cell, rep), drops
+// duplicates (first occurrence wins — re-run shards may legally re-append
+// items they crashed after completing), and hashes the canonical JSON of
+// what remains.  File order therefore never matters: 1 shard × 8 threads,
+// 8 shards × 1 thread, and a kill/resume run all digest identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+
+namespace sledzig::campaign {
+
+struct ResultRecord {
+  std::uint64_t campaign = 0;  ///< campaign_hash() of the owning spec
+  std::uint64_t cell = 0;
+  std::uint64_t rep = 0;
+  JsonValue metrics;           ///< deterministic per-run metrics object
+};
+
+/// Fixed-width lowercase hex for 64-bit identities (hashes and digests are
+/// always written in this form — doubles cannot carry 64 bits).
+std::string hex64(std::uint64_t v);
+bool parse_hex64(const std::string& text, std::uint64_t* out);
+
+/// Append-only writer.  open() creates the file when absent and truncates
+/// a torn trailing line when present; append() serializes, writes once,
+/// fsyncs.
+class ResultStoreWriter {
+ public:
+  explicit ResultStoreWriter(std::string path);
+  ~ResultStoreWriter();
+  ResultStoreWriter(const ResultStoreWriter&) = delete;
+  ResultStoreWriter& operator=(const ResultStoreWriter&) = delete;
+
+  bool open(std::string* error);
+  bool append(const ResultRecord& record, std::string* error);
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+struct ScanResult {
+  std::vector<ResultRecord> records;  ///< matching campaign, file order
+  std::size_t foreign = 0;            ///< records from other campaigns
+  std::size_t dropped_partial = 0;    ///< 0 or 1 truncated trailing line
+};
+
+/// Reads a store.  A missing file scans as empty (a fresh campaign).
+/// Returns false only on IO errors or interior corruption.
+bool scan_store(const std::string& path, std::uint64_t campaign,
+                ScanResult* out, std::string* error);
+
+/// Canonical digest over the deduplicated, (cell, rep)-sorted records —
+/// the byte-identity the acceptance tests compare across shardings.
+std::uint64_t store_digest(std::uint64_t campaign,
+                           const std::vector<ResultRecord>& records);
+
+/// Serializes one record as its store line (no trailing newline).
+std::string record_to_line(const ResultRecord& record);
+
+/// Parses one store line; false when malformed.
+bool record_from_line(const std::string& line, ResultRecord* out);
+
+}  // namespace sledzig::campaign

@@ -1,0 +1,202 @@
+#include "campaign/runner.h"
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace sledzig::campaign {
+
+namespace {
+
+/// Sums a stat across one technology's nodes.
+template <typename Get>
+double sum_nodes(const std::vector<sim::NodeStats>& nodes, Get get) {
+  double total = 0.0;
+  for (const auto& n : nodes) total += static_cast<double>(get(n));
+  return total;
+}
+
+JsonValue tech_to_json(const std::vector<sim::NodeStats>& nodes) {
+  JsonObject o;
+  o.emplace_back("nodes", JsonValue(static_cast<double>(nodes.size())));
+  o.emplace_back("generated", JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.generated;
+                 })));
+  o.emplace_back("delivered", JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.delivered;
+                 })));
+  o.emplace_back("sent", JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.sent;
+                 })));
+  o.emplace_back("queue_dropped",
+                 JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.queue_dropped;
+                 })));
+  o.emplace_back("cca_dropped", JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.cca_dropped;
+                 })));
+  o.emplace_back("retry_exhausted",
+                 JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.retry_exhausted;
+                 })));
+  o.emplace_back("lost_to_crash",
+                 JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.lost_to_crash;
+                 })));
+  const double sent = sum_nodes(nodes, [](const auto& n) { return n.sent; });
+  const double delivered =
+      sum_nodes(nodes, [](const auto& n) { return n.delivered; });
+  o.emplace_back("prr", JsonValue(sent > 0.0 ? delivered / sent : 0.0));
+  o.emplace_back("throughput_kbps",
+                 JsonValue(sum_nodes(nodes, [](const auto& n) {
+                   return n.throughput_kbps;
+                 })));
+  return JsonValue(std::move(o));
+}
+
+}  // namespace
+
+JsonValue result_to_json(const sim::SimResult& result) {
+  JsonObject o;
+  o.emplace_back("events",
+                 JsonValue(static_cast<double>(result.events_processed)));
+  o.emplace_back("trace_digest", JsonValue(hex64(result.trace_digest)));
+  o.emplace_back("wifi", tech_to_json(result.wifi));
+  o.emplace_back("zigbee", tech_to_json(result.zigbee));
+  return JsonValue(std::move(o));
+}
+
+bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
+                  RunnerReport* report,
+                  std::vector<sim::ConfigError>* errors) {
+  *report = RunnerReport{};
+  const std::size_t before = errors->size();
+
+  if (options.shard_count == 0 ||
+      options.shard_index >= options.shard_count) {
+    errors->push_back({"shard", "shard index " +
+                                    std::to_string(options.shard_index) +
+                                    " out of range for " +
+                                    std::to_string(options.shard_count) +
+                                    " shard(s)"});
+    return false;
+  }
+  if (options.store_path.empty()) {
+    errors->push_back({"store", "no store path given"});
+    return false;
+  }
+
+  const std::size_t cells = cell_count(spec);
+  report->campaign = campaign_hash(spec);
+  report->items_total = cells * spec.replications;
+
+  // Pre-resolve every owned cell's scenario once — a broken axis path or
+  // invalid cell config fails the whole shard up front, not mid-sweep.
+  struct Item {
+    std::size_t cell;
+    std::size_t rep;
+  };
+  std::vector<Item> owned;
+  for (std::size_t k = options.shard_index; k < report->items_total;
+       k += options.shard_count) {
+    owned.push_back({k / spec.replications, k % spec.replications});
+  }
+  report->items_owned = owned.size();
+  for (std::size_t c = 0; c < cells; ++c) {
+    sim::ScenarioConfig probe;
+    if (!cell_scenario(spec, c, 0, &probe, errors)) return false;
+  }
+
+  // Resume: everything already recorded for this campaign is skipped.
+  ScanResult scanned;
+  std::string io_error;
+  if (!scan_store(options.store_path, report->campaign, &scanned,
+                  &io_error)) {
+    errors->push_back({"store", io_error});
+    return false;
+  }
+  std::set<std::pair<std::uint64_t, std::uint64_t>> done;
+  for (const auto& rec : scanned.records) done.insert({rec.cell, rec.rep});
+
+  std::vector<Item> pending;
+  for (const auto& item : owned) {
+    if (done.count({item.cell, item.rep}) != 0) {
+      ++report->items_resumed;
+    } else {
+      pending.push_back(item);
+    }
+  }
+
+  ResultStoreWriter writer(options.store_path);
+  if (!writer.open(&io_error)) {
+    errors->push_back({"store", io_error});
+    return false;
+  }
+
+  const std::size_t threads =
+      options.threads > 0 ? options.threads : common::default_thread_count();
+  common::ThreadPool pool(threads);
+
+  // Each item computes independently (index-derived seed), then appends
+  // under the lock: one fsync'd record per completed item, so a kill
+  // loses at most the items in flight.
+  std::mutex append_mutex;
+  bool append_failed = false;
+  std::string append_error;
+  pool.for_each_index(pending.size(), [&](std::size_t i) {
+    if (options.sleep_ms_per_item > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.sleep_ms_per_item));
+    }
+    const Item item = pending[i];
+    sim::ScenarioConfig config;
+    std::vector<sim::ConfigError> item_errors;
+    if (!cell_scenario(spec, item.cell, item.rep, &config, &item_errors)) {
+      std::lock_guard<std::mutex> lock(append_mutex);
+      if (!append_failed) {
+        append_failed = true;
+        append_error = "cell " + std::to_string(item.cell) + ": " +
+                       (item_errors.empty() ? "invalid scenario"
+                                            : item_errors.front().message);
+      }
+      return;
+    }
+    const sim::SimResult result = sim::run_scenario(config);
+    ResultRecord record;
+    record.campaign = report->campaign;
+    record.cell = item.cell;
+    record.rep = item.rep;
+    record.metrics = result_to_json(result);
+    std::lock_guard<std::mutex> lock(append_mutex);
+    if (append_failed) return;
+    std::string err;
+    if (!writer.append(record, &err)) {
+      append_failed = true;
+      append_error = err;
+    }
+  });
+  if (append_failed) {
+    errors->push_back({"store", append_error});
+    return false;
+  }
+  report->items_run = pending.size();
+
+  // Final accounting from the store itself — the digest is a statement
+  // about the file on disk, not about this process's memory.
+  if (!scan_store(options.store_path, report->campaign, &scanned,
+                  &io_error)) {
+    errors->push_back({"store", io_error});
+    return false;
+  }
+  std::set<std::pair<std::uint64_t, std::uint64_t>> all;
+  for (const auto& rec : scanned.records) all.insert({rec.cell, rec.rep});
+  report->complete = all.size() == report->items_total;
+  report->digest = store_digest(report->campaign, scanned.records);
+  return errors->size() == before;
+}
+
+}  // namespace sledzig::campaign

@@ -1,0 +1,65 @@
+// Sharded, resumable campaign execution (DESIGN.md §17).
+//
+// The campaign's work list is every (cell, rep) pair, enumerated in a
+// single canonical order (cell-major, item k = cell * replications + rep).
+// A shard owns the items with k % shard_count == shard_index, runs the
+// owned items that are not already in the result store, and appends one
+// fsync'd record per completed item.  Because
+//
+//   * each item's scenario seed is derive_seed(spec.seed, kCampaign,
+//     cell, rep) — a pure function of the index path,
+//   * each record's bytes are a pure function of (cell, rep, metrics),
+//   * and store_digest() sorts and dedupes before hashing,
+//
+// the aggregate digest is bit-identical for any shard count, any thread
+// count, and any kill/resume history — the property the acceptance tests
+// (tests/campaign_test.cc, tools/campaign_kill_resume.py) assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/result_store.h"
+#include "campaign/spec.h"
+#include "sim/engine.h"
+
+namespace sledzig::campaign {
+
+struct RunnerOptions {
+  std::string store_path;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Worker threads for this shard; 0 = common::default_thread_count().
+  std::size_t threads = 0;
+  /// Test hook: sleep this long before each item so a driver can SIGKILL
+  /// the runner mid-campaign deterministically.  0 in real use.
+  std::uint32_t sleep_ms_per_item = 0;
+};
+
+struct RunnerReport {
+  std::uint64_t campaign = 0;     ///< campaign_hash(spec)
+  std::size_t items_total = 0;    ///< cells × replications
+  std::size_t items_owned = 0;    ///< this shard's share
+  std::size_t items_resumed = 0;  ///< owned items already in the store
+  std::size_t items_run = 0;      ///< owned items executed this pass
+  /// store_digest over the store's records after this shard finished.
+  std::uint64_t digest = 0;
+  /// True when the store now covers every item of the whole campaign (all
+  /// shards done) — only then is `digest` the final campaign digest.
+  bool complete = false;
+};
+
+/// Deterministic per-run metrics for one work item: frame-accounting
+/// totals, PRR/throughput aggregates, events and the trace digest.  No
+/// wall-clock content — record bytes must be pure functions of the run.
+JsonValue result_to_json(const sim::SimResult& result);
+
+/// Executes one shard of the campaign against the store at
+/// `options.store_path` (created when absent, resumed when present).
+/// Returns false on config, path, or IO errors (appended to `*errors`
+/// with dotted-path fields; IO errors use field "store").
+bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
+                  RunnerReport* report, std::vector<sim::ConfigError>* errors);
+
+}  // namespace sledzig::campaign

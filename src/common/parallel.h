@@ -40,6 +40,19 @@ inline std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
   return a ^ (b << 1 | b >> 63);
 }
 
+/// Multi-index derivation: derive_seed(base, i, j, k) left-folds one
+/// derive_seed per index, so a nested sweep (campaign -> cell -> rep) gets
+/// a seed that is a pure function of the whole index path.  The same
+/// contract as the two-argument form, extended: the resulting streams are
+/// identical no matter how the index space is partitioned across shards,
+/// threads, or resume passes — only the path matters.
+template <typename... Rest>
+inline std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t first,
+                                 std::uint64_t second, Rest... rest) {
+  return derive_seed(derive_seed(base_seed, first),
+                     second, static_cast<std::uint64_t>(rest)...);
+}
+
 /// Hard ceiling on the pool size.  SLEDZIG_THREADS=1000000 (or a hardware
 /// report gone wrong) must not try to spawn a million threads; oversized
 /// requests clamp here instead.

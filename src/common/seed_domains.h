@@ -1,0 +1,60 @@
+// Registry of derive_seed domain tags.
+//
+// A *domain tag* is a large constant passed as the index of a derive_seed
+// call to branch one base seed into disjoint stream families — e.g. the
+// fault compiler derives every fault stream from
+// derive_seed(config.seed, kFaultPlan) so enabling faults can never
+// reshuffle the engine's per-node MAC/traffic streams.  Two subsystems
+// accidentally picking the same tag would silently alias their stream
+// families, which no test would catch until the correlated draws bit; so
+// every tag lives here, uniqueness is enforced at compile time, and
+// tools/sledzig_analyzer flags ad-hoc hex literals inside derive_seed
+// calls anywhere else in src/ (rule `seed-domain`, DESIGN.md §16).
+//
+// Plain per-node / per-replication indices (small dense integers such as
+// `4 * g + 2` or a rep count) are NOT domain tags and stay at their call
+// sites; tags are sparse magic constants, far above any index a loop
+// could produce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sledzig::common::seed_domain {
+
+/// Fault-injection branch (sim/faults.cc): all fault-plan randomness —
+/// Poisson crash/mute/deaf/surge processes, jammer bursts — derives from
+/// derive_seed(config.seed, kFaultPlan), disjoint from the engine's
+/// per-node streams (indices 0 .. 4*num_nodes+3 of the raw seed).
+inline constexpr std::uint64_t kFaultPlan = 0xFA171CE5ull;
+
+/// Campaign branch (campaign/runner.cc): replication seeds of a campaign
+/// are derive_seed(spec.seed, kCampaign, cell, rep), so a (cell, rep)
+/// work item draws the same streams no matter which shard, thread, or
+/// resume pass executes it — the root of the store-digest identity
+/// contract (DESIGN.md §17).
+inline constexpr std::uint64_t kCampaign = 0xCA59A16Bull;
+
+/// Every registered tag, for the uniqueness check below.  Append new tags
+/// here and above, never inline at a call site.
+inline constexpr std::uint64_t kAllDomains[] = {
+    kFaultPlan,
+    kCampaign,
+};
+
+/// Compile-time pairwise-uniqueness check: a duplicated tag fails the
+/// static_assert below the moment the header is included anywhere.
+constexpr bool all_domains_unique() {
+  constexpr std::size_t n = sizeof(kAllDomains) / sizeof(kAllDomains[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (kAllDomains[i] == kAllDomains[j]) return false;
+    }
+  }
+  return true;
+}
+
+static_assert(all_domains_unique(),
+              "duplicate derive_seed domain tag in seed_domains.h");
+
+}  // namespace sledzig::common::seed_domain

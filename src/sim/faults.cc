@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/seed_domains.h"
 
 namespace sledzig::sim {
 
@@ -13,8 +14,9 @@ namespace {
 // Root of the fault-only seed branch.  Everything below is derived from
 // derive_seed(config.seed, kFaultBranch), so fault streams can never alias
 // the engine's per-node streams (indices 0 .. 4*num_nodes+3 of the raw
-// scenario seed).
-constexpr std::uint64_t kFaultBranch = 0xFA171CE5ull;
+// scenario seed).  The tag itself lives in the seed-domain registry
+// (common/seed_domains.h) so no other subsystem can collide with it.
+constexpr std::uint64_t kFaultBranch = common::seed_domain::kFaultPlan;
 
 // Per-node stream indices under the fault branch: 8 slots per node (four
 // fault families plus headroom), jammers after all nodes.

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Kill/resume acceptance drill for the campaign runner (DESIGN.md §17).
+
+Drives the `campaign_runner` binary through the crash the result store is
+built to survive:
+
+  1. run the reference: the whole campaign in one clean pass -> digest A;
+  2. start a second run of the same campaign into a fresh store with
+     --sleep-ms-per-item, SIGKILL it once the store holds about half the
+     records (a real kill -9, no atexit grace);
+  3. corrupt the tail the way a torn write would (append a partial line
+     with no newline);
+  4. resume into the same store, then ask --digest for the result.
+
+The resumed digest must equal the clean pass's digest bit for bit, the
+resume must actually skip the survivors (resumed > 0 in the runner's
+summary), and the scan must report exactly one dropped partial line.
+
+Usage: campaign_kill_resume.py --runner build/bench/campaign_runner
+Exit codes: 0 pass, 1 assertion failed, 2 environment/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+CAMPAIGN = """{
+  "name": "kill_resume_drill",
+  "seed": 7,
+  "replications": 4,
+  "scenario": {
+    "duration_s": 0.1,
+    "topology": {"generator": "two_node", "wifi_duty_ratio": 0.5,
+                 "d_wz_m": 4.0, "d_z_m": 1.0}
+  },
+  "grid": [{"path": "sledzig_enabled", "values": [false, true]}]
+}
+"""
+TOTAL_ITEMS = 8  # 2 cells x 4 reps
+
+DIGEST_RE = re.compile(r"^digest ([0-9a-f]{16})( \(incomplete\))?$",
+                       re.MULTILINE)
+SUMMARY_RE = re.compile(r"resumed (\d+), ran (\d+)")
+SCAN_RE = re.compile(r"items (\d+)/(\d+)  foreign (\d+)  partial (\d+)")
+
+
+def run(cmd: list[str]) -> str:
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(1)
+    return proc.stdout
+
+
+def digest_of(output: str, want_complete: bool) -> str:
+    m = DIGEST_RE.search(output)
+    if not m:
+        print(f"FAIL: no digest line in output:\n{output}")
+        sys.exit(1)
+    if want_complete and m.group(2):
+        print(f"FAIL: digest reported incomplete:\n{output}")
+        sys.exit(1)
+    return m.group(1)
+
+
+def count_lines(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return sum(1 for line in path.read_bytes().split(b"\n") if line)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runner", type=Path, required=True,
+                        help="path to the campaign_runner binary")
+    parser.add_argument("--sleep-ms", type=int, default=250,
+                        help="per-item sleep in the victim run")
+    parser.add_argument("--timeout-s", type=float, default=120.0)
+    args = parser.parse_args()
+
+    runner = args.runner.resolve()
+    if not runner.is_file() or not os.access(runner, os.X_OK):
+        print(f"campaign_kill_resume: not an executable: {runner}",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="sledzig_kill_resume_") as tmp:
+        tmpdir = Path(tmp)
+        campaign = tmpdir / "campaign.json"
+        campaign.write_text(CAMPAIGN, encoding="utf-8")
+        clean_store = tmpdir / "clean.jsonl"
+        victim_store = tmpdir / "victim.jsonl"
+
+        # 1. Reference pass: one shot, no interference.
+        out = run([str(runner), "--campaign", str(campaign),
+                   "--store", str(clean_store)])
+        ref_digest = digest_of(out, want_complete=True)
+        print(f"clean pass digest {ref_digest}")
+
+        # 2. Victim pass: slowed down so the kill lands mid-campaign.
+        victim = subprocess.Popen(
+            [str(runner), "--campaign", str(campaign),
+             "--store", str(victim_store), "--threads", "2",
+             "--sleep-ms-per-item", str(args.sleep_ms)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + args.timeout_s
+        target = TOTAL_ITEMS // 2
+        while count_lines(victim_store) < target:
+            if victim.poll() is not None:
+                print("FAIL: victim finished before the kill "
+                      f"({count_lines(victim_store)} records)")
+                return 1
+            if time.monotonic() > deadline:
+                victim.kill()
+                print("FAIL: victim never reached the kill point")
+                return 1
+            time.sleep(0.02)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        survivors = count_lines(victim_store)
+        print(f"killed victim with {survivors} record(s) in the store")
+        if survivors >= TOTAL_ITEMS:
+            print("FAIL: kill landed after the campaign finished")
+            return 1
+
+        # 3. The torn-write signature a SIGKILL can leave behind.  A scan
+        # of the torn store must see (and tolerate) exactly one partial
+        # line and report the coverage as incomplete.
+        with victim_store.open("ab") as fh:
+            fh.write(b'{"campaign":"feedfacefeedface0","cell":9')
+        out = run([str(runner), "--campaign", str(campaign),
+                   "--store", str(victim_store), "--digest"])
+        m = SCAN_RE.search(out)
+        if not m or int(m.group(4)) != 1:
+            print(f"FAIL: torn store must scan with partial=1:\n{out}")
+            return 1
+        if not DIGEST_RE.search(out) or not DIGEST_RE.search(out).group(2):
+            print(f"FAIL: torn store digest must be incomplete:\n{out}")
+            return 1
+
+        # 4. Resume and compare.  The writer repairs the torn tail on open,
+        # so the resumed store is clean end to end.
+        out = run([str(runner), "--campaign", str(campaign),
+                   "--store", str(victim_store)])
+        resumed_digest = digest_of(out, want_complete=True)
+        m = SUMMARY_RE.search(out)
+        if not m:
+            print(f"FAIL: no resume summary in output:\n{out}")
+            return 1
+        resumed, ran = int(m.group(1)), int(m.group(2))
+        print(f"resume pass: resumed {resumed}, ran {ran}, "
+              f"digest {resumed_digest}")
+        # The kill itself may have torn the victim's final line, in which
+        # case that record is legitimately re-run: resumed is survivors or
+        # survivors - 1, and the two passes always cover the campaign.
+        if resumed + ran != TOTAL_ITEMS or resumed < survivors - 1 \
+                or resumed == 0:
+            print(f"FAIL: expected resumed~={survivors} and "
+                  f"resumed+ran={TOTAL_ITEMS}")
+            return 1
+        if resumed_digest != ref_digest:
+            print(f"FAIL: digest diverged after kill/resume "
+                  f"({resumed_digest} != {ref_digest})")
+            return 1
+
+        # After the repair-and-resume the store must scan clean: no torn
+        # line left anywhere, same digest from an independent scan.
+        out = run([str(runner), "--campaign", str(campaign),
+                   "--store", str(victim_store), "--digest"])
+        if digest_of(out, want_complete=True) != ref_digest:
+            print(f"FAIL: --digest disagrees with the run report:\n{out}")
+            return 1
+        m = SCAN_RE.search(out)
+        if not m or int(m.group(4)) != 0:
+            print(f"FAIL: resumed store must scan with partial=0:\n{out}")
+            return 1
+
+    print("campaign_kill_resume OK: kill/resume digest matches the clean "
+          "pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,8 @@ import re
 RULE_RAW_UNIT = "raw-unit"
 RULE_SEED = "seed-derivation"
 RULE_TOKEN = "token-lifecycle"
-ALL_RULES = (RULE_RAW_UNIT, RULE_SEED, RULE_TOKEN)
+RULE_SEED_DOMAIN = "seed-domain"
+ALL_RULES = (RULE_RAW_UNIT, RULE_SEED, RULE_TOKEN, RULE_SEED_DOMAIN)
 
 # A physical-unit suffix on a raw double parameter or field means the
 # declaration should use the strong types in src/common/units.h
@@ -55,6 +56,15 @@ RAW_UNIT_ALLOWLIST = (
 # Functions whose calls launder arithmetic into a seed legitimately, and
 # whose own bodies may therefore mix seeds by hand.
 SEED_DERIVERS = ("derive_seed", "splitmix64", "stage_seed")
+
+# Seed-domain tags — the sparse magic constants that branch independent
+# seed streams (derive_seed(seed, kFaultPlan)) — must be named in the
+# registry header, whose compile-time uniqueness check is what keeps two
+# subsystems from ever branching on the same tag.  A wide hex literal
+# passed straight to a deriver is an ad-hoc tag dodging that check.
+SEED_DOMAIN_REGISTRY = "src/common/seed_domains.h"
+# Hex digits below this look like ordinary small indices, not domain tags.
+SEED_DOMAIN_MIN_HEX_DIGITS = 5
 
 # Identifiers that carry seed meaning: `seed`, `base_seed`, `fault_seed`...
 SEED_IDENT_RE = re.compile(r"(?:^|_)seed(?:_|$)|^seed", re.IGNORECASE)

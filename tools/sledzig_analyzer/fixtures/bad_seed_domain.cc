@@ -1,0 +1,15 @@
+// Ad-hoc seed-domain tags: wide hex literals inside a deriver call dodge
+// the registry's compile-time uniqueness check.
+#include <cstdint>
+
+namespace common {
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+}  // namespace common
+
+std::uint64_t fault_branch(std::uint64_t root) {
+  return common::derive_seed(root, 0xFA171CE5ull);  // expect: seed-domain
+}
+
+std::uint64_t chaos_branch(std::uint64_t root) {
+  return common::derive_seed(root, 0xC0FFEEull);  // expect: seed-domain
+}

@@ -1,0 +1,18 @@
+// Seed-domain tags from the registry (or small stream indices) are fine:
+// the registry header owns uniqueness, and small indices are not tags.
+#include <cstdint>
+
+namespace common {
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+namespace seed_domain {
+inline constexpr std::uint64_t kFaultPlan = 0xFA171CE5ull;
+}  // namespace seed_domain
+}  // namespace common
+
+std::uint64_t fault_branch(std::uint64_t root) {
+  return common::derive_seed(root, common::seed_domain::kFaultPlan);
+}
+
+std::uint64_t stream(std::uint64_t root, std::uint64_t g) {
+  return common::derive_seed(root, 8 * g + 0x3);  // small index, not a tag
+}

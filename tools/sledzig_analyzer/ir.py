@@ -37,6 +37,16 @@ class SeedMix:
 
 
 @dataclass(frozen=True)
+class DomainLiteral:
+    """A wide hex literal passed directly inside a seed-deriver call —
+    an ad-hoc seed-domain tag that bypasses the registry's compile-time
+    uniqueness check."""
+
+    line: int
+    text: str
+
+
+@dataclass(frozen=True)
 class TimerArm:
     """A kTimer EventQueue push.  `guarded` is True when the enclosing
     function invalidates a token (++/+= on a token member) before the
@@ -62,6 +72,7 @@ class FileFacts:
     unit_decls: list[UnitDecl] = field(default_factory=list)
     rng_ctors: list[RngCtor] = field(default_factory=list)
     seed_mixes: list[SeedMix] = field(default_factory=list)
+    domain_literals: list[DomainLiteral] = field(default_factory=list)
     timer_arms: list[TimerArm] = field(default_factory=list)
     allows: list[Allow] = field(default_factory=list)
 

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import re
 
-from config import SEED_DERIVERS, SEED_IDENT_RE, SEED_MIX_OPS, UNIT_SUFFIX_RE
-from ir import FileFacts, RngCtor, SeedMix, TimerArm, UnitDecl
+from config import (SEED_DERIVERS, SEED_DOMAIN_MIN_HEX_DIGITS, SEED_IDENT_RE,
+                    SEED_MIX_OPS, UNIT_SUFFIX_RE)
+from ir import DomainLiteral, FileFacts, RngCtor, SeedMix, TimerArm, UnitDecl
 
 TOKEN_RE = re.compile(
     r"""
@@ -234,6 +235,16 @@ def extract(text: str, rel_path: str) -> FileFacts:
                     expr, _ = _balanced_args(tokens, j)
                     if expr.strip():
                         facts.rng_ctors.append(RngCtor(tok.line, expr))
+
+        if tok.kind == "number" and t[:2].lower() == "0x":
+            # A wide hex literal fed straight into a deriver call is an
+            # ad-hoc seed-domain tag (the named ones live in the registry
+            # header, behind its uniqueness static_assert).
+            hex_digits = re.sub(r"[^0-9a-fA-F]", "", t[2:])
+            if len(hex_digits) >= SEED_DOMAIN_MIN_HEX_DIGITS and any(
+                    any(d in callee for d in SEED_DERIVERS)
+                    for callee in paren_stack):
+                facts.domain_literals.append(DomainLiteral(tok.line, t))
 
         if tok.kind == "ident" and SEED_IDENT_RE.search(t):
             nxt = tokens[i + 1].text if i + 1 < n else ""

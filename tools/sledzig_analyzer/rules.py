@@ -10,6 +10,10 @@ Backend-independent.  The three invariants (DESIGN.md §16):
                    stage_seed); hand-mixed arithmetic is flagged.
   token-lifecycle  a function arming a kTimer event must invalidate a
                    token first, or carry a documented allow.
+  seed-domain      wide hex literals passed straight to a seed deriver are
+                   ad-hoc domain tags; they belong in the registry header
+                   (src/common/seed_domains.h) behind its compile-time
+                   uniqueness check.
 
 Suppression: `// lint: allow(rule): reason` within ALLOW_REACH_LINES
 above the finding (same grammar as tools/lint_determinism.py).  Allows
@@ -22,8 +26,8 @@ from __future__ import annotations
 import re
 
 import config
-from config import (ALL_RULES, RULE_RAW_UNIT, RULE_SEED, RULE_TOKEN,
-                    raw_unit_allowlisted)
+from config import (ALL_RULES, RULE_RAW_UNIT, RULE_SEED, RULE_SEED_DOMAIN,
+                    RULE_TOKEN, raw_unit_allowlisted)
 from ir import Allow, FileFacts, Finding
 
 _ARITH_RE = re.compile(r"[+^%]|(?<![*/])\*(?![*/])|<<|>>")
@@ -82,6 +86,17 @@ def evaluate(facts: FileFacts, rel_path: str) -> list[Finding]:
             rel_path, s.line, RULE_SEED,
             f"seed-typed value '{s.text}' flows through arithmetic outside "
             "a deriver; only derive_seed-family functions may mix seeds"))
+
+    if rel_path != config.SEED_DOMAIN_REGISTRY:
+        for dl in facts.domain_literals:
+            if _allowed(allows, dl.line, RULE_SEED_DOMAIN):
+                continue
+            findings.append(Finding(
+                rel_path, dl.line, RULE_SEED_DOMAIN,
+                f"ad-hoc seed-domain tag {dl.text} passed straight to a "
+                "deriver; name it in common/seed_domains.h "
+                "(seed_domain::k...) so the registry's uniqueness check "
+                "covers it"))
 
     seen_funcs: set[int] = set()
     for t in facts.timer_arms:
