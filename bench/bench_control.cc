@@ -1,0 +1,133 @@
+// Control-plane A/B snapshot: the mixed-load two-BSS topology
+// (sim::control_ab_scenario) run once with static always-on SledZig and
+// once with the runtime controller (ZigBee channel hopping + SledZig
+// hysteresis), written as JSON (default BENCH_control.json, override with
+// --out PATH or the first positional; --seed N re-seeds both arms).
+//
+// The committed snapshot pins the ISSUE acceptance criterion: the
+// controlled arm must strictly improve aggregate ZigBee PRR while keeping
+// total WiFi throughput within 5% of the static arm — enforced here, so
+// the snapshot can never record a controller that stopped paying for
+// itself.  Every arm is run twice and the trace digests compared, and the
+// controlled arm is additionally replicated over 1- and 8-thread pools,
+// so a controller that trades determinism away fails before it writes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "sim/engine.h"
+
+using namespace sledzig;
+
+namespace {
+
+std::uint64_t g_seed = 2026;
+constexpr double kDurationS = 5.0;
+
+struct Arm {
+  double zigbee_prr;
+  double wifi_throughput_kbps;
+  double hops;
+};
+
+Arm run_arm(bool controlled) {
+  auto cfg = sim::control_ab_scenario(controlled, kDurationS, g_seed);
+  cfg.invariants.enabled = true;
+  cfg.record_trace = true;
+  cfg.metrics = nullptr;
+  const auto a = sim::run_scenario(cfg);
+  const auto b = sim::run_scenario(cfg);
+  if (a.trace_digest != b.trace_digest) {
+    std::fprintf(stderr, "FATAL: repeated %s run diverged (seed %llu)\n",
+                 controlled ? "controlled" : "static",
+                 static_cast<unsigned long long>(g_seed));
+    std::exit(1);
+  }
+  double sent = 0.0;
+  double delivered = 0.0;
+  for (const auto& n : a.zigbee) {
+    sent += static_cast<double>(n.sent);
+    delivered += static_cast<double>(n.delivered);
+  }
+  double wifi_kbps = 0.0;
+  for (const auto& n : a.wifi) wifi_kbps += n.throughput_kbps;
+  double hops = 0.0;
+  for (const auto& e : a.trace) {
+    hops += (e.type == sim::TraceType::kControlHop) ? 1.0 : 0.0;
+  }
+  return {sent > 0.0 ? delivered / sent : 0.0, wifi_kbps, hops};
+}
+
+bool controlled_arm_is_thread_invariant() {
+  auto cfg = sim::control_ab_scenario(true, /*duration_s=*/1.0, g_seed);
+  cfg.invariants.enabled = true;
+  cfg.metrics = nullptr;
+  constexpr std::size_t kReps = 4;
+  common::ThreadPool one(1);
+  common::ThreadPool eight(8);
+  const auto serial = sim::run_replications(one, cfg, kReps);
+  const auto wide = sim::run_replications(eight, cfg, kReps);
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    if (serial[rep].trace_digest != wide[rep].trace_digest) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  if (!bench::parse_cli(argc, argv, &opts)) return 1;
+  if (opts.seed_set) g_seed = opts.seed;
+  const std::string path_str = !opts.out.empty()        ? opts.out
+                               : !opts.positionals.empty()
+                                   ? opts.positionals[0]
+                                   : "BENCH_control.json";
+  const char* path = path_str.c_str();
+
+  const Arm fixed = run_arm(false);
+  const Arm controlled = run_arm(true);
+  std::printf("static     : ZigBee PRR %.4f, WiFi %8.2f kbps\n",
+              fixed.zigbee_prr, fixed.wifi_throughput_kbps);
+  std::printf("controlled : ZigBee PRR %.4f, WiFi %8.2f kbps, %g hop(s)\n",
+              controlled.zigbee_prr, controlled.wifi_throughput_kbps,
+              controlled.hops);
+
+  if (!(controlled.zigbee_prr > fixed.zigbee_prr)) {
+    std::fprintf(stderr,
+                 "FATAL: controller did not improve aggregate ZigBee PRR\n");
+    return 1;
+  }
+  if (controlled.wifi_throughput_kbps < 0.95 * fixed.wifi_throughput_kbps) {
+    std::fprintf(stderr, "FATAL: controller cost WiFi more than 5%%\n");
+    return 1;
+  }
+  if (!controlled_arm_is_thread_invariant()) {
+    std::fprintf(stderr,
+                 "FATAL: controlled replications diverged across pools\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"duration_s\": %.1f,\n  \"deterministic\": true,\n",
+               kDurationS);
+  std::fprintf(f,
+               "  \"static_arm\": {\"zigbee_prr\": %.4f, "
+               "\"wifi_throughput_kbps\": %.3f},\n",
+               fixed.zigbee_prr, fixed.wifi_throughput_kbps);
+  std::fprintf(f,
+               "  \"controlled\": {\"zigbee_prr\": %.4f, "
+               "\"wifi_throughput_kbps\": %.3f, \"hops\": %g}\n",
+               controlled.zigbee_prr, controlled.wifi_throughput_kbps,
+               controlled.hops);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

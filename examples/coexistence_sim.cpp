@@ -16,6 +16,12 @@
 //
 //   $ ./coexistence_sim campus [grid_x] [grid_y] [sensors_per_ap]
 //
+// A third mode runs the control-plane A/B (DESIGN.md §18): the mixed-load
+// two-BSS topology with and without the runtime coexistence controller,
+// printing every control action as it fires.
+//
+//   $ ./coexistence_sim control [duration_s] [seed]
+//
 // Declarative modes (DESIGN.md §17): run a scenario JSON file directly, or
 // a whole campaign spec (grid × replications) against a result store —
 //
@@ -177,6 +183,53 @@ int campus_demo(int argc, char** argv) {
   return 0;
 }
 
+/// Policy-vs-static A/B on the mixed-load two-BSS topology (DESIGN.md
+/// §18): the same scenario and seed run once with static always-on SledZig
+/// and once with the runtime controller (ZigBee channel hopping + SledZig
+/// hysteresis), with every control action printed as it fires.
+int control_demo(int argc, char** argv) {
+  const double duration_s = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2026;
+
+  std::printf("Control-plane A/B: heavy BSS (ch 1, 80%% duty) with four "
+              "motes in its\noverlap windows vs quiet BSS (ch 11, 10%% "
+              "duty), %.1f s simulated, seed %llu.\n\n",
+              duration_s, static_cast<unsigned long long>(seed));
+
+  auto fixed = sim::control_ab_scenario(false, duration_s, seed);
+  report("static SledZig (no controller)", sim::run_scenario(fixed));
+
+  auto controlled = sim::control_ab_scenario(true, duration_s, seed);
+  controlled.record_trace = true;
+  const auto r = sim::run_scenario(controlled);
+  std::printf("\n");
+  report("runtime controller (hop + hysteresis)", r);
+  std::printf("  control timeline:\n");
+  for (const auto& e : r.trace) {
+    switch (e.type) {
+      case sim::TraceType::kControlSledzig:
+        std::printf("    t=%8.0f us  SledZig %s\n", e.time_us,
+                    e.aux != 0 ? "engaged" : "disengaged");
+        break;
+      case sim::TraceType::kControlHop:
+        std::printf("    t=%8.0f us  node %u hops to 802.15.4 channel %d\n",
+                    e.time_us, e.node, e.aux);
+        break;
+      case sim::TraceType::kControlShape:
+        std::printf("    t=%8.0f us  wifi[%u] rate scaled to %.2f\n",
+                    e.time_us, e.node,
+                    static_cast<double>(e.aux) / 1000.0);
+        break;
+      default:
+        break;
+    }
+  }
+  std::printf("\nSame run, declaratively: ./coexistence_sim --campaign "
+              "examples/campaigns/control_ab.json\n");
+  return 0;
+}
+
 bool read_file(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return false;
@@ -251,6 +304,9 @@ int campaign_mode(const std::string& path, const std::string& store) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "campus") == 0) {
     return campus_demo(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "control") == 0) {
+    return control_demo(argc, argv);
   }
   if (argc > 1 && argv[1][0] == '-') {
     bench::CliOptions opts;

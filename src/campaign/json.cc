@@ -166,6 +166,11 @@ class Parser {
           case 'r': out->push_back('\r'); break;
           case 'b': out->push_back('\b'); break;
           case 'f': out->push_back('\f'); break;
+          case 'u':
+            // Advances pos_ itself (6 or 12 chars); fail() still sees the
+            // backslash, so errors point at the escape's line:column.
+            if (!parse_unicode_escape(out)) return false;
+            continue;
           default:
             return fail(std::string("unsupported escape '\\") + e + "'");
         }
@@ -176,6 +181,80 @@ class Parser {
       ++pos_;
     }
     return fail("unterminated string");
+  }
+
+  /// The 4 hex digits at text_[at..at+4) as a value, or -1 on a non-hex
+  /// digit or a short read at end of input.
+  int hex4(std::size_t at) const {
+    if (at + 4 > text_.size()) return -1;
+    int v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char c = text_[at + i];
+      int digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return -1;
+      }
+      v = (v << 4) | digit;
+    }
+    return v;
+  }
+
+  void append_utf8(std::string* out, std::uint32_t cp) const {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// `\uXXXX` with pos_ on the backslash.  BMP code points decode
+  /// directly; a high surrogate must be followed immediately by a
+  /// `\uDC00`..`\uDFFF` escape (the pair combines to one supplementary
+  /// code point); a lone surrogate in either position is a parse error.
+  /// Decoded text is appended as UTF-8.
+  bool parse_unicode_escape(std::string* out) {
+    const int hi = hex4(pos_ + 2);
+    if (hi < 0) return fail("\\u escape needs 4 hex digits");
+    if (hi >= 0xDC00 && hi <= 0xDFFF) {
+      return fail("lone low surrogate in \\u escape");
+    }
+    if (hi >= 0xD800 && hi <= 0xDBFF) {
+      if (pos_ + 8 > text_.size() || text_[pos_ + 6] != '\\' ||
+          text_[pos_ + 7] != 'u') {
+        return fail("high surrogate \\u escape must be followed by \\u");
+      }
+      const int lo = hex4(pos_ + 8);
+      if (lo < 0) return fail("\\u escape needs 4 hex digits");
+      if (lo < 0xDC00 || lo > 0xDFFF) {
+        return fail("high surrogate \\u escape not followed by a low "
+                    "surrogate");
+      }
+      const std::uint32_t cp =
+          0x10000u + ((static_cast<std::uint32_t>(hi) - 0xD800u) << 10) +
+          (static_cast<std::uint32_t>(lo) - 0xDC00u);
+      append_utf8(out, cp);
+      pos_ += 12;
+      return true;
+    }
+    append_utf8(out, static_cast<std::uint32_t>(hi));
+    pos_ += 6;
+    return true;
   }
 
   bool parse_number(JsonValue* out) {

@@ -14,8 +14,11 @@
 //   * parse errors carry line:column and a message, feeding the
 //     field-path error reporting in scenario_json/spec.
 //
-// The grammar is RFC 8259 minus \uXXXX escapes (config files here are
-// ASCII; an unsupported escape is a parse error, never silent data loss).
+// The grammar is RFC 8259: all escapes including \uXXXX (surrogate pairs
+// decode to UTF-8; a lone surrogate is a parse error with line:column).
+// The writer stays canonical — non-ASCII bytes pass through raw and only
+// the mandatory escapes are emitted — so existing dumps and store digests
+// are byte-stable.
 #pragma once
 
 #include <cstdint>

@@ -669,8 +669,9 @@ bool topology_from_json(const JsonValue& v, sim::ScenarioConfig* out,
   {
     const JsonValue* g = r.child("generator");
     if (g == nullptr || !g->is_string()) {
-      errors->push_back(
-          {"topology.generator", "expected \"two_node\" or \"campus\""});
+      errors->push_back({"topology.generator",
+                         "expected \"two_node\", \"campus\" or "
+                         "\"control_ab\""});
       r.finish();
       return false;
     }
@@ -705,9 +706,20 @@ bool topology_from_json(const JsonValue& v, sim::ScenarioConfig* out,
     out->sledzig_enabled = sledzig_on;
     return true;
   }
+  if (generator == "control_ab") {
+    // The mixed-load two-BSS A/B testbed (DESIGN.md §18).  `controlled`
+    // arms the runtime policies; the file's own "control" section still
+    // overlays afterwards, so a campaign can refine epoch or thresholds.
+    bool controlled = false;
+    r.get("controlled", &controlled);
+    r.finish();
+    if (errors->size() != before) return false;
+    *out = sim::control_ab_scenario(controlled, out->duration_s, out->seed);
+    return true;
+  }
   errors->push_back({"topology.generator",
                      "unknown generator '" + generator +
-                         "' (expected two_node|campus)"});
+                         "' (expected two_node|campus|control_ab)"});
   r.finish();
   return false;
 }
@@ -730,6 +742,91 @@ std::string fault_kind_name(sim::FaultKind kind) {
 
 bool fault_kind_from_name(const std::string& name, sim::FaultKind* out) {
   return enum_from_name(kFaultKinds, name, out);
+}
+
+// --- runtime control plane (DESIGN.md §18) --------------------------------
+
+JsonValue control_to_json(const control::ControlConfig& c) {
+  JsonObject o;
+  o.emplace_back("enabled", JsonValue(c.enabled));
+  o.emplace_back("epoch_us", JsonValue(c.epoch_us));
+  {
+    JsonObject s;
+    s.emplace_back("enabled", JsonValue(c.sledzig.enabled));
+    s.emplace_back("on_threshold",
+                   JsonValue(static_cast<double>(c.sledzig.on_threshold)));
+    s.emplace_back("off_threshold",
+                   JsonValue(static_cast<double>(c.sledzig.off_threshold)));
+    s.emplace_back("busy_airtime_fraction",
+                   JsonValue(c.sledzig.busy_airtime_fraction));
+    o.emplace_back("sledzig", JsonValue(std::move(s)));
+  }
+  {
+    JsonObject h;
+    h.emplace_back("enabled", JsonValue(c.hop.enabled));
+    h.emplace_back("min_prr", JsonValue(c.hop.min_prr));
+    h.emplace_back("patience",
+                   JsonValue(static_cast<double>(c.hop.patience)));
+    h.emplace_back("cooldown_epochs",
+                   JsonValue(static_cast<double>(c.hop.cooldown_epochs)));
+    o.emplace_back("hop", JsonValue(std::move(h)));
+  }
+  {
+    JsonObject d;
+    d.emplace_back("enabled", JsonValue(c.duty.enabled));
+    d.emplace_back("min_zigbee_prr", JsonValue(c.duty.min_zigbee_prr));
+    d.emplace_back("rate_scale", JsonValue(c.duty.rate_scale));
+    d.emplace_back("patience",
+                   JsonValue(static_cast<double>(c.duty.patience)));
+    d.emplace_back("release",
+                   JsonValue(static_cast<double>(c.duty.release)));
+    o.emplace_back("duty", JsonValue(std::move(d)));
+  }
+  return JsonValue(std::move(o));
+}
+
+void control_from_json(const JsonValue* json, const std::string& prefix,
+                       control::ControlConfig* out,
+                       std::vector<sim::ConfigError>* errors) {
+  ObjReader r(json, prefix, errors);
+  if (!r.present()) return;
+  r.get("enabled", &out->enabled);
+  r.get("epoch_us", &out->epoch_us);
+  {
+    const JsonValue* s = r.child("sledzig");
+    if (s != nullptr) {
+      ObjReader sr(s, r.sub("sledzig"), errors);
+      sr.get("enabled", &out->sledzig.enabled);
+      sr.get("on_threshold", &out->sledzig.on_threshold);
+      sr.get("off_threshold", &out->sledzig.off_threshold);
+      sr.get("busy_airtime_fraction", &out->sledzig.busy_airtime_fraction);
+      sr.finish();
+    }
+  }
+  {
+    const JsonValue* h = r.child("hop");
+    if (h != nullptr) {
+      ObjReader hr(h, r.sub("hop"), errors);
+      hr.get("enabled", &out->hop.enabled);
+      hr.get("min_prr", &out->hop.min_prr);
+      hr.get("patience", &out->hop.patience);
+      hr.get("cooldown_epochs", &out->hop.cooldown_epochs);
+      hr.finish();
+    }
+  }
+  {
+    const JsonValue* d = r.child("duty");
+    if (d != nullptr) {
+      ObjReader dr(d, r.sub("duty"), errors);
+      dr.get("enabled", &out->duty.enabled);
+      dr.get("min_zigbee_prr", &out->duty.min_zigbee_prr);
+      dr.get("rate_scale", &out->duty.rate_scale);
+      dr.get("patience", &out->duty.patience);
+      dr.get("release", &out->duty.release);
+      dr.finish();
+    }
+  }
+  r.finish();
 }
 
 JsonValue scenario_to_json(const sim::ScenarioConfig& config) {
@@ -793,6 +890,7 @@ JsonValue scenario_to_json(const sim::ScenarioConfig& config) {
                      JsonValue(config.invariants.max_event_gap_us));
     o.emplace_back("invariants", JsonValue(std::move(inv)));
   }
+  o.emplace_back("control", control_to_json(config.control));
   return JsonValue(std::move(o));
 }
 
@@ -879,6 +977,7 @@ bool scenario_from_json(const JsonValue& json, sim::ScenarioConfig* out,
       ir.finish();
     }
   }
+  control_from_json(r.child("control"), "control", &out->control, errors);
   r.finish();
 
   // Semantic validation only once the shape parsed clean — validate() on a

@@ -70,39 +70,54 @@ std::vector<ZigbeeDetection> detect_zigbee_activity(
 bool AdaptiveController::observe(
     std::span<const ZigbeeDetection> detections) {
   std::array<bool, 4> seen{};
+  std::array<double, 4> power{};
   for (const auto& d : detections) {
-    seen[static_cast<std::size_t>(d.channel)] = true;
+    const auto i = static_cast<std::size_t>(d.channel);
+    if (!seen[i] || d.band_power_dbm > power[i]) power[i] = d.band_power_dbm;
+    seen[i] = true;
   }
-  bool changed = false;
   for (std::size_t i = 0; i < state_.size(); ++i) {
     auto& s = state_[i];
     if (seen[i]) {
       s.idle_scans = 0;
+      s.strength_dbm = power[i];
       if (s.active_scans < params_.on_threshold) ++s.active_scans;
-      if (!s.protected_now && s.active_scans >= params_.on_threshold) {
-        s.protected_now = true;
-        changed = true;
-      }
+      if (s.active_scans >= params_.on_threshold) s.protected_now = true;
     } else {
       s.active_scans = 0;
       if (s.protected_now && ++s.idle_scans >= params_.off_threshold) {
         s.protected_now = false;
         s.idle_scans = 0;
-        changed = true;
+        s.strength_dbm = -300.0;
       }
     }
   }
-  if (changed) rebuild_protected_list();
-  return changed;
+  // Rebuild unconditionally: a strength change can reorder (and, at the
+  // max_channels boundary, re-select) the list even when no channel's
+  // protected_now flag flipped this scan.
+  const std::vector<core::OverlapChannel> before = std::move(protected_);
+  rebuild_protected_list();
+  return protected_ != before;
 }
 
 void AdaptiveController::rebuild_protected_list() {
   protected_.clear();
   for (std::size_t i = 0; i < state_.size(); ++i) {
-    if (state_[i].protected_now &&
-        protected_.size() < params_.max_channels) {
+    if (state_[i].protected_now) {
       protected_.push_back(static_cast<core::OverlapChannel>(i));
     }
+  }
+  std::sort(protected_.begin(), protected_.end(),
+            [this](core::OverlapChannel a, core::OverlapChannel b) {
+              const auto& sa = state_[static_cast<std::size_t>(a)];
+              const auto& sb = state_[static_cast<std::size_t>(b)];
+              if (sa.strength_dbm != sb.strength_dbm) {
+                return sa.strength_dbm > sb.strength_dbm;
+              }
+              return a < b;
+            });
+  if (protected_.size() > params_.max_channels) {
+    protected_.resize(params_.max_channels);
   }
 }
 

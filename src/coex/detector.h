@@ -53,11 +53,13 @@ class AdaptiveController {
   AdaptiveController() : AdaptiveController(Params{}) {}
   explicit AdaptiveController(Params params) : params_(params) {}
 
-  /// Ingests one scan's detections; returns true if the protected set
-  /// changed.
+  /// Ingests one scan's detections; returns true if the ordered protected
+  /// list changed (membership or rank).
   bool observe(std::span<const ZigbeeDetection> detections);
 
-  /// Channels currently protected, strongest activity first.
+  /// Channels currently protected, strongest activity first; equal
+  /// strengths break by channel id (ascending) so the list is a pure,
+  /// stable function of the observation history.
   const std::vector<core::OverlapChannel>& protected_channels() const {
     return protected_;
   }
@@ -73,10 +75,16 @@ class AdaptiveController {
     unsigned active_scans = 0;
     unsigned idle_scans = 0;
     bool protected_now = false;
+    /// Band power of the latest active scan — the sort key for the
+    /// protected list.  -300 dBm marks "never seen" (below any signal).
+    double strength_dbm = -300.0;
   };
   std::array<ChannelState, 4> state_{};
   std::vector<core::OverlapChannel> protected_;
 
+  /// Recomputes protected_ from state_: (strength desc, channel asc),
+  /// truncated to max_channels.  Pure over the hysteresis counters — a
+  /// rebuild never restarts off_threshold counting.
   void rebuild_protected_list();
 };
 

@@ -35,11 +35,19 @@ inline constexpr std::uint64_t kFaultPlan = 0xFA171CE5ull;
 /// contract (DESIGN.md §17).
 inline constexpr std::uint64_t kCampaign = 0xCA59A16Bull;
 
+/// Control-plane branch (sim/engine.cc): the shadowing jitter of every
+/// link entry a runtime action retunes (ZigBee channel hops) is the pure
+/// function derive_seed(config.seed, kControl, point, tx, channel) — no
+/// stateful RNG stream — so a controlled run's tables are bit-identical
+/// however many threads execute it and whatever order actions fire in.
+inline constexpr std::uint64_t kControl = 0xC0270177ull;
+
 /// Every registered tag, for the uniqueness check below.  Append new tags
 /// here and above, never inline at a call site.
 inline constexpr std::uint64_t kAllDomains[] = {
     kFaultPlan,
     kCampaign,
+    kControl,
 };
 
 /// Compile-time pairwise-uniqueness check: a duplicated tag fails the

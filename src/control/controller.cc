@@ -1,0 +1,116 @@
+#include "control/controller.h"
+
+#include <array>
+
+namespace sledzig::control {
+
+Controller::Controller(const ControlConfig& cfg,
+                       std::vector<ZigbeeNodeContext> zigbee,
+                       std::size_t num_wifi, bool sledzig_engaged)
+    : cfg_(cfg),
+      zigbee_(std::move(zigbee)),
+      num_wifi_(num_wifi),
+      adaptive_(coex::AdaptiveController::Params{
+          cfg.sledzig.on_threshold, cfg.sledzig.off_threshold,
+          core::kAllOverlapChannels.size()}),
+      sledzig_engaged_(sledzig_engaged),
+      hop_(zigbee_.size()) {}
+
+std::vector<Action> Controller::on_epoch(const EpochSnapshot& snap) {
+  std::vector<Action> actions;
+
+  if (cfg_.sledzig.enabled) {
+    // Synthetic spectrum scan: a window's activity is the airtime its
+    // motes spent on air this epoch, as a fraction of the epoch.  The
+    // fraction doubles as the detection strength, so the hysteresis
+    // controller orders windows exactly by how busy they are.
+    std::array<double, 4> activity{};
+    for (std::size_t j = 0; j < zigbee_.size(); ++j) {
+      const int w = zigbee_[j].overlap;
+      if (w >= 0 && j < snap.zigbee.size()) {
+        activity[static_cast<std::size_t>(w)] +=
+            snap.zigbee[j].airtime_us / snap.epoch_us;
+      }
+    }
+    std::vector<coex::ZigbeeDetection> detections;
+    for (std::size_t w = 0; w < activity.size(); ++w) {
+      if (activity[w] >= cfg_.sledzig.busy_airtime_fraction) {
+        detections.push_back(coex::ZigbeeDetection{
+            static_cast<core::OverlapChannel>(w), activity[w], 1.0});
+      }
+    }
+    adaptive_.observe(detections);
+    const bool engage = !adaptive_.protected_channels().empty();
+    if (engage != sledzig_engaged_) {
+      sledzig_engaged_ = engage;
+      actions.push_back(
+          {ActionKind::kSledzig, 0, engage ? 1.0 : 0.0});
+    }
+  }
+
+  if (cfg_.hop.enabled) {
+    for (std::size_t j = 0; j < zigbee_.size() && j < snap.zigbee.size();
+         ++j) {
+      auto& h = hop_[j];
+      if (h.cooldown > 0) --h.cooldown;
+      if (zigbee_[j].candidates.empty()) continue;
+      const auto& o = snap.zigbee[j];
+      // Idle epochs (no completed attempts) carry no PRR signal.
+      if (o.sent == 0) continue;
+      const double prr = static_cast<double>(o.delivered) /
+                         static_cast<double>(o.sent);
+      if (prr < cfg_.hop.min_prr) {
+        ++h.below;
+      } else {
+        h.below = 0;
+      }
+      if (h.below >= cfg_.hop.patience && h.cooldown == 0) {
+        const unsigned target =
+            zigbee_[j].candidates[h.next % zigbee_[j].candidates.size()];
+        ++h.next;
+        h.below = 0;
+        h.cooldown = cfg_.hop.cooldown_epochs;
+        actions.push_back({ActionKind::kZigbeeChannel, j,
+                           static_cast<double>(target)});
+      }
+    }
+  }
+
+  if (cfg_.duty.enabled) {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    for (const auto& o : snap.zigbee) {
+      sent += o.sent;
+      delivered += o.delivered;
+    }
+    if (sent > 0) {
+      const double prr =
+          static_cast<double>(delivered) / static_cast<double>(sent);
+      if (prr < cfg_.duty.min_zigbee_prr) {
+        ++duty_bad_;
+        duty_good_ = 0;
+      } else {
+        duty_bad_ = 0;
+        ++duty_good_;
+      }
+    }
+    if (!shaping_ && duty_bad_ >= cfg_.duty.patience) {
+      shaping_ = true;
+      duty_bad_ = 0;
+      for (std::size_t i = 0; i < num_wifi_; ++i) {
+        actions.push_back(
+            {ActionKind::kWifiRateScale, i, cfg_.duty.rate_scale});
+      }
+    } else if (shaping_ && duty_good_ >= cfg_.duty.release) {
+      shaping_ = false;
+      duty_good_ = 0;
+      for (std::size_t i = 0; i < num_wifi_; ++i) {
+        actions.push_back({ActionKind::kWifiRateScale, i, 1.0});
+      }
+    }
+  }
+
+  return actions;
+}
+
+}  // namespace sledzig::control

@@ -146,6 +146,13 @@ class Arbiter {
     return tables_.audible[listener * tables_.num_nodes + tx_node] != 0;
   }
 
+  /// Control-plane hook (DESIGN.md §18): the engine retunes power /
+  /// audibility / index entries in place when a runtime action changes the
+  /// spectrum picture (SledZig toggle, ZigBee channel hop).  Mutations are
+  /// the engine's responsibility to keep consistent (bits must track
+  /// nonzero powers); nothing else may write through this.
+  ArbiterTables& mutable_tables() { return tables_; }
+
   /// Was the interference-graph bit index built for this run?
   bool has_link_index() const { return tables_.bit_words != 0; }
   /// Index queries (only meaningful when has_link_index()): is the link's

@@ -4,12 +4,16 @@
 #include <bit>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "channel/pathloss.h"
+#include "common/rng.h"
+#include "common/seed_domains.h"
 #include "common/units.h"
+#include "control/controller.h"
 #include "obs/profile.h"
 #include "sim/arbiter.h"
 #include "sim/event_queue.h"
@@ -106,6 +110,10 @@ class Engine {
     // Own frame's power at the served station.
     common::MilliWatt signal_mw{};
     double serve_start_us = 0.0;  // when the head frame entered CSMA
+    /// Payload bits actually delivered, accumulated at the per-frame rate
+    /// current at delivery time — the throughput source of truth when the
+    /// control plane can retoggle SledZig (and the frame rate) mid-run.
+    double delivered_bits = 0.0;
   };
 
   struct ZigbeeNode {
@@ -123,6 +131,10 @@ class Engine {
     double sensitivity_loss = 0.0;
     double p_err_idle = 0.0;
     double serve_start_us = 0.0;  // when the head frame (re-)entered CSMA
+    // CCA assessment tallies, observed by the control plane as per-epoch
+    // deltas (a deterministic in-engine stand-in for a busy-channel scan).
+    std::uint64_t cca_busy_count = 0;
+    std::uint64_t cca_clear_count = 0;
   };
 
   /// Fault-layer state for one real node, kept beside (not inside) the node
@@ -162,6 +174,22 @@ class Engine {
   void on_zigbee_timer(std::size_t j, double t);
   void on_tx_end(std::uint32_t tx_id, double t);
   void on_fault(const FaultAction& action, double t);
+  void on_control(double t);
+
+  // --- control-plane actuation (DESIGN.md §18) ---
+  void apply_sledzig(bool engage, double t);
+  void apply_hop(std::size_t j, unsigned channel, double t);
+  /// Recomputes one power-table entry (and its audibility / index bit) for
+  /// the current channels and scheme, re-applying the pair's stored
+  /// shadowing jitter — bit-identical to what the constructor fill would
+  /// have produced for the same spectrum picture.
+  void retune_pair(ArbiterTables& tables, std::size_t point, std::size_t tx);
+  void rebuild_adjacency(const ArbiterTables& tables);
+  double zig_symbol_perr(const ZigbeeNode& zn, common::MilliWatt interference,
+                         bool preamble) const;
+  /// Refreshes perr_ row j from the current rx-point power row (used after
+  /// a retune; zero-power links recompute to the exact same shared values).
+  void refresh_zigbee_perr_row(std::size_t j);
 
   void crash_node(std::uint32_t g, double t);
   void reboot_node(std::uint32_t g, double t);
@@ -204,6 +232,8 @@ class Engine {
   std::vector<FaultAction> actions_;    // compiled fault schedule
   std::vector<double> perr_;  // M x num_total x {payload, preamble segment}
   common::MilliWatt noise20_mw_;
+  common::MilliWatt noise2_mw_;
+  common::Db impair_penalty_db_;
   std::shared_ptr<const LinkCache> cache_;
   /// True powers of pruned links, filled only under fastpath.cross_check
   /// (same 2T x T layout as the arbiter tables; empty otherwise).
@@ -229,6 +259,42 @@ class Engine {
   std::uint64_t tx_muted_ = 0;
   std::vector<TraceEvent> trace_;
 
+  // --- control plane (DESIGN.md §18), inert unless cfg.control.active() ---
+  /// Cumulative counter values at the previous epoch boundary; the epoch
+  /// observation is the delta against these.
+  struct PrevCounters {
+    std::uint64_t generated = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retry_exhausted = 0;
+    std::uint64_t cca_busy = 0;
+    std::uint64_t cca_clear = 0;
+    double airtime_us = 0.0;
+  };
+  bool control_active_ = false;
+  bool sledzig_on_ = false;  ///< runtime scheme (starts at cfg.sledzig_enabled)
+  std::unique_ptr<control::Controller> controller_;
+  std::uint64_t control_epoch_ = 0;
+  std::vector<control::NodeObservation> obs_wifi_, obs_zigbee_;
+  std::vector<PrevCounters> prev_wifi_, prev_zigbee_;
+  /// Current band centre per real node (hops update it); only filled when
+  /// the control plane is active.
+  std::vector<double> center_hz_;
+  /// Stored shadowing jitter per (point, tx) pair, 2T x T, so a retuned
+  /// entry re-applies the exact draw the constructor fill consumed.  Hops
+  /// overwrite affected pairs with the pure-function kControl draw.  Only
+  /// allocated when a policy can retune (SledZig toggle / channel hop).
+  std::vector<double> jitter_db_;
+  /// Traffic-rate factors composed multiplicatively per node: the fault
+  /// layer's surge factor and the control plane's shaping factor must not
+  /// clobber each other.  Allocated only when the control plane is active;
+  /// otherwise the surge handler writes the traffic source directly
+  /// (legacy path, bit-identical).
+  std::vector<double> surge_scale_;  // per real node
+  std::vector<double> shape_scale_;  // per wifi node
+  std::uint64_t control_events_ = 0;
+  std::uint64_t control_actions_ = 0;
+
   void flush_metrics() const;
 };
 
@@ -241,6 +307,8 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
       num_jammers_(cfg.faults.jammers.size()),
       num_total_(num_nodes_ + num_jammers_),
       noise20_mw_(common::to_mw(channel::kNoiseFloor20MhzDbm)),
+      noise2_mw_(common::to_mw(channel::kNoiseFloor2MhzDbm)),
+      impair_penalty_db_(cfg.impairment.snr_penalty_db()),
       ws_(&ws),
       arbiter_(ArbiterTables{}),
       queue_(std::move(ws.events)),
@@ -251,8 +319,6 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
   if (cfg_.queue_capacity < 1) {
     throw std::invalid_argument("ScenarioConfig: queue_capacity must be >= 1");
   }
-
-  const common::Db impair_penalty_db{cfg_.impairment.snr_penalty_db()};
 
   // --- nodes, their machines and RNG streams (all index-derived) ---
   wifi_.reserve(num_wifi_);
@@ -314,6 +380,33 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
                                        num_nodes_);
   }
 
+  // --- control plane: observation buffers, jitter capture, contexts ---
+  // All of it is inert (nothing allocated, no branch taken anywhere on the
+  // hot path) unless a policy is enabled, so legacy runs keep their exact
+  // event streams and digests.
+  control_active_ = cfg_.control.active();
+  sledzig_on_ = cfg_.sledzig_enabled;
+  const bool needs_retune =
+      control_active_ &&
+      (cfg_.control.sledzig.enabled || cfg_.control.hop.enabled);
+  if (control_active_) {
+    prev_wifi_.assign(num_wifi_, PrevCounters{});
+    prev_zigbee_.assign(num_zigbee_, PrevCounters{});
+    obs_wifi_.assign(num_wifi_, control::NodeObservation{});
+    obs_zigbee_.assign(num_zigbee_, control::NodeObservation{});
+    surge_scale_.assign(num_nodes_, 1.0);
+    shape_scale_.assign(num_wifi_, 1.0);
+    center_hz_.assign(num_nodes_, 0.0);
+    for (std::size_t w = 0; w < num_wifi_; ++w) {
+      center_hz_[w] = wifi_node_center_hz(cfg_.wifi[w].channel);
+    }
+    for (std::size_t j = 0; j < num_zigbee_; ++j) {
+      center_hz_[num_wifi_ + j] =
+          zigbee_node_center_hz(cfg_.zigbee[j].channel, cfg_.sledzig);
+    }
+  }
+  if (needs_retune) jitter_db_.assign(2 * num_total_ * num_total_, 0.0);
+
   // --- power tables: every transmitter heard at every listening point ---
   // Point p in [0, T) is entry p's transmitter position (CCA); point T + p
   // is its receiver position (delivery), where T = nodes + jammers (a
@@ -348,7 +441,13 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
   // Coupling components partition the transmission ledger; off the fast
   // path everything shares component 0 (one global ledger, the pre-split
   // behaviour).
-  if (build_index) {
+  // A runtime channel hop can couple nodes across the cache's static
+  // components, so with the hop policy armed the run keeps one global
+  // ledger (the exact pre-component behaviour — cross-component power is
+  // 0 mW, so splitting is a scan optimisation, never a semantic one).
+  const bool static_components =
+      build_index && !(control_active_ && cfg_.control.hop.enabled);
+  if (static_components) {
     tables.comp.assign(cache_->comp.begin(), cache_->comp.end());
     tables.num_comps = cache_->num_comps;
   } else {
@@ -368,6 +467,10 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
       const CoupledLink& e = cache_->coupled[k];
       const common::Db jitter{
           shadow_rng.gaussian(cfg_.shadowing_sigma_db.value())};
+      // Retuning policies replay the exact draw later, so capture it.
+      if (!jitter_db_.empty()) {
+        jitter_db_[p * num_total_ + e.tx] = jitter.value();
+      }
       if (e.state == LinkState::kLive) {
         SegmentPower sp;
         // The coupling term is applied after the jitter so legacy paths
@@ -434,27 +537,13 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
   }
 
   // --- notify adjacency: the audible WiFi listeners of each transmitter ---
-  // CSR lists in ascending listener order, exactly the order the old
-  // all-pairs notify_busy loop visited, so skipping inaudible listeners
-  // changes nothing but the iteration count.
-  ws.adj.clear();
-  ws.adj_off.assign(num_total_ + 1, 0);
-  for (std::size_t t = 0; t < num_total_; ++t) {
-    for (std::size_t w = 0; w < num_wifi_; ++w) {
-      if (w == t) continue;  // audible(w, w) is 0 anyway
-      if (tables.audible[w * num_total_ + t] != 0) {
-        ws.adj.push_back(static_cast<std::uint32_t>(w));
-      }
-    }
-    ws.adj_off[t + 1] = static_cast<std::uint32_t>(ws.adj.size());
-  }
+  rebuild_adjacency(tables);
 
   // --- own-link budgets and cached per-interferer symbol error probs ---
   for (std::size_t i = 0; i < num_wifi_; ++i) {
     wifi_[i].signal_mw =
         tables.power[(num_total_ + i) * num_total_ + i].payload_mw;
   }
-  const common::MilliWatt noise2_mw = common::to_mw(channel::kNoiseFloor2MhzDbm);
   perr_ = std::move(ws.perr);
   perr_.assign(num_zigbee_ * num_total_ * 2, 0.0);
   for (std::size_t j = 0; j < num_zigbee_; ++j) {
@@ -463,14 +552,12 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
     const common::Dbm signal_dbm =
         common::to_dbm(
             tables.power[(num_total_ + g) * num_total_ + g].payload_mw) -
-        impair_penalty_db;
+        impair_penalty_db_;
     zn.signal_mw = common::to_mw(signal_dbm);
     zn.sensitivity_loss = cfg_.error_model.sensitivity_loss_prob(
         signal_dbm, zn.cfg.sensitivity_dbm);
     const auto p_err = [&](common::MilliWatt interference_mw, bool preamble) {
-      const common::Db sinr_db = common::ratio_to_db(
-          zn.signal_mw / (interference_mw + noise2_mw));
-      return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
+      return zig_symbol_perr(zn, interference_mw, preamble);
     };
     zn.p_err_idle = p_err(common::MilliWatt{}, false);
     // Zeroed links (pruned edges, disjoint channels) all share the same
@@ -524,6 +611,61 @@ Engine::Engine(const ScenarioConfig& cfg, RunWorkspace& ws)
   }
 
   arbiter_ = Arbiter(std::move(storage));
+
+  // --- the decision layer, with per-mote static context ---
+  if (control_active_) {
+    std::vector<control::ZigbeeNodeContext> ctx(num_zigbee_);
+    // Every overlap window of every BSS is a potential hop target.
+    std::vector<unsigned> all_windows;
+    for (const auto& w : cfg_.wifi) {
+      for (const auto win : core::kAllOverlapChannels) {
+        all_windows.push_back(overlapping_zigbee_channel(w.channel, win));
+      }
+    }
+    std::sort(all_windows.begin(), all_windows.end());
+    all_windows.erase(std::unique(all_windows.begin(), all_windows.end()),
+                      all_windows.end());
+    for (std::size_t j = 0; j < num_zigbee_; ++j) {
+      const std::size_t g = global_z(j);
+      // Which overlap window (of any BSS) does the mote sit in?  First
+      // match in (wifi index, window index) order — deterministic.
+      for (std::size_t w = 0; w < num_wifi_ && ctx[j].overlap < 0; ++w) {
+        const double base = wifi_node_center_hz(cfg_.wifi[w].channel);
+        for (std::size_t win = 0; win < core::kAllOverlapChannels.size();
+             ++win) {
+          const double f =
+              base + core::channel_center_offset_hz(
+                         static_cast<core::OverlapChannel>(win));
+          if (std::abs(center_hz_[g] - f) < 0.5e6) {
+            ctx[j].overlap = static_cast<int>(win);
+            break;
+          }
+        }
+      }
+      // Hop candidates: every window except the mote's own band, ranked
+      // by the static WiFi interference it would hear there (mean link
+      // power, no jitter — pure per config), quietest first.
+      std::vector<std::pair<double, unsigned>> ranked;
+      for (const unsigned c : all_windows) {
+        const double f = zigbee_node_center_hz(c, cfg_.sledzig);
+        if (std::abs(f - center_hz_[g]) < 0.5e6) continue;
+        double cost = 0.0;
+        for (std::size_t t = 0; t < num_wifi_; ++t) {
+          const LinkEntry e = mean_link_entry(cfg_, g, true, t, common::Hz{f},
+                                              cfg_.sledzig_enabled);
+          if (e.state == LinkState::kLive) {
+            cost += common::to_mw(e.payload_dbm + e.coupling_db).value();
+          }
+        }
+        ranked.emplace_back(cost, c);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      ctx[j].candidates.reserve(ranked.size());
+      for (const auto& [cost, c] : ranked) ctx[j].candidates.push_back(c);
+    }
+    controller_ = std::make_unique<control::Controller>(
+        cfg_.control, std::move(ctx), num_wifi_, sledzig_on_);
+  }
 }
 
 void Engine::trace(double t, std::uint32_t node, TraceType type,
@@ -673,6 +815,11 @@ void Engine::on_zigbee_timer(std::size_t j, double t) {
     case mac::ZigbeeCsmaMachine::Awaiting::kCca: {
       const bool busy =
           arbiter_.zigbee_cca_busy(g, t - n.cfg.mac.cca_us, t);
+      if (busy) {
+        ++n.cca_busy_count;
+      } else {
+        ++n.cca_clear_count;
+      }
       trace(t, g, busy ? TraceType::kCcaBusy : TraceType::kCcaClear,
             static_cast<std::int32_t>(n.machine.backoffs()));
       ++n.token;
@@ -1000,6 +1147,7 @@ void Engine::on_tx_end(std::uint32_t tx_id, double t) {
     // vanished from the per-node accounting entirely.
     if (ok) {
       ++n.stats.delivered;
+      n.delivered_bits += n.bits_per_frame;
     } else {
       ++n.stats.retry_exhausted;
     }
@@ -1170,7 +1318,15 @@ void Engine::on_fault(const FaultAction& a, double t) {
       const bool on = a.kind == FaultKind::kSurgeOn;
       auto& traffic = a.node < num_wifi_ ? wifi_[a.node].traffic
                                          : zigbee_[a.node - num_wifi_].traffic;
-      traffic.set_rate_scale(on ? a.magnitude : 1.0);
+      const double surge = on ? a.magnitude : 1.0;
+      // Compose with the control plane's shaping factor (the two layers
+      // must not clobber each other); without an active control plane the
+      // vectors are empty and this is the legacy direct write.
+      if (!surge_scale_.empty()) surge_scale_[a.node] = surge;
+      const double shape = (a.node < num_wifi_ && !shape_scale_.empty())
+                               ? shape_scale_[a.node]
+                               : 1.0;
+      traffic.set_rate_scale(surge * shape);
       trace(t, a.node, TraceType::kSurge, on ? 1 : 0);
       if (cfg_.span_log != nullptr) {
         cfg_.span_log->instant(on ? "surge_on" : "surge_off", a.node, vus(t));
@@ -1178,6 +1334,246 @@ void Engine::on_fault(const FaultAction& a, double t) {
       break;
     }
   }
+}
+
+void Engine::rebuild_adjacency(const ArbiterTables& tables) {
+  // CSR lists in ascending listener order, exactly the order the old
+  // all-pairs notify_busy loop visited, so skipping inaudible listeners
+  // changes nothing but the iteration count.
+  ws_->adj.clear();
+  ws_->adj_off.assign(num_total_ + 1, 0);
+  for (std::size_t t = 0; t < num_total_; ++t) {
+    for (std::size_t w = 0; w < num_wifi_; ++w) {
+      if (w == t) continue;  // audible(w, w) is 0 anyway
+      if (tables.audible[w * num_total_ + t] != 0) {
+        ws_->adj.push_back(static_cast<std::uint32_t>(w));
+      }
+    }
+    ws_->adj_off[t + 1] = static_cast<std::uint32_t>(ws_->adj.size());
+  }
+}
+
+double Engine::zig_symbol_perr(const ZigbeeNode& zn,
+                               common::MilliWatt interference,
+                               bool preamble) const {
+  const common::Db sinr_db =
+      common::ratio_to_db(zn.signal_mw / (interference + noise2_mw_));
+  return cfg_.error_model.symbol_error_prob(sinr_db, preamble);
+}
+
+void Engine::refresh_zigbee_perr_row(std::size_t j) {
+  const auto& tables = arbiter_.mutable_tables();
+  const auto& zn = zigbee_[j];
+  const std::size_t g = global_z(j);
+  const std::size_t pr = num_total_ + g;
+  for (std::size_t t = 0; t < num_total_; ++t) {
+    if (t == g) continue;
+    const auto& sp = tables.power[pr * num_total_ + t];
+    perr_[(j * num_total_ + t) * 2 + 0] = zig_symbol_perr(zn, sp.payload_mw,
+                                                          false);
+    perr_[(j * num_total_ + t) * 2 + 1] =
+        zig_symbol_perr(zn, sp.preamble_mw, t < num_wifi_);
+  }
+}
+
+void Engine::retune_pair(ArbiterTables& tables, std::size_t point,
+                         std::size_t tx) {
+  const bool rx_point = point >= num_total_;
+  const std::size_t listener = rx_point ? point - num_total_ : point;
+  if (listener >= num_nodes_) return;            // jammer points never listen
+  if (tx == listener && !rx_point) return;       // own CCA point: silent
+  const LinkEntry e =
+      mean_link_entry(cfg_, listener, rx_point, tx,
+                      common::Hz{center_hz_[listener]}, sledzig_on_);
+  SegmentPower sp{};
+  if (e.state == LinkState::kLive) {
+    // Retuned entries are never pruned — the prune decision was made
+    // against the build-time spectrum picture and a retune must only make
+    // links audible, never silently drop one.
+    const common::Db jitter{jitter_db_[point * num_total_ + tx]};
+    sp.payload_mw = common::to_mw((e.payload_dbm + jitter) + e.coupling_db);
+    sp.preamble_mw =
+        e.preamble_dbm == e.payload_dbm
+            ? sp.payload_mw
+            : common::to_mw((e.preamble_dbm + jitter) + e.coupling_db);
+  }
+  tables.power[point * num_total_ + tx] = sp;
+  if (tables.bit_words != 0) {
+    const std::size_t word = point * tables.bit_words + (tx >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (tx & 63);
+    if (sp.payload_mw > common::MilliWatt{} ||
+        sp.preamble_mw > common::MilliWatt{}) {
+      tables.nonzero_bits[word] |= bit;
+    } else {
+      tables.nonzero_bits[word] &= ~bit;
+    }
+  }
+  if (!rx_point) {
+    tables.audible[point * num_total_ + tx] =
+        sp.payload_mw >= common::to_mw(tables.cca_threshold_dbm[point]) ? 1
+                                                                        : 0;
+  }
+  // The entry is live (or exactly zero) now; any pruned-link shadow from
+  // the build-time picture is stale, and the cross-check must not trip on
+  // a pair the control plane has since retuned.
+  if (!shadow_.empty()) shadow_[point * num_total_ + tx] = SegmentPower{};
+}
+
+void Engine::apply_sledzig(bool engage, double t) {
+  if (engage == sledzig_on_) return;
+  sledzig_on_ = engage;
+  auto& tables = arbiter_.mutable_tables();
+  // Only ZigBee listening points hear the scheme difference (the
+  // protected-window payload offset); WiFi-listener entries and all
+  // ZigBee-transmitter entries are scheme-invariant, so rows outside the
+  // retuned set keep their exact build-time values.
+  for (std::size_t j = 0; j < num_zigbee_; ++j) {
+    const std::size_t g = global_z(j);
+    for (std::size_t w = 0; w < num_wifi_; ++w) {
+      retune_pair(tables, g, w);
+      retune_pair(tables, num_total_ + g, w);
+    }
+    refresh_zigbee_perr_row(j);
+  }
+  // The WiFi frame keeps its airtime; the scheme trades payload bits for
+  // coexistence, so the per-frame bit budget follows the toggle.
+  for (auto& n : wifi_) {
+    double bits = static_cast<double>(wifi::data_bits_per_symbol(
+                      cfg_.sledzig.modulation, cfg_.sledzig.rate)) *
+                  (n.cfg.mac.airtime_us / wifi::kSymbolDurationUs);
+    if (engage) bits *= 1.0 - core::throughput_loss(cfg_.sledzig);
+    n.bits_per_frame = bits;
+  }
+  trace(t, 0, TraceType::kControlSledzig, engage ? 1 : 0);
+}
+
+void Engine::apply_hop(std::size_t j, unsigned channel, double t) {
+  if (cfg_.zigbee[j].channel == channel) return;  // rotation met itself
+  auto& zn = zigbee_[j];
+  const std::size_t g = global_z(j);
+  cfg_.zigbee[j].channel = channel;
+  zn.cfg.channel = channel;
+  center_hz_[g] = zigbee_node_center_hz(channel, cfg_.sledzig);
+  auto& tables = arbiter_.mutable_tables();
+  const double sigma = cfg_.shadowing_sigma_db.value();
+  // Every retuned pair re-draws its shadowing as the pure function
+  // derive_seed(seed, kControl, point, tx, channel) — no stateful stream,
+  // so the tables after any action history are a function of (config,
+  // seed, history), bit-identical across thread counts and replays.
+  const auto fresh_jitter = [&](std::size_t point, std::size_t tx) {
+    jitter_db_[point * num_total_ + tx] =
+        common::Rng(common::derive_seed(cfg_.seed,
+                                        common::seed_domain::kControl, point,
+                                        tx, channel))
+            .gaussian(sigma);
+  };
+  // The mote hears the whole world anew (its two listening points)...
+  for (const std::size_t p : {g, num_total_ + g}) {
+    for (std::size_t tx = 0; tx < num_total_; ++tx) {
+      if (tx == g) continue;
+      fresh_jitter(p, tx);
+      retune_pair(tables, p, tx);
+    }
+  }
+  // ...and the whole world hears the mote anew (its column, own link
+  // included at the receiver point).
+  for (std::size_t p = 0; p < 2 * num_total_; ++p) {
+    const bool rx_point = p >= num_total_;
+    const std::size_t listener = rx_point ? p - num_total_ : p;
+    if (listener >= num_nodes_) continue;
+    if (listener == g && !rx_point) continue;
+    fresh_jitter(p, g);
+    retune_pair(tables, p, g);
+  }
+  rebuild_adjacency(tables);
+  // Own-link budget and the cached symbol-error row move with the band.
+  const common::Dbm signal_dbm =
+      common::to_dbm(
+          tables.power[(num_total_ + g) * num_total_ + g].payload_mw) -
+      impair_penalty_db_;
+  zn.signal_mw = common::to_mw(signal_dbm);
+  zn.sensitivity_loss = cfg_.error_model.sensitivity_loss_prob(
+      signal_dbm, zn.cfg.sensitivity_dbm);
+  zn.p_err_idle = zig_symbol_perr(zn, common::MilliWatt{}, false);
+  refresh_zigbee_perr_row(j);
+  for (std::size_t k = 0; k < num_zigbee_; ++k) {
+    if (k == j) continue;
+    const auto& sp =
+        tables.power[(num_total_ + global_z(k)) * num_total_ + g];
+    // A ZigBee interferer's whole frame behaves like payload (both
+    // segments share the payload error shape).
+    perr_[(k * num_total_ + g) * 2 + 0] =
+        zig_symbol_perr(zigbee_[k], sp.payload_mw, false);
+    perr_[(k * num_total_ + g) * 2 + 1] =
+        zig_symbol_perr(zigbee_[k], sp.preamble_mw, false);
+  }
+  trace(t, static_cast<std::uint32_t>(g), TraceType::kControlHop,
+        static_cast<std::int32_t>(channel));
+  // The spectrum picture moved: deferring WiFi machines re-check the
+  // medium against the new tables (in-flight frames are re-evaluated at
+  // their kTxEnd through the same tables — documented behaviour).
+  notify_idle(t);
+}
+
+void Engine::on_control(double t) {
+  // Per-epoch deltas against the previous boundary's cumulative counters.
+  for (std::size_t i = 0; i < num_wifi_; ++i) {
+    const auto& s = wifi_[i].stats;
+    auto& p = prev_wifi_[i];
+    auto& o = obs_wifi_[i];
+    o.generated = s.generated - p.generated;
+    o.sent = s.sent - p.sent;
+    o.delivered = s.delivered - p.delivered;
+    o.retry_exhausted = s.retry_exhausted - p.retry_exhausted;
+    o.cca_busy = 0;
+    o.cca_clear = 0;
+    o.airtime_us = s.airtime_us - p.airtime_us;
+    p = PrevCounters{s.generated, s.sent, s.delivered, s.retry_exhausted, 0, 0,
+                     s.airtime_us};
+  }
+  for (std::size_t j = 0; j < num_zigbee_; ++j) {
+    const auto& n = zigbee_[j];
+    const auto& s = n.stats;
+    auto& p = prev_zigbee_[j];
+    auto& o = obs_zigbee_[j];
+    o.generated = s.generated - p.generated;
+    o.sent = s.sent - p.sent;
+    o.delivered = s.delivered - p.delivered;
+    o.retry_exhausted = s.retry_exhausted - p.retry_exhausted;
+    o.cca_busy = n.cca_busy_count - p.cca_busy;
+    o.cca_clear = n.cca_clear_count - p.cca_clear;
+    o.airtime_us = s.airtime_us - p.airtime_us;
+    p = PrevCounters{s.generated,     s.sent,          s.delivered,
+                     s.retry_exhausted, n.cca_busy_count, n.cca_clear_count,
+                     s.airtime_us};
+  }
+  const control::EpochSnapshot snap{control_epoch_, t, cfg_.control.epoch_us,
+                                    obs_wifi_, obs_zigbee_};
+  const std::vector<control::Action> actions = controller_->on_epoch(snap);
+  trace(t, 0, TraceType::kControlEpoch,
+        static_cast<std::int32_t>(actions.size()));
+  control_actions_ += actions.size();
+  for (const auto& a : actions) {
+    switch (a.kind) {
+      case control::ActionKind::kSledzig:
+        apply_sledzig(a.value != 0.0, t);
+        break;
+      case control::ActionKind::kZigbeeChannel:
+        apply_hop(a.node, static_cast<unsigned>(a.value), t);
+        break;
+      case control::ActionKind::kWifiRateScale: {
+        shape_scale_[a.node] = a.value;
+        wifi_[a.node].traffic.set_rate_scale(surge_scale_[a.node] * a.value);
+        trace(t, static_cast<std::uint32_t>(a.node), TraceType::kControlShape,
+              static_cast<std::int32_t>(std::lround(a.value * 1000.0)));
+        break;
+      }
+    }
+  }
+  ++control_epoch_;
+  const double next =
+      cfg_.control.epoch_us * static_cast<double>(control_epoch_ + 1);
+  if (next < duration_us_) queue_.push(next, EventType::kControl, 0);
 }
 
 SimResult Engine::run() {
@@ -1203,6 +1599,9 @@ SimResult Engine::run() {
   for (std::size_t a = 0; a < actions_.size(); ++a) {
     queue_.push(actions_[a].at_us, EventType::kFault, 0, 0,
                 static_cast<std::uint32_t>(a));
+  }
+  if (controller_ != nullptr && cfg_.control.epoch_us < duration_us_) {
+    queue_.push(cfg_.control.epoch_us, EventType::kControl, 0);
   }
 
   while (!queue_.empty()) {
@@ -1241,6 +1640,10 @@ SimResult Engine::run() {
       case EventType::kFault:
         ++fault_events_;
         on_fault(actions_[e.tx_id], e.time_us);
+        break;
+      case EventType::kControl:
+        ++control_events_;
+        on_control(e.time_us);
         break;
     }
   }
@@ -1285,6 +1688,12 @@ SimResult Engine::run() {
   result.wifi.reserve(num_wifi_);
   for (auto& n : wifi_) {
     finalize(n.stats, n.bits_per_frame);
+    if (control_active_) {
+      // The per-frame bit budget can change mid-run (SledZig retoggles),
+      // so throughput comes from the bits actually accumulated at each
+      // delivery, not a single end-of-run rate.
+      n.stats.throughput_kbps = n.delivered_bits / duration_us_ * 1e3;
+    }
     result.wifi.push_back(n.stats);
   }
   result.zigbee.reserve(num_zigbee_);
@@ -1339,6 +1748,11 @@ void Engine::flush_metrics() const {
   reg->counter("sim.frames.in_flight_at_end").add(sum.in_flight_at_end);
   reg->counter("sim.tx.attempts").add(sum.sent);
   reg->counter("sim.tx.retries").add(sum.retries);
+  // Control-plane tallies: absent entirely without an active policy.
+  if (control_events_ > 0) {
+    reg->counter("sim.events.control").add(control_events_);
+    reg->counter("sim.control.actions").add(control_actions_);
+  }
   // Fault-layer tallies: all zero (and free) without a fault plan.
   if (fault_events_ > 0 || stale_arrivals_ > 0) {
     reg->counter("sim.events.fault").add(fault_events_);

@@ -43,6 +43,12 @@ enum class TraceType : std::uint8_t {
   kSurge,         ///< traffic surge toggled (aux: 1 = on, 0 = off)
   kTxAborted,     ///< in-flight transmission cut short by a crash
   kTxMuted,       ///< transmit attempt swallowed by a muted TX chain
+  // Control-plane instants (DESIGN.md §18).  Appended, never reordered:
+  // runs without an active policy keep their pre-control digests.
+  kControlEpoch,  ///< epoch boundary observed (aux = actions issued)
+  kControlSledzig,///< runtime SledZig toggle (aux: 1 = engaged, 0 = off)
+  kControlHop,    ///< ZigBee channel hop (aux = new 802.15.4 channel)
+  kControlShape,  ///< WiFi rate shaping (aux = scale in parts per thousand)
 };
 
 struct TraceEvent {

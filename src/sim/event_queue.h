@@ -20,6 +20,7 @@ enum class EventType : std::uint8_t {
   kTimer,    ///< a MAC state-machine timer (validated against the node token)
   kTxEnd,    ///< a transmission leaves the air; delivery is evaluated
   kFault,    ///< a compiled FaultScheduler action fires (tx_id = action index)
+  kControl,  ///< a control-plane epoch boundary (observation + actions)
 };
 
 struct Event {

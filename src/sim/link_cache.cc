@@ -50,6 +50,96 @@ unsigned overlapping_zigbee_channel(unsigned wifi_channel,
   return 11u + static_cast<unsigned>(std::lround((f - 2405e6) / 5e6));
 }
 
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters)
+LinkEntry mean_link_entry(const ScenarioConfig& cfg, std::size_t listener,
+                          bool rx_point, std::size_t tx,
+                          common::Hz listener_center, bool sledzig_on) {
+  const std::size_t num_wifi = cfg.wifi.size();
+  const std::size_t num_nodes = num_wifi + cfg.zigbee.size();
+  const coex::Scheme scheme =
+      sledzig_on ? coex::Scheme::kSledzig : coex::Scheme::kNormalWifi;
+  const auto wifi_link = channel::wifi_link();
+
+  LinkEntry e;
+  if (tx == listener && !rx_point) return e;  // own CCA point: silent
+  Position pos;
+  if (listener < num_wifi) {
+    pos = rx_point ? cfg.wifi[listener].rx : cfg.wifi[listener].tx;
+  } else {
+    const auto& z = cfg.zigbee[listener - num_wifi];
+    pos = rx_point ? z.rx : z.tx;
+  }
+  const bool listener_is_zigbee = listener >= num_wifi;
+  const double f_listener = listener_center.value();
+
+  if (tx < num_wifi) {
+    const auto& w = cfg.wifi[tx];
+    const double d = distance_m(w.tx, pos);
+    const double f_tx = wifi_node_center_hz(w.channel);
+    if (listener_is_zigbee) {
+      const double protected_hz =
+          f_tx + core::channel_center_offset_hz(cfg.sledzig.channel);
+      if (std::abs(f_listener - protected_hz) < 0.5e6) {
+        // The listener sits in this transmitter's protected window:
+        // the PHY-measured in-band offsets (SledZig payload 20+ dB
+        // down, preamble at full power).
+        const auto inband =
+            coex::wifi_inband_power(cfg.sledzig, scheme, w.usrp_gain, d);
+        e = {inband.payload_dbm, inband.preamble_dbm, common::Db{},
+             LinkState::kLive};
+      } else {
+        const double ov =
+            band_overlap_hz(f_tx, kWifiBandHz, f_listener, kZigbeeBandHz);
+        if (ov > 0.0) {
+          // Flat-PSD slice of the 20 MHz band (a full 2 MHz slice is
+          // -10 dB, matching the jammer band fraction).
+          const common::Dbm total = wifi_link.received_power_dbm(
+              channel::wifi_tx_power_dbm(w.usrp_gain), d);
+          e = {total, total, common::Db{10.0 * std::log10(ov / kWifiBandHz)},
+               LinkState::kLive};
+        }
+      }
+    } else {
+      const double ov =
+          band_overlap_hz(f_tx, kWifiBandHz, f_listener, kWifiBandHz);
+      if (ov > 0.0) {
+        const common::Dbm total = wifi_link.received_power_dbm(
+            channel::wifi_tx_power_dbm(w.usrp_gain), d);
+        // Co-channel: coupling is exactly 0.0 (legacy bit-exact).
+        e = {total, total, common::Db{10.0 * std::log10(ov / kWifiBandHz)},
+             LinkState::kLive};
+      }
+    }
+  } else if (tx < num_nodes) {
+    const auto& z = cfg.zigbee[tx - num_wifi];
+    const double d = distance_m(z.tx, pos);
+    const double f_tx = zigbee_node_center_hz(z.channel, cfg.sledzig);
+    const double ov =
+        band_overlap_hz(f_tx, kZigbeeBandHz, f_listener,
+                        listener_is_zigbee ? kZigbeeBandHz : kWifiBandHz);
+    if (ov > 0.0) {
+      const common::Dbm total = channel::zigbee_link().received_power_dbm(
+          zigbee::tx_power_dbm(z.gain), d);
+      // Fraction of the 2 MHz frame inside the listener's band; a
+      // fully-contained frame couples at exactly 0.0 dB (legacy).
+      e = {total, total, common::Db{10.0 * std::log10(ov / kZigbeeBandHz)},
+           LinkState::kLive};
+    }
+  } else {
+    // Jammer: flat wideband burst through the WiFi link model — full
+    // power at a 20 MHz listener, the band fraction at a ZigBee one,
+    // whatever the listener's channel (it jams all of them).
+    const auto& jm = cfg.faults.jammers[tx - num_nodes];
+    const double d = distance_m(jm.pos, pos);
+    const common::Dbm total = wifi_link.received_power_dbm(
+        channel::wifi_tx_power_dbm(jm.usrp_gain), d);
+    e = {total, total,
+         listener_is_zigbee ? kJammerBandFractionDb : common::Db{},
+         LinkState::kLive};
+  }
+  return e;
+}
+
 LinkEntry LinkCache::at(std::size_t point, std::size_t tx) const {
   const auto* row = coupled.data();
   const auto lo = row + coupled_off[point];
@@ -91,11 +181,6 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
     if (a != b) parent[std::max(a, b)] = std::min(a, b);
   };
 
-  const coex::Scheme scheme =
-      cfg.sledzig_enabled ? coex::Scheme::kSledzig : coex::Scheme::kNormalWifi;
-  const auto wifi_link = channel::wifi_link();
-  const auto zigbee_link = channel::zigbee_link();
-
   // Per-node band centres (jammers are wideband and carry none).
   std::vector<double> center_hz(num_nodes, 0.0);
   for (std::size_t w = 0; w < num_wifi; ++w) {
@@ -133,18 +218,10 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
       lc->coupled_off[p + 1] = static_cast<std::uint32_t>(lc->coupled.size());
       continue;
     }
-    Position pos;
-    if (listener < num_wifi) {
-      pos = rx_point ? cfg.wifi[listener].rx : cfg.wifi[listener].tx;
-    } else {
-      const auto& z = cfg.zigbee[listener - num_wifi];
-      pos = rx_point ? z.rx : z.tx;
-    }
     const bool listener_is_zigbee = listener >= num_wifi;
     const double f_listener = center_hz[listener];
 
     for (std::size_t t = 0; t < T; ++t) {
-      LinkEntry e;
       if (t == listener && !rx_point) {
         // Own CCA point: silent, but the legacy fill drew for it.
         lc->coupled.push_back({common::Dbm{}, common::Dbm{}, common::Db{},
@@ -152,73 +229,9 @@ std::shared_ptr<const LinkCache> LinkCache::build(const ScenarioConfig& cfg) {
                                LinkState::kZero});
         continue;
       }
-      if (t < num_wifi) {
-        const auto& w = cfg.wifi[t];
-        const double d = distance_m(w.tx, pos);
-        const double f_tx = center_hz[t];
-        if (listener_is_zigbee) {
-          const double protected_hz =
-              f_tx + core::channel_center_offset_hz(cfg.sledzig.channel);
-          if (std::abs(f_listener - protected_hz) < 0.5e6) {
-            // The listener sits in this transmitter's protected window:
-            // the PHY-measured in-band offsets (SledZig payload 20+ dB
-            // down, preamble at full power).
-            const auto inband =
-                coex::wifi_inband_power(cfg.sledzig, scheme, w.usrp_gain, d);
-            e = {inband.payload_dbm, inband.preamble_dbm, common::Db{},
-                 LinkState::kLive};
-          } else {
-            const double ov = band_overlap_hz(f_tx, kWifiBandHz, f_listener,
-                                              kZigbeeBandHz);
-            if (ov > 0.0) {
-              // Flat-PSD slice of the 20 MHz band (a full 2 MHz slice is
-              // -10 dB, matching the jammer band fraction).
-              const common::Dbm total = wifi_link.received_power_dbm(
-                  channel::wifi_tx_power_dbm(w.usrp_gain), d);
-              e = {total, total,
-                   common::Db{10.0 * std::log10(ov / kWifiBandHz)},
-                   LinkState::kLive};
-            }
-          }
-        } else {
-          const double ov =
-              band_overlap_hz(f_tx, kWifiBandHz, f_listener, kWifiBandHz);
-          if (ov > 0.0) {
-            const common::Dbm total = wifi_link.received_power_dbm(
-                channel::wifi_tx_power_dbm(w.usrp_gain), d);
-            // Co-channel: coupling is exactly 0.0 (legacy bit-exact).
-            e = {total, total,
-                 common::Db{10.0 * std::log10(ov / kWifiBandHz)},
-                 LinkState::kLive};
-          }
-        }
-      } else if (t < num_nodes) {
-        const auto& z = cfg.zigbee[t - num_wifi];
-        const double d = distance_m(z.tx, pos);
-        const double ov = band_overlap_hz(
-            center_hz[t], kZigbeeBandHz, f_listener,
-            listener_is_zigbee ? kZigbeeBandHz : kWifiBandHz);
-        if (ov > 0.0) {
-          const common::Dbm total = zigbee_link.received_power_dbm(
-              zigbee::tx_power_dbm(z.gain), d);
-          // Fraction of the 2 MHz frame inside the listener's band; a
-          // fully-contained frame couples at exactly 0.0 dB (legacy).
-          e = {total, total,
-               common::Db{10.0 * std::log10(ov / kZigbeeBandHz)},
-               LinkState::kLive};
-        }
-      } else {
-        // Jammer: flat wideband burst through the WiFi link model — full
-        // power at a 20 MHz listener, the band fraction at a ZigBee one,
-        // whatever the listener's channel (it jams all of them).
-        const auto& jm = cfg.faults.jammers[t - num_nodes];
-        const double d = distance_m(jm.pos, pos);
-        const common::Dbm total = wifi_link.received_power_dbm(
-            channel::wifi_tx_power_dbm(jm.usrp_gain), d);
-        e = {total, total,
-             listener_is_zigbee ? kJammerBandFractionDb : common::Db{},
-             LinkState::kLive};
-      }
+      LinkEntry e = mean_link_entry(cfg, listener, rx_point, t,
+                                    common::Hz{f_listener},
+                                    cfg.sledzig_enabled);
 
       // Every spectrally-overlapping pair enters the compact list (and so
       // consumes a jitter draw in the per-run fill); a disjoint pair never

@@ -132,4 +132,17 @@ double zigbee_node_center_hz(unsigned channel,
 unsigned overlapping_zigbee_channel(unsigned wifi_channel,
                                     core::OverlapChannel ch);
 
+/// Mean (pre-shadowing) link entry of transmitter `tx` (a real node or a
+/// jammer pseudo-node) heard at the listening point of real node
+/// `listener` (`rx_point` picks its receiver vs CCA position), with the
+/// listener's band centred at `listener_center` and `sledzig_on` selecting
+/// the scheme inside protected windows.  Pure per (cfg, arguments), no
+/// prune decision — exactly the arithmetic build() fills the cache with,
+/// exported so the engine's control plane can retune entries at runtime
+/// (ZigBee channel hops, SledZig toggles) with zero drift from the
+/// build-time tables.
+LinkEntry mean_link_entry(const ScenarioConfig& cfg, std::size_t listener,
+                          bool rx_point, std::size_t tx,
+                          common::Hz listener_center, bool sledzig_on);
+
 }  // namespace sledzig::sim

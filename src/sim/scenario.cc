@@ -199,6 +199,53 @@ std::vector<ConfigError> ScenarioConfig::validate() const {
       !finite(invariants.max_event_gap_us)) {
     errs.push_back({"invariants.max_event_gap_us", "must be finite and >= 0"});
   }
+
+  // --- control plane ---
+  if (control.enabled) {
+    if (!(control.epoch_us > 0.0) || !finite(control.epoch_us)) {
+      errs.push_back({"control.epoch_us", "must be finite and > 0"});
+    }
+    if (control.sledzig.enabled) {
+      if (control.sledzig.on_threshold < 1) {
+        errs.push_back({"control.sledzig.on_threshold", "must be >= 1"});
+      }
+      if (control.sledzig.off_threshold < 1) {
+        errs.push_back({"control.sledzig.off_threshold", "must be >= 1"});
+      }
+      if (!finite(control.sledzig.busy_airtime_fraction) ||
+          control.sledzig.busy_airtime_fraction < 0.0) {
+        errs.push_back({"control.sledzig.busy_airtime_fraction",
+                        "must be finite and >= 0"});
+      }
+    }
+    if (control.hop.enabled) {
+      if (!finite(control.hop.min_prr) || control.hop.min_prr < 0.0 ||
+          control.hop.min_prr > 1.0) {
+        errs.push_back({"control.hop.min_prr", "must be in [0, 1]"});
+      }
+      if (control.hop.patience < 1) {
+        errs.push_back({"control.hop.patience", "must be >= 1"});
+      }
+    }
+    if (control.duty.enabled) {
+      if (!finite(control.duty.min_zigbee_prr) ||
+          control.duty.min_zigbee_prr < 0.0 ||
+          control.duty.min_zigbee_prr > 1.0) {
+        errs.push_back({"control.duty.min_zigbee_prr", "must be in [0, 1]"});
+      }
+      if (!(control.duty.rate_scale > 0.0) ||
+          control.duty.rate_scale > 1.0 ||
+          !finite(control.duty.rate_scale)) {
+        errs.push_back({"control.duty.rate_scale", "must be in (0, 1]"});
+      }
+      if (control.duty.patience < 1) {
+        errs.push_back({"control.duty.patience", "must be >= 1"});
+      }
+      if (control.duty.release < 1) {
+        errs.push_back({"control.duty.release", "must be >= 1"});
+      }
+    }
+  }
   return errs;
 }
 
@@ -232,6 +279,58 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
   // mean CSMA + frame airtime), the 63 Kbps interference-free ceiling.
   mote.traffic = {TrafficKind::kCbr, 6346.0, 1.0};
   cfg.zigbee.push_back(mote);
+  return cfg;
+}
+
+ScenarioConfig control_ab_scenario(bool controlled, double duration_s,
+                                   std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.sledzig_enabled = true;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+
+  // The congested cell: an 80% duty BSS with four ZigBee pairs 2..5 m from
+  // its transmitter, one per 2 MHz overlap window.  Only the window
+  // cfg.sledzig.channel selects is SledZig-protected, so three of the four
+  // motes face the full-power flat-PSD slice — the coexistence gap the
+  // controller exists to close.
+  WifiNodeConfig heavy;
+  heavy.tx = {0.0, 0.0};
+  heavy.rx = {0.0, 3.0};
+  heavy.channel = 1;
+  heavy.traffic = {TrafficKind::kDutyCycle, 0.0, 0.8};
+  cfg.wifi.push_back(heavy);
+
+  // The quiet cell, far enough that its windows are attractive hop targets
+  // but close enough that its spectrum is genuinely shared.
+  WifiNodeConfig light;
+  light.tx = {16.0, 0.0};
+  light.rx = {16.0, 3.0};
+  light.channel = 11;
+  light.traffic = {TrafficKind::kDutyCycle, 0.0, 0.1};
+  cfg.wifi.push_back(light);
+
+  for (std::size_t k = 0; k < core::kAllOverlapChannels.size(); ++k) {
+    ZigbeeNodeConfig mote;
+    mote.tx = {2.0 + static_cast<double>(k), 1.0};
+    mote.rx = {2.0 + static_cast<double>(k), 2.0};
+    mote.channel = overlapping_zigbee_channel(heavy.channel,
+                                              core::kAllOverlapChannels[k]);
+    mote.traffic = {TrafficKind::kCbr, 25000.0, 1.0};
+    cfg.zigbee.push_back(mote);
+  }
+
+  if (controlled) {
+    cfg.control.enabled = true;
+    cfg.control.epoch_us = 100000.0;
+    cfg.control.sledzig.enabled = true;
+    cfg.control.sledzig.on_threshold = 1;  // no first-epoch disengage blip
+    cfg.control.sledzig.off_threshold = 3;
+    cfg.control.hop.enabled = true;
+    cfg.control.hop.min_prr = 0.9;
+    cfg.control.hop.patience = 2;
+    cfg.control.hop.cooldown_epochs = 5;
+  }
   return cfg;
 }
 

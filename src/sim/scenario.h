@@ -16,6 +16,7 @@
 #include "channel/impairments.h"
 #include "channel/pathloss.h"
 #include "common/units.h"
+#include "control/controller.h"
 #include "mac/wifi_timeline.h"
 #include "mac/zigbee_csma.h"
 #include "obs/metrics.h"
@@ -244,6 +245,12 @@ struct ScenarioConfig {
   std::shared_ptr<const LinkCache> link_cache;
   /// Fault-injection plan (empty by default: no faults, digests untouched).
   FaultPlanConfig faults{};
+  /// Runtime adaptive control plane (DESIGN.md §18): epoch observation of
+  /// per-node counters driving SledZig engage/disengage, ZigBee channel
+  /// hops and WiFi airtime shaping.  Disabled by default: a run without an
+  /// active policy is byte-identical to one built before the control plane
+  /// existed.
+  control::ControlConfig control{};
   /// Runtime invariant checking (sim/invariants.h).  Disabled by default;
   /// the chaos suite and debug harnesses switch it on.
   InvariantConfig invariants{};
@@ -269,6 +276,17 @@ ScenarioConfig two_node_paper_scenario(const core::SledzigConfig& sledzig,
                                        double d_z_m, double duration_s,
                                        std::uint64_t seed);
 // NOLINTEND(bugprone-easily-swappable-parameters)
+
+/// The control-plane A/B testbed (DESIGN.md §18): a heavily loaded WiFi
+/// BSS on channel 1 with four ZigBee pairs parked in its four overlap
+/// windows, plus a lightly loaded BSS on channel 11 whose quiet windows
+/// are the natural hop targets.  `controlled` arms the runtime policies
+/// (ZigBee channel hopping plus SledZig engage/disengage hysteresis);
+/// false is the static arm the paper evaluates — SledZig permanently on,
+/// no controller.  Both arms share topology, traffic and seed, so any
+/// metric delta is the controller's doing.
+ScenarioConfig control_ab_scenario(bool controlled, double duration_s,
+                                   std::uint64_t seed);
 
 /// A generated campus: `ap_grid_x` x `ap_grid_y` WiFi APs on a
 /// `spacing_m` grid cycling channels 1/6/11 (the classic non-overlapping

@@ -141,7 +141,6 @@ TEST(CampaignJson, ErrorsCarryPosition) {
   EXPECT_NE(trail.message.find("trailing"), std::string::npos)
       << trail.message;
 
-  parse_fail("\"\\u0041\"");        // \uXXXX unsupported by contract
   parse_fail("{\"a\":1");           // truncated
   parse_fail("[1,]");               // trailing comma
   parse_fail("");                   // empty input
@@ -151,6 +150,40 @@ TEST(CampaignJson, ErrorsCarryPosition) {
   const JsonParseError depth = parse_fail(deep);
   EXPECT_NE(depth.message.find("nesting"), std::string::npos)
       << depth.message;
+}
+
+TEST(CampaignJson, UnicodeEscapesDecodeToUtf8) {
+  // BMP code points, case-insensitive hex digits.
+  EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xC3\xA9");    // é
+  EXPECT_EQ(parse_ok("\"\\u20AC\"").as_string(), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(parse_ok("\"\\u0000\"").as_string(), std::string(1, '\0'));
+  // Surrogate pair -> one supplementary code point (U+1F600).
+  EXPECT_EQ(parse_ok("\"\\uD83D\\uDE00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Escapes compose with ordinary text and other escapes.
+  EXPECT_EQ(parse_ok("\"x\\u0041\\n\"").as_string(), "xA\n");
+
+  // Lone surrogates are parse errors, with position pointing at the
+  // escape's backslash.
+  const JsonParseError lone_low = parse_fail("\"\\uDC00\"");
+  EXPECT_NE(lone_low.message.find("surrogate"), std::string::npos)
+      << lone_low.message;
+  EXPECT_EQ(lone_low.line, 1u);
+  EXPECT_EQ(lone_low.column, 2u);
+  const JsonParseError lone_high = parse_fail("\"\\uD83Dx\"");
+  EXPECT_NE(lone_high.message.find("surrogate"), std::string::npos)
+      << lone_high.message;
+  parse_fail("\"\\uD83D\\u0041\"");  // high surrogate + non-low escape
+  parse_fail("\"\\u12\"");           // too few hex digits
+  parse_fail("\"\\uZZZZ\"");         // non-hex digits
+
+  // The writer stays canonical: decoded UTF-8 round-trips raw (no \u
+  // re-escaping), so dumps and store digests are byte-stable.
+  const JsonValue v = parse_ok("\"\\u00e9\\uD83D\\uDE00\"");
+  const std::string dumped = campaign::json_dump(v);
+  EXPECT_EQ(dumped, "\"\xC3\xA9\xF0\x9F\x98\x80\"");
+  EXPECT_EQ(parse_ok(dumped), v);
 }
 
 TEST(CampaignJson, FindSetAndEquality) {
@@ -236,6 +269,38 @@ TEST(CampaignScenario, TopologyGeneratorMatchesFactory) {
       core::SledzigConfig{}, true, 0.5, 4.0, 1.0, 0.3, 7);
   EXPECT_EQ(sim::run_scenario(cfg).trace_digest,
             sim::run_scenario(factory).trace_digest);
+}
+
+TEST(CampaignScenario, ControlAbGeneratorMatchesFactoryAndOverlays) {
+  const std::string text = R"({
+    "duration_s": 0.3, "seed": 9,
+    "topology": {"generator": "control_ab", "controlled": true}
+  })";
+  ScenarioConfig cfg;
+  std::vector<ConfigError> errors;
+  ASSERT_TRUE(campaign::scenario_from_text(text, &cfg, &errors))
+      << sim::describe(errors);
+  EXPECT_EQ(cfg.wifi.size(), 2u);
+  EXPECT_EQ(cfg.zigbee.size(), 4u);
+  EXPECT_TRUE(cfg.control.enabled);
+  EXPECT_TRUE(cfg.control.hop.enabled);
+  const ScenarioConfig factory = sim::control_ab_scenario(true, 0.3, 9);
+  EXPECT_EQ(sim::run_scenario(cfg).trace_digest,
+            sim::run_scenario(factory).trace_digest);
+
+  // The file's own control section overlays whatever the generator armed.
+  const std::string tuned = R"({
+    "duration_s": 0.3, "seed": 9,
+    "topology": {"generator": "control_ab", "controlled": true},
+    "control": {"epoch_us": 50000.0, "hop": {"min_prr": 0.8}}
+  })";
+  ScenarioConfig over;
+  errors.clear();
+  ASSERT_TRUE(campaign::scenario_from_text(tuned, &over, &errors))
+      << sim::describe(errors);
+  EXPECT_EQ(over.control.epoch_us, 50000.0);
+  EXPECT_EQ(over.control.hop.min_prr, 0.8);
+  EXPECT_TRUE(over.control.sledzig.enabled);  // generator setting survives
 }
 
 TEST(CampaignScenario, MalformedInputsReportFieldPaths) {

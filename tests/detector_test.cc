@@ -131,6 +131,90 @@ TEST(AdaptiveController, NoDetectionsNoConfig) {
       ctrl.config(wifi::Modulation::kQam16, wifi::CodingRate::kR12).has_value());
 }
 
+TEST(AdaptiveController, OrderingIsStrengthDescThenChannelAsc) {
+  // The protected list must be a pure function of the observation history:
+  // strongest activity first, equal strengths broken by channel id.  The
+  // order the detections arrive in must not matter.
+  AdaptiveController ctrl(AdaptiveController::Params{1, 5, 4});
+  const std::vector<ZigbeeDetection> shuffled = {
+      {OverlapChannel::kCh2, -70.0, 0.8},
+      {OverlapChannel::kCh4, -65.0, 0.8},
+      {OverlapChannel::kCh1, -70.0, 0.8},
+      {OverlapChannel::kCh3, -60.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(shuffled));
+  const auto& prot = ctrl.protected_channels();
+  ASSERT_EQ(prot.size(), 4u);
+  EXPECT_EQ(prot[0], OverlapChannel::kCh3);  // -60: strongest
+  EXPECT_EQ(prot[1], OverlapChannel::kCh4);  // -65
+  EXPECT_EQ(prot[2], OverlapChannel::kCh1);  // -70 tie: lower channel first
+  EXPECT_EQ(prot[3], OverlapChannel::kCh2);  // -70 tie
+}
+
+TEST(AdaptiveController, OffThresholdCountingSurvivesRankRebuild) {
+  // Regression: a rank change on *another* channel rebuilds the protected
+  // list; the rebuild must not restart the idle count of a channel that is
+  // on its way out.  Release happens exactly at off_threshold idle scans.
+  AdaptiveController ctrl(AdaptiveController::Params{1, 3, 2});
+  const std::vector<ZigbeeDetection> both = {
+      {OverlapChannel::kCh1, -60.0, 0.8},
+      {OverlapChannel::kCh2, -65.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(both));
+  ASSERT_EQ(ctrl.protected_channels().size(), 2u);
+  EXPECT_EQ(ctrl.protected_channels()[0], OverlapChannel::kCh1);
+
+  // Ch2 goes idle; Ch1 stays at full strength.  Rank unchanged.
+  const std::vector<ZigbeeDetection> ch1_strong = {
+      {OverlapChannel::kCh1, -60.0, 0.8}};
+  EXPECT_FALSE(ctrl.observe(ch1_strong));  // Ch2 idle 1
+
+  // Ch1 weakens below Ch2's last strength: rank flips, forcing a rebuild
+  // while Ch2 is mid-count.
+  const std::vector<ZigbeeDetection> ch1_weak = {
+      {OverlapChannel::kCh1, -72.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(ch1_weak));  // Ch2 idle 2, now ranked first
+  ASSERT_EQ(ctrl.protected_channels().size(), 2u);
+  EXPECT_EQ(ctrl.protected_channels()[0], OverlapChannel::kCh2);
+  EXPECT_EQ(ctrl.protected_channels()[1], OverlapChannel::kCh1);
+
+  // Third consecutive idle scan == off_threshold: released exactly now,
+  // not three scans after the rebuild.
+  EXPECT_TRUE(ctrl.observe(ch1_weak));  // Ch2 idle 3: release
+  ASSERT_EQ(ctrl.protected_channels().size(), 1u);
+  EXPECT_EQ(ctrl.protected_channels()[0], OverlapChannel::kCh1);
+}
+
+TEST(AdaptiveController, OffThresholdCountingSurvivesTruncation) {
+  // A stronger newcomer can push a protected channel past max_channels.
+  // Truncation out of the visible list must not restart its idle count
+  // either: once idle scans hit off_threshold the state fully releases.
+  AdaptiveController ctrl(AdaptiveController::Params{1, 2, 2});
+  const std::vector<ZigbeeDetection> both = {
+      {OverlapChannel::kCh1, -60.0, 0.8},
+      {OverlapChannel::kCh2, -65.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(both));
+  ASSERT_EQ(ctrl.protected_channels().size(), 2u);
+
+  // Ch3 arrives stronger than everything while Ch2 goes idle: Ch2 is
+  // truncated out of the two-slot list on the same scan.
+  const std::vector<ZigbeeDetection> newcomer = {
+      {OverlapChannel::kCh1, -60.0, 0.8},
+      {OverlapChannel::kCh3, -55.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(newcomer));  // Ch2 idle 1, truncated
+  ASSERT_EQ(ctrl.protected_channels().size(), 2u);
+  EXPECT_EQ(ctrl.protected_channels()[0], OverlapChannel::kCh3);
+  EXPECT_EQ(ctrl.protected_channels()[1], OverlapChannel::kCh1);
+
+  // One more idle scan reaches off_threshold == 2: Ch2's protection state
+  // is gone, so a single fresh sighting re-admits it (on_threshold == 1)
+  // rather than resuming a half-released entry.
+  EXPECT_FALSE(ctrl.observe(newcomer));  // Ch2 idle 2: releases (invisible)
+  const std::vector<ZigbeeDetection> ch2_back = {
+      {OverlapChannel::kCh2, -50.0, 0.8}};
+  EXPECT_TRUE(ctrl.observe(ch2_back));
+  ASSERT_EQ(ctrl.protected_channels().size(), 2u);
+  EXPECT_EQ(ctrl.protected_channels()[0], OverlapChannel::kCh2);
+}
+
 // ------------------------------------------------- multi-channel encoding
 
 TEST(MultiChannel, UnionSubcarrierSet) {
